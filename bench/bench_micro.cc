@@ -1,0 +1,188 @@
+// Component micro-benchmarks (google-benchmark): the inner loops whose
+// costs the paper's Section IV-D complexity analysis is built from.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/core/combination.h"
+#include "src/core/engine.h"
+#include "src/core/operators.h"
+#include "src/core/selection.h"
+#include "src/data/synthetic.h"
+#include "src/gbdt/booster.h"
+#include "src/stats/auc.h"
+#include "src/stats/correlation.h"
+#include "src/stats/entropy.h"
+#include "src/stats/iv.h"
+
+namespace safe {
+namespace {
+
+std::vector<double> RandomColumn(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.NextGaussian();
+  return out;
+}
+
+std::vector<double> RandomLabels(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+  return out;
+}
+
+void BM_InformationValue(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto feature = RandomColumn(n, 1);
+  auto labels = RandomLabels(n, 2);
+  for (auto _ : state) {
+    auto iv = InformationValue(feature, labels, 10);
+    benchmark::DoNotOptimize(iv);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_InformationValue)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PearsonCorrelation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto a = RandomColumn(n, 3);
+  auto b = RandomColumn(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PearsonCorrelation(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PearsonCorrelation)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Auc(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto scores = RandomColumn(n, 5);
+  auto labels = RandomLabels(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Auc(scores, labels));
+  }
+}
+BENCHMARK(BM_Auc)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BinnedInformationGain(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto feature = RandomColumn(n, 7);
+  auto labels = RandomLabels(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinnedInformationGain(feature, labels, 10));
+  }
+}
+BENCHMARK(BM_BinnedInformationGain)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_OperatorApply(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto a = RandomColumn(n, 9);
+  auto b = RandomColumn(n, 10);
+  OperatorRegistry registry = OperatorRegistry::Arithmetic();
+  auto op = registry.Find("div");
+  for (auto _ : state) {
+    auto out = ApplyOperator(**op, {}, {&a, &b});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_OperatorApply)->Arg(1000)->Arg(100000);
+
+Dataset MicroDataset(size_t rows, size_t features) {
+  data::SyntheticSpec spec;
+  spec.num_rows = rows;
+  spec.num_features = features;
+  spec.num_informative = features / 2;
+  spec.num_interactions = 3;
+  spec.seed = 11;
+  auto data = data::MakeSyntheticDataset(spec);
+  SAFE_CHECK(data.ok());
+  return *data;
+}
+
+void BM_GbdtFit(benchmark::State& state) {
+  Dataset data = MicroDataset(static_cast<size_t>(state.range(0)), 10);
+  gbdt::GbdtParams params;
+  params.num_trees = 20;
+  params.max_depth = 4;
+  for (auto _ : state) {
+    auto model = gbdt::Booster::Fit(data, nullptr, params);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_GbdtFit)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  Dataset data = MicroDataset(5000, 10);
+  gbdt::GbdtParams params;
+  params.num_trees = 20;
+  auto model = gbdt::Booster::Fit(data, nullptr, params);
+  SAFE_CHECK(model.ok());
+  for (auto _ : state) {
+    auto proba = model->PredictProba(data.x);
+    benchmark::DoNotOptimize(proba);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 5000);
+}
+BENCHMARK(BM_GbdtPredict);
+
+void BM_MineAndRankCombinations(benchmark::State& state) {
+  Dataset data = MicroDataset(4000, 12);
+  gbdt::GbdtParams params;
+  params.num_trees = 20;
+  params.max_depth = 4;
+  auto model = gbdt::Booster::Fit(data, nullptr, params);
+  SAFE_CHECK(model.ok());
+  const auto paths = model->ExtractAllPaths();
+  for (auto _ : state) {
+    CombinationMinerOptions options;
+    auto combos = MineCombinations(paths, options);
+    auto ranked = RankCombinations(std::move(combos), data.x,
+                                   data.labels(), 48);
+    benchmark::DoNotOptimize(ranked);
+  }
+  state.SetLabel(std::to_string(paths.size()) + " paths");
+}
+BENCHMARK(BM_MineAndRankCombinations)->Unit(benchmark::kMillisecond);
+
+void BM_SelectionPipeline(benchmark::State& state) {
+  Dataset data = MicroDataset(4000, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto ivs = ComputeIvs(data.x, data.labels(), 10);
+    auto after_iv = IvFilterIndices(ivs, 0.1);
+    if (after_iv.empty()) {
+      after_iv.resize(data.x.num_columns());
+      for (size_t c = 0; c < after_iv.size(); ++c) after_iv[c] = c;
+    }
+    auto kept = RedundancyFilterIndices(data.x, ivs, after_iv, 0.8);
+    benchmark::DoNotOptimize(kept);
+  }
+}
+BENCHMARK(BM_SelectionPipeline)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_SingleRowTransform(benchmark::State& state) {
+  // Real-time inference path: Ψ applied to one event.
+  Dataset data = MicroDataset(2000, 10);
+  SafeParams params;
+  params.seed = 3;
+  SafeEngine engine(params);
+  auto result = engine.Fit(data);
+  SAFE_CHECK(result.ok());
+  const auto row = data.x.Row(0);
+  for (auto _ : state) {
+    auto z = result->plan.TransformRow(row);
+    benchmark::DoNotOptimize(z);
+  }
+  state.SetLabel(std::to_string(result->plan.selected().size()) +
+                 " output features");
+}
+BENCHMARK(BM_SingleRowTransform);
+
+}  // namespace
+}  // namespace safe
+
+BENCHMARK_MAIN();

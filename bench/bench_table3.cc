@@ -1,0 +1,148 @@
+// Reproduces paper Table III: test AUC (x100) of each feature-engineering
+// method (ORIG, FCT, TFC, RAND, IMP, SAFE) under each of the nine
+// evaluation classifiers, per benchmark dataset.
+//
+// Flags:
+//   --datasets=valley,banknote,...   subset (default: all 12)
+//   --methods=ORIG,SAFE,...          subset (default: all 6)
+//   --row_scale=0.1                  fraction of the paper's row counts
+//   --repeats=1                      seeds averaged per cell
+//   --full_classifiers               use paper-default classifier configs
+//   --quick                          tiny preset for smoke runs
+
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <numeric>
+
+#include "bench/harness.h"
+#include "src/common/string_util.h"
+#include "src/common/stopwatch.h"
+
+namespace safe {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const double row_scale =
+      flags.GetDouble("row_scale", quick ? 0.05 : 0.10);
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 1));
+  const bool full_classifiers = flags.GetBool("full_classifiers", false);
+  auto dataset_names = flags.GetList(
+      "datasets",
+      quick ? "banknote,phoneme"
+            : "valley,banknote,gina,spambase,phoneme,wind,ailerons,eeg-eye,"
+              "magic,nomao,bank,vehicle");
+  auto method_names = flags.GetList("methods", "ORIG,FCT,TFC,RAND,IMP,SAFE");
+
+  std::cout << "=== Table III: classification AUC (x100) on benchmark "
+               "datasets ===\n";
+  std::cout << "row_scale=" << row_scale << " repeats=" << repeats
+            << " classifiers=" << (full_classifiers ? "paper" : "quick")
+            << "\n\n";
+
+  // Per-method average improvement over ORIG across all cells.
+  std::map<std::string, std::vector<double>> improvements;
+
+  for (const auto& dataset_name : dataset_names) {
+    auto info = data::FindBenchmarkDataset(dataset_name);
+    if (!info.ok()) {
+      std::cerr << info.status().ToString() << "\n";
+      return 1;
+    }
+
+    std::vector<std::string> headers{"CLF"};
+    for (const auto& method : method_names) headers.push_back(method);
+    std::vector<int> widths(headers.size(), 7);
+    widths[0] = 4;
+    std::cout << "--- " << dataset_name << " ---\n";
+    TablePrinter table(headers, widths);
+    table.PrintHeader();
+
+    // AUC[classifier][method] accumulated over repeats.
+    const auto& kinds = models::AllClassifierKinds();
+    std::vector<std::vector<double>> auc(
+        kinds.size(), std::vector<double>(method_names.size(), 0.0));
+
+    for (int rep = 0; rep < repeats; ++rep) {
+      auto split = data::MakeBenchmarkSplit(*info, row_scale,
+                                            static_cast<uint64_t>(rep) * 1000);
+      if (!split.ok()) {
+        std::cerr << split.status().ToString() << "\n";
+        return 1;
+      }
+      for (size_t m = 0; m < method_names.size(); ++m) {
+        auto method = MakeMethod(method_names[m], info->num_features,
+                                 17 + static_cast<uint64_t>(rep));
+        if (!method.ok()) {
+          std::cerr << method.status().ToString() << "\n";
+          return 1;
+        }
+        auto plan = (*method)->FitPlan(split->train,
+                                       info->n_valid > 0 ? &split->valid
+                                                         : nullptr);
+        if (!plan.ok()) {
+          std::cerr << dataset_name << "/" << method_names[m] << ": "
+                    << plan.status().ToString() << " (skipping method)\n";
+          for (size_t k = 0; k < kinds.size(); ++k) {
+            auc[k][m] = std::nan("");
+          }
+          continue;
+        }
+        for (size_t k = 0; k < kinds.size(); ++k) {
+          auto clf = MakeEvalClassifier(kinds[k],
+                                        91 + static_cast<uint64_t>(rep),
+                                        !full_classifiers);
+          auto result = EvaluatePlan(*plan, *split, clf.get());
+          if (!result.ok()) {
+            std::cerr << dataset_name << "/" << method_names[m] << "/"
+                      << models::ClassifierShortName(kinds[k]) << ": "
+                      << result.status().ToString() << "\n";
+            auc[k][m] = std::nan("");
+            continue;
+          }
+          auc[k][m] += *result / repeats;
+        }
+      }
+    }
+
+    for (size_t k = 0; k < kinds.size(); ++k) {
+      std::vector<std::string> row{models::ClassifierShortName(kinds[k])};
+      for (size_t m = 0; m < method_names.size(); ++m) {
+        row.push_back(std::isnan(auc[k][m]) ? "-" : FormatAuc(auc[k][m]));
+      }
+      table.PrintRow(row);
+      // Track improvement over ORIG when ORIG is present.
+      for (size_t m = 0; m < method_names.size(); ++m) {
+        if (method_names[m] == "ORIG" || std::isnan(auc[k][m])) continue;
+        for (size_t o = 0; o < method_names.size(); ++o) {
+          if (method_names[o] == "ORIG" && !std::isnan(auc[k][o])) {
+            improvements[method_names[m]].push_back(auc[k][m] - auc[k][o]);
+          }
+        }
+      }
+    }
+    table.PrintSeparator();
+    std::cout << "\n";
+  }
+
+  std::cout << "=== Mean AUC improvement over ORIG (paper: SAFE +6.50pp "
+               "avg across its suite) ===\n";
+  for (const auto& [method, deltas] : improvements) {
+    const double mean =
+        std::accumulate(deltas.begin(), deltas.end(), 0.0) /
+        static_cast<double>(deltas.size());
+    std::cout << "  " << method << ": "
+              << FormatDouble(100.0 * mean, 2) << " pp over "
+              << deltas.size() << " cells\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace safe
+
+int main(int argc, char** argv) { return safe::bench::Main(argc, argv); }

@@ -1,0 +1,93 @@
+// Reproduces paper Table V: execution time (seconds) of each
+// feature-engineering method per benchmark dataset. The paper's headline:
+// SAFE runs at ~0.13x FCTree's and ~0.08x TFC's cost.
+//
+// Flags: --datasets, --methods, --row_scale, --quick
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench/harness.h"
+#include "src/common/stopwatch.h"
+#include "src/common/string_util.h"
+
+namespace safe {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const double row_scale = flags.GetDouble("row_scale", quick ? 0.05 : 0.10);
+  auto dataset_names = flags.GetList(
+      "datasets",
+      quick ? "banknote,phoneme"
+            : "valley,banknote,gina,spambase,phoneme,wind,ailerons,eeg-eye,"
+              "magic,nomao,bank,vehicle");
+  auto method_names = flags.GetList("methods", "FCT,TFC,RAND,IMP,SAFE");
+
+  std::cout << "=== Table V: execution time (seconds) ===\n";
+  std::cout << "row_scale=" << row_scale << "\n\n";
+
+  std::vector<std::string> headers{"Dataset"};
+  for (const auto& method : method_names) headers.push_back(method);
+  std::vector<int> widths(headers.size(), 9);
+  widths[0] = 10;
+  TablePrinter table(headers, widths);
+  table.PrintHeader();
+
+  std::map<std::string, double> totals;
+  for (const auto& dataset_name : dataset_names) {
+    auto info = data::FindBenchmarkDataset(dataset_name);
+    if (!info.ok()) {
+      std::cerr << info.status().ToString() << "\n";
+      return 1;
+    }
+    auto split = data::MakeBenchmarkSplit(*info, row_scale);
+    if (!split.ok()) {
+      std::cerr << split.status().ToString() << "\n";
+      return 1;
+    }
+    std::vector<std::string> row{dataset_name};
+    for (const auto& method_name : method_names) {
+      auto method = MakeMethod(method_name, info->num_features, 23);
+      if (!method.ok()) {
+        std::cerr << method.status().ToString() << "\n";
+        return 1;
+      }
+      Stopwatch watch;
+      auto plan = (*method)->FitPlan(
+          split->train, info->n_valid > 0 ? &split->valid : nullptr);
+      const double seconds = watch.ElapsedSeconds();
+      if (!plan.ok()) {
+        row.push_back("fail");
+        continue;
+      }
+      row.push_back(FormatDouble(seconds, 2));
+      totals[method_name] += seconds;
+    }
+    table.PrintRow(row);
+  }
+  table.PrintSeparator();
+
+  if (totals.count("SAFE")) {
+    std::cout << "\nTotal seconds per method (ratio vs SAFE):\n";
+    for (const auto& [method, total] : totals) {
+      std::cout << "  " << method << ": " << FormatDouble(total, 2);
+      if (method != "SAFE" && total > 0.0) {
+        std::cout << "  (SAFE/" << method << " = "
+                  << FormatDouble(totals["SAFE"] / total, 3)
+                  << "; paper reports 0.13 vs FCT, 0.08 vs TFC)";
+      }
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace safe
+
+int main(int argc, char** argv) { return safe::bench::Main(argc, argv); }

@@ -1,0 +1,111 @@
+// Reproduces paper Table VI: feature stability. Each method runs T times,
+// each time on a fresh 80% bootstrap-style subsample of the same training
+// data (and a fresh method seed); the distribution of generated-feature
+// occurrences is compared against the ideal "same 2M features every run"
+// distribution with Jensen-Shannon divergence (Eqs. 14-15). Lower is more
+// stable. TFC is excluded, as in the paper ("execution time is too long").
+//
+// Flags: --datasets, --methods, --row_scale, --repeats (paper: 100), --quick
+
+#include <iostream>
+#include <map>
+
+#include "bench/harness.h"
+#include "src/common/random.h"
+#include "src/common/string_util.h"
+#include "src/dataframe/split.h"
+#include "src/stats/divergence.h"
+
+namespace safe {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const double row_scale = flags.GetDouble("row_scale", quick ? 0.05 : 0.10);
+  const size_t repeats =
+      static_cast<size_t>(flags.GetInt("repeats", quick ? 5 : 12));
+  auto dataset_names = flags.GetList(
+      "datasets",
+      quick ? "banknote,phoneme"
+            : "valley,banknote,gina,spambase,phoneme,wind,ailerons,eeg-eye,"
+              "magic,nomao,bank");
+  auto method_names = flags.GetList("methods", "FCT,RAND,IMP,SAFE");
+
+  std::cout << "=== Table VI: feature stability (JSD vs ideal; lower = "
+               "more stable) ===\n";
+  std::cout << "repeats=" << repeats << " (paper uses T=100)\n\n";
+
+  std::vector<std::string> headers{"Dataset"};
+  for (const auto& method : method_names) headers.push_back(method);
+  std::vector<int> widths(headers.size(), 8);
+  widths[0] = 10;
+  TablePrinter table(headers, widths);
+  table.PrintHeader();
+
+  for (const auto& dataset_name : dataset_names) {
+    auto info = data::FindBenchmarkDataset(dataset_name);
+    if (!info.ok()) {
+      std::cerr << info.status().ToString() << "\n";
+      return 1;
+    }
+    auto base_split = data::MakeBenchmarkSplit(*info, row_scale);
+    if (!base_split.ok()) {
+      std::cerr << base_split.status().ToString() << "\n";
+      return 1;
+    }
+    std::vector<std::string> row{dataset_name};
+    for (const auto& method_name : method_names) {
+      std::map<std::string, size_t> occurrences;
+      size_t features_per_run = 2 * info->num_features;
+      bool failed = false;
+      for (size_t t = 0; t < repeats && !failed; ++t) {
+        // Fresh 80% subsample of the same training data per run:
+        // stability against sampling noise, the regime the paper's
+        // repeated-procedure protocol probes.
+        Rng rng(1000 + t * 13);
+        const size_t n = base_split->train.num_rows();
+        auto rows = rng.SampleWithoutReplacement(n, (n * 4) / 5);
+        Dataset train_t = TakeDatasetRows(base_split->train, rows);
+        auto method = MakeMethod(method_name, info->num_features, 100 + t);
+        if (!method.ok()) {
+          failed = true;
+          break;
+        }
+        auto plan = (*method)->FitPlan(
+            train_t, info->n_valid > 0 ? &base_split->valid : nullptr);
+        if (!plan.ok()) {
+          failed = true;
+          break;
+        }
+        for (const auto& name : plan->selected()) {
+          occurrences[name] += 1;
+        }
+        features_per_run = plan->selected().size();
+      }
+      if (failed || occurrences.empty()) {
+        row.push_back("fail");
+        continue;
+      }
+      std::vector<size_t> counts;
+      counts.reserve(occurrences.size());
+      for (const auto& [name, count] : occurrences) {
+        counts.push_back(count);
+      }
+      auto jsd = FeatureStabilityJsd(counts, repeats, features_per_run);
+      row.push_back(jsd.ok() ? FormatDouble(*jsd, 4) : "fail");
+    }
+    table.PrintRow(row);
+  }
+  table.PrintSeparator();
+  std::cout << "\nPaper's shape: SAFE is the most stable method on nearly "
+               "every dataset.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace safe
+
+int main(int argc, char** argv) { return safe::bench::Main(argc, argv); }

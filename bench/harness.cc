@@ -1,0 +1,196 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/string_util.h"
+#include "src/baselines/autolearn.h"
+#include "src/models/knn.h"
+#include "src/models/linear.h"
+#include "src/models/mlp.h"
+#include "src/models/tree_models.h"
+#include "src/models/xgb.h"
+#include "src/stats/auc.h"
+
+namespace safe {
+namespace bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  auto parsed = ParseDouble(it->second);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  auto parsed = ParseInt(it->second);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+bool Flags::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1";
+}
+
+std::vector<std::string> Flags::GetList(const std::string& key,
+                                        const std::string& fallback) const {
+  const std::string raw = GetString(key, fallback);
+  std::vector<std::string> out;
+  for (auto& part : SplitString(raw, ',')) {
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+void TablePrinter::PrintHeader() const {
+  PrintSeparator();
+  PrintRow(headers_);
+  PrintSeparator();
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  std::string line = "|";
+  for (size_t i = 0; i < widths_.size(); ++i) {
+    std::string cell = i < cells.size() ? cells[i] : "";
+    const int width = widths_[i];
+    if (static_cast<int>(cell.size()) > width) cell.resize(width);
+    line += " " + cell + std::string(width - cell.size(), ' ') + " |";
+  }
+  std::cout << line << "\n";
+}
+
+void TablePrinter::PrintSeparator() const {
+  std::string line = "+";
+  for (int width : widths_) {
+    line += std::string(static_cast<size_t>(width) + 2, '-') + "+";
+  }
+  std::cout << line << "\n";
+}
+
+std::string FormatAuc(double auc) { return FormatDouble(100.0 * auc, 2); }
+
+Result<std::unique_ptr<baselines::FeatureEngineer>> MakeMethod(
+    const std::string& name, size_t num_original_features, uint64_t seed) {
+  // Experimental settings of Section V: one iteration, binary arithmetic
+  // operators, every method's output capped at 2·M.
+  SafeParams params;
+  params.seed = seed;
+  params.max_output_features = 2 * num_original_features;
+  if (name == "ORIG") {
+    return std::unique_ptr<baselines::FeatureEngineer>(
+        std::make_unique<baselines::OrigEngineer>());
+  }
+  if (name == "SAFE") {
+    return std::unique_ptr<baselines::FeatureEngineer>(
+        baselines::MakeSafe(params));
+  }
+  if (name == "RAND") {
+    return std::unique_ptr<baselines::FeatureEngineer>(
+        baselines::MakeRand(params));
+  }
+  if (name == "IMP") {
+    return std::unique_ptr<baselines::FeatureEngineer>(
+        baselines::MakeImp(params));
+  }
+  if (name == "NONSPLIT") {
+    params.strategy = MiningStrategy::kNonSplitPairs;
+    return std::unique_ptr<baselines::FeatureEngineer>(
+        std::make_unique<baselines::SafeEngineer>(params));
+  }
+  if (name == "TFC") {
+    baselines::TfcParams tfc;
+    tfc.max_output_features = 2 * num_original_features;
+    return std::unique_ptr<baselines::FeatureEngineer>(
+        std::make_unique<baselines::TfcEngineer>(tfc));
+  }
+  if (name == "AUTOLEARN") {
+    baselines::AutoLearnParams autolearn;
+    autolearn.max_output_features = 2 * num_original_features;
+    autolearn.seed = seed;
+    return std::unique_ptr<baselines::FeatureEngineer>(
+        std::make_unique<baselines::AutoLearnEngineer>(autolearn));
+  }
+  if (name == "FCT") {
+    baselines::FcTreeParams fct;
+    fct.max_output_features = 2 * num_original_features;
+    fct.seed = seed;
+    return std::unique_ptr<baselines::FeatureEngineer>(
+        std::make_unique<baselines::FcTreeEngineer>(fct));
+  }
+  return Status::InvalidArgument("unknown method '" + name + "'");
+}
+
+std::vector<std::string> DefaultMethods() {
+  return {"ORIG", "FCT", "TFC", "RAND", "IMP", "SAFE"};
+}
+
+std::unique_ptr<models::Classifier> MakeEvalClassifier(
+    models::ClassifierKind kind, uint64_t seed, bool quick) {
+  if (!quick) return models::MakeClassifier(kind, seed);
+  switch (kind) {
+    case models::ClassifierKind::kAdaBoost:
+      return std::make_unique<models::AdaBoostClassifier>(seed, 25);
+    case models::ClassifierKind::kRandomForest:
+      return std::make_unique<models::RandomForestClassifier>(seed, 40);
+    case models::ClassifierKind::kExtraTrees:
+      return std::make_unique<models::ExtraTreesClassifier>(seed, 40);
+    case models::ClassifierKind::kMlp:
+      return std::make_unique<models::MlpClassifier>(seed, 32, 12);
+    case models::ClassifierKind::kLogisticRegression:
+      return std::make_unique<models::LogisticRegressionClassifier>(seed,
+                                                                    120);
+    case models::ClassifierKind::kLinearSvm:
+      return std::make_unique<models::LinearSvmClassifier>(seed, 8);
+    case models::ClassifierKind::kXgboost: {
+      gbdt::GbdtParams params;
+      params.seed = seed;
+      params.num_trees = 50;
+      params.max_depth = 4;
+      return std::make_unique<models::XgbClassifier>(params);
+    }
+    default:
+      return models::MakeClassifier(kind, seed);
+  }
+}
+
+Result<double> EvaluatePlan(const FeaturePlan& plan,
+                            const DatasetSplit& split,
+                            models::Classifier* clf) {
+  SAFE_ASSIGN_OR_RETURN(DataFrame train_z, plan.Transform(split.train.x));
+  SAFE_ASSIGN_OR_RETURN(DataFrame test_z, plan.Transform(split.test.x));
+  Dataset train{std::move(train_z), split.train.y};
+  SAFE_RETURN_NOT_OK(clf->Fit(train));
+  SAFE_ASSIGN_OR_RETURN(std::vector<double> scores,
+                        clf->PredictScores(test_z));
+  return Auc(scores, split.test.labels());
+}
+
+}  // namespace bench
+}  // namespace safe

@@ -1,0 +1,116 @@
+// Extending SAFE with a domain-specific operator — the paper's
+// requirement that "new operators should be easily added" (Section III
+// mentions lag operators in time series, genetic operators in biology).
+//
+//   ./examples/custom_operator
+//
+// Registers a log-ratio operator log(|a| / |b|) — a classic risk-feature
+// shape for monetary amounts — runs SAFE with it alongside the built-in
+// arithmetic, and shows generated features using it end to end,
+// including plan serialization.
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "src/core/engine.h"
+#include "src/data/synthetic.h"
+#include "src/models/classifier.h"
+#include "src/stats/auc.h"
+
+namespace {
+
+/// log(|a| / |b|): scale-free comparison of two magnitudes.
+class LogRatioOp : public safe::Operator {
+ public:
+  std::string name() const override { return "logratio"; }
+  size_t arity() const override { return 2; }
+  bool commutative() const override { return false; }
+  double Apply(const double* in,
+               const std::vector<double>&) const override {
+    const double a = std::fabs(in[0]);
+    const double b = std::fabs(in[1]);
+    if (a <= 0.0 || b <= 0.0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return std::log(a / b);
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace safe;
+
+  data::SyntheticSpec spec;
+  spec.num_rows = 4000;
+  spec.num_features = 10;
+  spec.num_informative = 4;
+  spec.num_interactions = 4;
+  spec.seed = 31;
+  auto split = data::MakeSyntheticSplit(spec, 2500, 0, 1500);
+  if (!split.ok()) {
+    std::cerr << split.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Build a registry = arithmetic + the custom operator, and tell SAFE to
+  // draw from all five.
+  OperatorRegistry registry = OperatorRegistry::Arithmetic();
+  if (!registry.Register(std::make_shared<LogRatioOp>()).ok()) {
+    std::cerr << "registration failed\n";
+    return 1;
+  }
+  SafeParams params;
+  params.seed = 5;
+  params.operator_names = {"add", "sub", "mul", "div", "logratio"};
+  SafeEngine engine(params, registry);
+
+  auto result = engine.Fit(split->train);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  size_t custom_count = 0;
+  for (const auto& feature : result->plan.generated()) {
+    if (feature.op == "logratio") ++custom_count;
+  }
+  std::cout << "Plan generated " << result->plan.generated().size()
+            << " features, " << custom_count << " via the custom operator:\n";
+  for (const auto& feature : result->plan.generated()) {
+    if (feature.op == "logratio") {
+      std::cout << "  " << feature.name << "\n";
+    }
+  }
+
+  // The custom registry must also be supplied when replaying the plan.
+  auto train_z = result->plan.Transform(split->train.x, registry);
+  auto test_z = result->plan.Transform(split->test.x, registry);
+  if (!train_z.ok() || !test_z.ok()) {
+    std::cerr << "transform failed\n";
+    return 1;
+  }
+  auto clf =
+      models::MakeClassifier(models::ClassifierKind::kLogisticRegression, 3);
+  Dataset train{*train_z, split->train.y};
+  if (!clf->Fit(train).ok()) {
+    std::cerr << "fit failed\n";
+    return 1;
+  }
+  auto scores = clf->PredictScores(*test_z);
+  auto auc = Auc(*scores, split->test.labels());
+  std::cout << "\nAUC with the extended operator set: "
+            << (auc.ok() ? 100.0 * *auc : 0.0) << "\n";
+
+  // Serialization round-trips the custom op by name; deserialization
+  // succeeds anywhere the operator is registered.
+  auto back = FeaturePlan::Deserialize(result->plan.Serialize());
+  if (!back.ok() || !back->Transform(split->test.x, registry).ok()) {
+    std::cerr << "custom-operator plan failed to round-trip\n";
+    return 1;
+  }
+  std::cout << "Plan with the custom operator serialized and replayed "
+               "successfully.\n";
+  return 0;
+}

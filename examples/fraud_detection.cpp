@@ -1,0 +1,93 @@
+// Fraud detection at business scale — the deployment scenario of the
+// paper's Section V-B: a heavily imbalanced dataset in the shape of Ant
+// Financial's Data1, SAFE feature engineering, and the three production
+// classifiers of Table VIII (LR, RF, XGB).
+//
+//   ./examples/fraud_detection [row_scale]
+//
+// row_scale (default 0.01) scales the paper's 2.5M-row training set.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/common/stopwatch.h"
+#include "src/core/engine.h"
+#include "src/data/business.h"
+#include "src/models/classifier.h"
+#include "src/stats/auc.h"
+#include "src/stats/descriptive.h"
+
+int main(int argc, char** argv) {
+  using namespace safe;
+
+  double row_scale = 0.01;
+  if (argc > 1) row_scale = std::atof(argv[1]);
+
+  const auto& info = data::BusinessSuite()[0];  // Data1: 81 features
+  std::cout << "Generating the Data1 analogue (paper: " << info.n_train
+            << " train rows; here row_scale=" << row_scale << ") ...\n";
+  auto split = data::MakeBusinessSplit(info, row_scale);
+  if (!split.ok()) {
+    std::cerr << split.status().ToString() << "\n";
+    return 1;
+  }
+  const double fraud_rate =
+      static_cast<double>(CountEqual(split->train.labels(), 1.0)) /
+      static_cast<double>(split->train.num_rows());
+  std::cout << "  " << split->train.num_rows() << " train / "
+            << split->valid.num_rows() << " valid / "
+            << split->test.num_rows() << " test rows, "
+            << split->train.x.num_columns() << " features, fraud rate "
+            << 100.0 * fraud_rate << "%\n\n";
+
+  // SAFE with the paper's production settings: one iteration, arithmetic
+  // operators, output capped at 2M features.
+  SafeParams params;
+  params.seed = 11;
+  params.max_output_features = 2 * split->train.x.num_columns();
+  SafeEngine engine(params);
+  Stopwatch watch;
+  auto result = engine.Fit(split->train, &split->valid);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "SAFE fit in " << watch.ElapsedSeconds() << "s; "
+            << result->plan.NumSelectedGenerated()
+            << " generated features among " << result->plan.selected().size()
+            << " selected\n\n";
+
+  auto train_z = result->plan.Transform(split->train.x);
+  auto test_z = result->plan.Transform(split->test.x);
+  if (!train_z.ok() || !test_z.ok()) {
+    std::cerr << "transform failed\n";
+    return 1;
+  }
+
+  std::cout << "AUC (x100), original vs SAFE features:\n";
+  bool all_improved = true;
+  for (auto kind : {models::ClassifierKind::kLogisticRegression,
+                    models::ClassifierKind::kRandomForest,
+                    models::ClassifierKind::kXgboost}) {
+    auto eval = [&](const DataFrame& train_x,
+                    const DataFrame& test_x) -> double {
+      auto clf = models::MakeClassifier(kind, 5);
+      Dataset train{train_x, split->train.y};
+      if (!clf->Fit(train).ok()) return 0.0;
+      auto scores = clf->PredictScores(test_x);
+      if (!scores.ok()) return 0.0;
+      auto auc = Auc(*scores, split->test.labels());
+      return auc.ok() ? *auc : 0.0;
+    };
+    const double auc_orig = eval(split->train.x, split->test.x);
+    const double auc_safe = eval(*train_z, *test_z);
+    std::cout << "  " << models::ClassifierShortName(kind) << ": "
+              << 100.0 * auc_orig << " -> " << 100.0 * auc_safe << "  ("
+              << (auc_safe >= auc_orig ? "+" : "")
+              << 100.0 * (auc_safe - auc_orig) << ")\n";
+    if (auc_safe < auc_orig - 0.01) all_improved = false;
+  }
+  std::cout << "\n(paper Table VIII: SAFE improves every classifier on "
+               "every business dataset)\n";
+  return all_improved ? 0 : 1;
+}

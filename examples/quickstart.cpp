@@ -1,0 +1,87 @@
+// Quickstart: learn a SAFE feature plan on a small synthetic dataset and
+// show the AUC uplift it gives a downstream classifier.
+//
+//   ./examples/quickstart
+//
+// Walks the full public API: generate data -> SafeEngine::Fit -> inspect
+// the plan -> Transform train/test -> compare a classifier on original vs
+// engineered features.
+
+#include <iostream>
+
+#include "src/core/engine.h"
+#include "src/data/synthetic.h"
+#include "src/models/classifier.h"
+#include "src/stats/auc.h"
+
+int main() {
+  using namespace safe;
+
+  // 1. A dataset whose signal hides in pairwise feature interactions —
+  //    the regime SAFE is built for.
+  data::SyntheticSpec spec;
+  spec.num_rows = 4000;
+  spec.num_features = 12;
+  spec.num_informative = 5;
+  spec.num_interactions = 4;
+  spec.linear_weight = 0.2;
+  spec.seed = 2024;
+  auto split = data::MakeSyntheticSplit(spec, 2500, 500, 1000);
+  if (!split.ok()) {
+    std::cerr << split.status().ToString() << "\n";
+    return 1;
+  }
+
+  // 2. Fit SAFE (paper Algorithm 1). Defaults: one iteration, {+,-,*,/},
+  //    output capped at 2x the original feature count.
+  SafeParams params;
+  params.seed = 7;
+  SafeEngine engine(params);
+  auto result = engine.Fit(split->train, &split->valid);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  const FeaturePlan& plan = result->plan;
+
+  std::cout << "SAFE selected " << plan.selected().size() << " features ("
+            << plan.NumSelectedGenerated() << " generated):\n";
+  for (const auto& name : plan.selected()) {
+    std::cout << "  " << name << "\n";
+  }
+  const auto& diag = result->iterations[0];
+  std::cout << "\nIteration funnel: " << diag.num_paths << " tree paths -> "
+            << diag.num_combinations << " combinations -> "
+            << diag.num_generated << " generated -> " << diag.num_after_iv
+            << " after IV filter -> " << diag.num_after_redundancy
+            << " after redundancy filter -> " << diag.num_selected
+            << " selected (" << diag.seconds << "s)\n";
+
+  // 3. Evaluate: same classifier, original vs engineered features.
+  auto evaluate = [&](const DataFrame& train_x,
+                      const DataFrame& test_x) -> double {
+    auto clf = models::MakeClassifier(
+        models::ClassifierKind::kLogisticRegression, 3);
+    Dataset train{train_x, split->train.y};
+    if (!clf->Fit(train).ok()) return 0.0;
+    auto scores = clf->PredictScores(test_x);
+    if (!scores.ok()) return 0.0;
+    auto auc = Auc(*scores, split->test.labels());
+    return auc.ok() ? *auc : 0.0;
+  };
+
+  auto train_z = plan.Transform(split->train.x);
+  auto test_z = plan.Transform(split->test.x);
+  if (!train_z.ok() || !test_z.ok()) {
+    std::cerr << "transform failed\n";
+    return 1;
+  }
+  const double auc_orig = evaluate(split->train.x, split->test.x);
+  const double auc_safe = evaluate(*train_z, *test_z);
+  std::cout << "\nLogistic regression AUC\n";
+  std::cout << "  original features:   " << 100.0 * auc_orig << "\n";
+  std::cout << "  SAFE features:       " << 100.0 * auc_safe << "\n";
+  std::cout << "  uplift:              " << 100.0 * (auc_safe - auc_orig)
+            << " points\n";
+  return auc_safe > auc_orig ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+// Real-time inference — the paper's third industrial requirement
+// (Section I): once Ψ is learned it must transform ONE incoming event
+// instantly so a fraud decision can follow.
+//
+//   ./examples/realtime_inference
+//
+// Demonstrates: fit SAFE offline -> serialize Ψ and the scoring model to
+// disk -> reload in a fresh "serving" context -> score single events via
+// FeaturePlan::TransformRow + Booster::PredictRowProba, reporting
+// per-event latency.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/common/stopwatch.h"
+#include "src/core/engine.h"
+#include "src/data/synthetic.h"
+#include "src/gbdt/booster.h"
+#include "src/stats/auc.h"
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace safe;
+
+  // ------------------------------------------------ offline training
+  data::SyntheticSpec spec;
+  spec.num_rows = 6000;
+  spec.num_features = 15;
+  spec.num_informative = 6;
+  spec.num_interactions = 5;
+  spec.positive_rate = 0.1;
+  spec.seed = 99;
+  auto split = data::MakeSyntheticSplit(spec, 4000, 0, 2000);
+  if (!split.ok()) {
+    std::cerr << split.status().ToString() << "\n";
+    return 1;
+  }
+
+  SafeParams params;
+  params.seed = 13;
+  SafeEngine engine(params);
+  auto fit = engine.Fit(split->train);
+  if (!fit.ok()) {
+    std::cerr << fit.status().ToString() << "\n";
+    return 1;
+  }
+
+  auto train_z = fit->plan.Transform(split->train.x);
+  if (!train_z.ok()) {
+    std::cerr << train_z.status().ToString() << "\n";
+    return 1;
+  }
+  gbdt::GbdtParams model_params;
+  model_params.num_trees = 60;
+  Dataset train{*train_z, split->train.y};
+  auto model = gbdt::Booster::Fit(train, nullptr, model_params);
+  if (!model.ok()) {
+    std::cerr << model.status().ToString() << "\n";
+    return 1;
+  }
+
+  const std::string plan_path = "/tmp/safe_plan.txt";
+  const std::string model_path = "/tmp/safe_model.txt";
+  if (!WriteFile(plan_path, fit->plan.Serialize()) ||
+      !WriteFile(model_path, model->Serialize())) {
+    std::cerr << "failed to persist artifacts\n";
+    return 1;
+  }
+  std::cout << "Offline: plan (" << fit->plan.selected().size()
+            << " features) and model (" << model->trees().size()
+            << " trees) written to /tmp\n";
+
+  // ------------------------------------------------ serving process
+  auto plan = FeaturePlan::Deserialize(ReadFile(plan_path));
+  auto scorer = gbdt::Booster::Deserialize(ReadFile(model_path));
+  if (!plan.ok() || !scorer.ok()) {
+    std::cerr << "failed to reload artifacts\n";
+    return 1;
+  }
+
+  // Score the test stream one event at a time, as a serving system would.
+  std::vector<double> scores;
+  scores.reserve(split->test.num_rows());
+  Stopwatch watch;
+  for (size_t r = 0; r < split->test.num_rows(); ++r) {
+    auto features = plan->TransformRow(split->test.x.Row(r));
+    if (!features.ok()) {
+      std::cerr << features.status().ToString() << "\n";
+      return 1;
+    }
+    scores.push_back(scorer->PredictRowProba(*features));
+  }
+  const double total_ms = watch.ElapsedMillis();
+  const double per_event_us =
+      1000.0 * total_ms / static_cast<double>(split->test.num_rows());
+
+  auto auc = Auc(scores, split->test.labels());
+  std::cout << "Serving: scored " << split->test.num_rows()
+            << " events one-by-one in " << total_ms << " ms  ("
+            << per_event_us << " us/event)\n";
+  std::cout << "Stream AUC: " << (auc.ok() ? 100.0 * *auc : 0.0) << "\n";
+  std::cout << "(every generated feature uses only per-event arithmetic + "
+               "parameters learned offline, so Ψ is real-time by "
+               "construction)\n";
+  return auc.ok() && *auc > 0.6 ? 0 : 1;
+}

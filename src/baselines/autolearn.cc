@@ -1,0 +1,155 @@
+#include "src/baselines/autolearn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/stats/correlation.h"
+#include "src/stats/entropy.h"
+
+namespace safe {
+namespace baselines {
+
+namespace {
+
+/// Information gain of `values` restricted to the given rows.
+double SubsetInfoGain(const std::vector<double>& values,
+                      const std::vector<double>& labels,
+                      const std::vector<size_t>& rows, size_t bins) {
+  std::vector<double> v;
+  std::vector<double> y;
+  v.reserve(rows.size());
+  y.reserve(rows.size());
+  for (size_t r : rows) {
+    v.push_back(values[r]);
+    y.push_back(labels[r]);
+  }
+  return BinnedInformationGain(v, y, bins);
+}
+
+}  // namespace
+
+Result<FeaturePlan> AutoLearnEngineer::FitPlan(const Dataset& train,
+                                               const Dataset* valid) {
+  (void)valid;
+  if (train.num_rows() == 0 || train.x.num_columns() == 0) {
+    return Status::InvalidArgument("autolearn: empty training data");
+  }
+  const size_t m = train.x.num_columns();
+  const size_t max_output = params_.max_output_features > 0
+                                ? params_.max_output_features
+                                : 2 * m;
+  const auto& labels = train.labels();
+
+  SAFE_ASSIGN_OR_RETURN(auto ridge_op, registry_.Find("ridge"));
+  SAFE_ASSIGN_OR_RETURN(auto krr_op, registry_.Find("krr"));
+
+  // ---------------------------------------------- step 1: parent screen
+  std::vector<size_t> parents;
+  for (size_t c = 0; c < m; ++c) {
+    if (BinnedInformationGain(train.x.column(c).values(), labels,
+                              params_.info_gain_bins) >
+        params_.min_parent_info_gain) {
+      parents.push_back(c);
+    }
+  }
+  if (parents.size() < 2) {
+    // Nothing to pair: fall back to the identity plan.
+    const auto names = train.x.ColumnNames();
+    return FeaturePlan::Create(names, {}, names);
+  }
+
+  // Stability halves (disjoint, random).
+  Rng rng(params_.seed);
+  std::vector<size_t> perm(train.num_rows());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.Shuffle(&perm);
+  const std::vector<size_t> half_a(perm.begin(),
+                                   perm.begin() + perm.size() / 2);
+  const std::vector<size_t> half_b(perm.begin() + perm.size() / 2,
+                                   perm.end());
+
+  // ---------------------------------------------- step 2: pairwise fits
+  struct Scored {
+    double info_gain;
+    Column column;
+    GeneratedFeature feature;
+  };
+  std::vector<Scored> kept;
+  size_t pairs_examined = 0;
+  for (size_t i : parents) {
+    for (size_t j : parents) {
+      if (i == j) continue;
+      if (++pairs_examined > params_.max_pairs) break;
+      const auto& a = train.x.column(i);
+      const auto& b = train.x.column(j);
+      const double r = PearsonCorrelation(a.values(), b.values());
+      const double abs_r = std::fabs(r);
+      if (abs_r < params_.min_correlation) continue;  // unrelated
+      const auto& op =
+          abs_r >= params_.linear_correlation ? *ridge_op : *krr_op;
+      const std::string name =
+          op.name() + "(" + b.name() + "|" + a.name() + ")";
+      auto op_params = op.FitParams({&a.values(), &b.values()});
+      if (!op_params.ok()) continue;
+      auto values = ApplyOperator(op, *op_params, {&a.values(), &b.values()});
+      if (!values.ok()) continue;
+      Column column(name, std::move(*values));
+      if (column.IsConstant()) continue;
+
+      // Stability: informative on both halves independently.
+      const double gain_a = SubsetInfoGain(column.values(), labels, half_a,
+                                           params_.info_gain_bins);
+      const double gain_b = SubsetInfoGain(column.values(), labels, half_b,
+                                           params_.info_gain_bins);
+      if (gain_a <= params_.stability_info_gain ||
+          gain_b <= params_.stability_info_gain) {
+        continue;
+      }
+      Scored scored;
+      scored.info_gain = 0.5 * (gain_a + gain_b);
+      scored.column = std::move(column);
+      scored.feature.name = name;
+      scored.feature.op = op.name();
+      scored.feature.parents = {a.name(), b.name()};
+      scored.feature.params = std::move(*op_params);
+      kept.push_back(std::move(scored));
+    }
+  }
+
+  // ---------------------------------------------- step 3: rank and cap
+  // Original features compete with constructed ones by information gain,
+  // as in every Section V method (output <= 2M).
+  struct Ranked {
+    double info_gain;
+    std::string name;
+    const GeneratedFeature* feature;  // nullptr = original
+  };
+  std::vector<Ranked> ranked;
+  for (size_t c = 0; c < m; ++c) {
+    ranked.push_back({BinnedInformationGain(train.x.column(c).values(),
+                                            labels, params_.info_gain_bins),
+                      train.x.column(c).name(), nullptr});
+  }
+  for (const auto& scored : kept) {
+    ranked.push_back({scored.info_gain, scored.feature.name,
+                      &scored.feature});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     return a.info_gain > b.info_gain;
+                   });
+  if (ranked.size() > max_output) ranked.resize(max_output);
+
+  std::vector<std::string> selected;
+  std::vector<GeneratedFeature> generated;
+  for (const auto& entry : ranked) {
+    selected.push_back(entry.name);
+    if (entry.feature != nullptr) generated.push_back(*entry.feature);
+  }
+  return FeaturePlan::Create(train.x.ColumnNames(), std::move(generated),
+                             std::move(selected));
+}
+
+}  // namespace baselines
+}  // namespace safe

@@ -1,0 +1,216 @@
+#include "src/baselines/fctree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/random.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/entropy.h"
+
+namespace safe {
+namespace baselines {
+
+namespace {
+
+/// One materialized candidate feature (original or constructed).
+struct CandidateColumn {
+  Column column;
+  bool is_generated = false;
+  GeneratedFeature feature;
+};
+
+/// Information gain of splitting `rows` of `values` at `threshold`.
+double SplitInfoGain(const std::vector<double>& values,
+                     const std::vector<double>& labels,
+                     const std::vector<size_t>& rows, double threshold) {
+  PartitionCell left;
+  PartitionCell right;
+  PartitionCell missing;
+  for (size_t r : rows) {
+    const double v = values[r];
+    PartitionCell& cell =
+        std::isnan(v) ? missing : (v <= threshold ? left : right);
+    cell.total += 1;
+    if (labels[r] > 0.5) cell.positives += 1;
+  }
+  return InformationGain({left, right, missing});
+}
+
+}  // namespace
+
+Result<FeaturePlan> FcTreeEngineer::FitPlan(const Dataset& train,
+                                            const Dataset* valid) {
+  (void)valid;
+  if (train.num_rows() == 0 || train.x.num_columns() == 0) {
+    return Status::InvalidArgument("fctree: empty training data");
+  }
+  std::vector<std::shared_ptr<const Operator>> operators;
+  for (const auto& name : params_.operator_names) {
+    SAFE_ASSIGN_OR_RETURN(auto op, registry_.Find(name));
+    if (op->arity() != 2) {
+      return Status::InvalidArgument(
+          "fctree: only binary operators are supported, got '" + name + "'");
+    }
+    operators.push_back(std::move(op));
+  }
+  if (operators.empty()) {
+    return Status::InvalidArgument("fctree: no operators");
+  }
+
+  const size_t orig_m = train.x.num_columns();
+  const size_t max_output = params_.max_output_features > 0
+                                ? params_.max_output_features
+                                : 2 * orig_m;
+  const auto& labels = train.labels();
+  Rng rng(params_.seed);
+
+  // Candidate store: originals first, constructed appended per level.
+  std::vector<CandidateColumn> candidates;
+  candidates.reserve(orig_m + params_.ne * params_.max_depth);
+  std::unordered_set<std::string> known_names;
+  for (const auto& col : train.x.columns()) {
+    CandidateColumn candidate;
+    candidate.column = col;
+    candidates.push_back(std::move(candidate));
+    known_names.insert(col.name());
+  }
+
+  auto inject_level_candidates = [&]() {
+    for (size_t attempt = 0, added = 0;
+         added < params_.ne && attempt < params_.ne * 20; ++attempt) {
+      const size_t a = rng.NextUint64Below(orig_m);
+      size_t b = rng.NextUint64Below(orig_m);
+      if (orig_m > 1) {
+        while (b == a) b = rng.NextUint64Below(orig_m);
+      }
+      const auto& op = operators[rng.NextUint64Below(operators.size())];
+      const Column& ca = train.x.column(a);
+      const Column& cb = train.x.column(b);
+      const std::string name =
+          "(" + ca.name() + op->symbol() + cb.name() + ")";
+      if (known_names.count(name)) continue;
+      auto op_params = op->FitParams({&ca.values(), &cb.values()});
+      if (!op_params.ok()) continue;
+      auto values = ApplyOperator(*op, *op_params, {&ca.values(), &cb.values()});
+      if (!values.ok()) continue;
+      Column column(name, std::move(*values));
+      if (column.IsConstant()) continue;
+      CandidateColumn candidate;
+      candidate.column = std::move(column);
+      candidate.is_generated = true;
+      candidate.feature.name = name;
+      candidate.feature.op = op->name();
+      candidate.feature.parents = {ca.name(), cb.name()};
+      candidate.feature.params = std::move(*op_params);
+      candidates.push_back(std::move(candidate));
+      known_names.insert(name);
+      ++added;
+    }
+  };
+
+  // Level-order tree construction; we only need the split decisions.
+  std::unordered_set<size_t> chosen_constructed;  // candidate indices
+  {
+    std::vector<size_t> all_rows(train.num_rows());
+    for (size_t r = 0; r < all_rows.size(); ++r) all_rows[r] = r;
+    std::vector<std::vector<size_t>> current_level;
+    current_level.push_back(std::move(all_rows));
+
+    for (size_t depth = 0;
+         depth < params_.max_depth && !current_level.empty(); ++depth) {
+      inject_level_candidates();
+      std::vector<std::vector<size_t>> next_level;
+      for (auto& rows : current_level) {
+        if (rows.size() < params_.min_node_size) continue;
+        // Pure node?
+        size_t positives = 0;
+        for (size_t r : rows) {
+          if (labels[r] > 0.5) ++positives;
+        }
+        if (positives == 0 || positives == rows.size()) continue;
+
+        double best_gain = 1e-12;
+        size_t best_candidate = 0;
+        double best_threshold = 0.0;
+        bool found = false;
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          const auto& values = candidates[c].column.values();
+          // Candidate thresholds: node-local quantiles.
+          std::vector<double> node_values;
+          node_values.reserve(rows.size());
+          for (size_t r : rows) {
+            if (!std::isnan(values[r])) node_values.push_back(values[r]);
+          }
+          if (node_values.size() < 2) continue;
+          for (size_t t = 1; t <= params_.thresholds_per_split; ++t) {
+            const double q = static_cast<double>(t) /
+                             (static_cast<double>(params_.thresholds_per_split) +
+                              1.0);
+            const double threshold = Quantile(node_values, q);
+            const double gain =
+                SplitInfoGain(values, labels, rows, threshold);
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_candidate = c;
+              best_threshold = threshold;
+              found = true;
+            }
+          }
+        }
+        if (!found) continue;
+        if (candidates[best_candidate].is_generated) {
+          chosen_constructed.insert(best_candidate);
+        }
+        // Partition into children for the next level.
+        const auto& values = candidates[best_candidate].column.values();
+        std::vector<size_t> left;
+        std::vector<size_t> right;
+        for (size_t r : rows) {
+          const double v = values[r];
+          (!std::isnan(v) && v <= best_threshold ? left : right)
+              .push_back(r);
+        }
+        if (!left.empty() && !right.empty()) {
+          next_level.push_back(std::move(left));
+          next_level.push_back(std::move(right));
+        }
+      }
+      current_level = std::move(next_level);
+    }
+  }
+
+  // Output pool: originals + chosen constructed, ranked by info gain and
+  // capped (paper Section V-A1).
+  struct Ranked {
+    double info_gain;
+    const CandidateColumn* candidate;
+  };
+  std::vector<Ranked> ranked;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (candidates[c].is_generated && !chosen_constructed.count(c)) continue;
+    ranked.push_back(
+        {BinnedInformationGain(candidates[c].column.values(), labels,
+                               params_.info_gain_bins),
+         &candidates[c]});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     return a.info_gain > b.info_gain;
+                   });
+  if (ranked.size() > max_output) ranked.resize(max_output);
+
+  std::vector<std::string> selected;
+  std::vector<GeneratedFeature> generated;
+  for (const auto& entry : ranked) {
+    selected.push_back(entry.candidate->column.name());
+    if (entry.candidate->is_generated) {
+      generated.push_back(entry.candidate->feature);
+    }
+  }
+  return FeaturePlan::Create(train.x.ColumnNames(), std::move(generated),
+                             std::move(selected));
+}
+
+}  // namespace baselines
+}  // namespace safe

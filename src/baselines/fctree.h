@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/baselines/feature_engineer.h"
+#include "src/core/operators.h"
+
+namespace safe {
+namespace baselines {
+
+/// \brief Parameters of the FCTree baseline [Fan et al., SDM 2010].
+struct FcTreeParams {
+  /// Constructed-feature candidates injected at each tree level (the
+  /// paper's n_e).
+  size_t ne = 20;
+  size_t max_depth = 10;
+  size_t min_node_size = 10;
+  /// Candidate thresholds evaluated per feature per node (the original
+  /// FCTree scans every cut point; 32 quantiles approximates that).
+  size_t thresholds_per_split = 32;
+  std::vector<std::string> operator_names = {"add", "sub", "mul", "div"};
+  /// Final output cap; 0 = 2·M (paper Section V-A1: FCTree's features are
+  /// "reduced to 2M according to information gain").
+  size_t max_output_features = 0;
+  /// Equal-frequency bins for the final information-gain ranking.
+  size_t info_gain_bins = 10;
+  uint64_t seed = 42;
+};
+
+/// \brief FCTree: decision-tree-guided feature construction.
+///
+/// Builds an information-gain decision tree; at each level it injects
+/// `ne` randomly constructed candidate features (random operator applied
+/// to a random original pair). Constructed features actually chosen as
+/// split features are the method's output, combined with the original
+/// features and reduced to the output cap by information gain.
+class FcTreeEngineer : public FeatureEngineer {
+ public:
+  explicit FcTreeEngineer(
+      FcTreeParams params,
+      OperatorRegistry registry = OperatorRegistry::Arithmetic())
+      : params_(std::move(params)), registry_(std::move(registry)) {}
+
+  Result<FeaturePlan> FitPlan(const Dataset& train,
+                              const Dataset* valid) override;
+  std::string name() const override { return "FCT"; }
+
+ private:
+  FcTreeParams params_;
+  OperatorRegistry registry_;
+};
+
+}  // namespace baselines
+}  // namespace safe

@@ -1,0 +1,53 @@
+#include "src/baselines/feature_engineer.h"
+
+namespace safe {
+namespace baselines {
+
+Result<FeaturePlan> OrigEngineer::FitPlan(const Dataset& train,
+                                          const Dataset* valid) {
+  (void)valid;
+  if (train.x.num_columns() == 0) {
+    return Status::InvalidArgument("orig: empty training data");
+  }
+  const auto names = train.x.ColumnNames();
+  return FeaturePlan::Create(names, {}, names);
+}
+
+Result<FeaturePlan> SafeEngineer::FitPlan(const Dataset& train,
+                                          const Dataset* valid) {
+  SAFE_ASSIGN_OR_RETURN(SafeFitResult result, engine_.Fit(train, valid));
+  last_diagnostics_ = std::move(result.iterations);
+  return std::move(result.plan);
+}
+
+std::string SafeEngineer::name() const {
+  switch (engine_.params().strategy) {
+    case MiningStrategy::kTreePaths:
+      return "SAFE";
+    case MiningStrategy::kRandomPairs:
+      return "RAND";
+    case MiningStrategy::kSplitFeaturePairs:
+      return "IMP";
+    case MiningStrategy::kNonSplitPairs:
+      return "NONSPLIT";
+  }
+  return "?";
+}
+
+std::unique_ptr<FeatureEngineer> MakeSafe(SafeParams params) {
+  params.strategy = MiningStrategy::kTreePaths;
+  return std::make_unique<SafeEngineer>(std::move(params));
+}
+
+std::unique_ptr<FeatureEngineer> MakeRand(SafeParams params) {
+  params.strategy = MiningStrategy::kRandomPairs;
+  return std::make_unique<SafeEngineer>(std::move(params));
+}
+
+std::unique_ptr<FeatureEngineer> MakeImp(SafeParams params) {
+  params.strategy = MiningStrategy::kSplitFeaturePairs;
+  return std::make_unique<SafeEngineer>(std::move(params));
+}
+
+}  // namespace baselines
+}  // namespace safe

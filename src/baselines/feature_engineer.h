@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/core/engine.h"
+#include "src/core/feature_plan.h"
+#include "src/dataframe/dataframe.h"
+
+namespace safe {
+namespace baselines {
+
+/// \brief Uniform interface over every automatic-feature-engineering
+/// method the paper compares (Section V-A1): ORIG, FCTree, TFC, RAND,
+/// IMP and SAFE. Each learns a FeaturePlan so the evaluation harness
+/// treats them identically.
+class FeatureEngineer {
+ public:
+  virtual ~FeatureEngineer() = default;
+
+  /// Learns Ψ from training data (valid optional).
+  virtual Result<FeaturePlan> FitPlan(const Dataset& train,
+                                      const Dataset* valid) = 0;
+
+  /// Method abbreviation as in the paper's tables ("SAFE", "FCT", ...).
+  virtual std::string name() const = 0;
+};
+
+/// \brief ORIG: the identity plan — original features, untouched.
+class OrigEngineer : public FeatureEngineer {
+ public:
+  Result<FeaturePlan> FitPlan(const Dataset& train,
+                              const Dataset* valid) override;
+  std::string name() const override { return "ORIG"; }
+};
+
+/// \brief Adapter running SafeEngine under a given mining strategy:
+/// kTreePaths = SAFE, kRandomPairs = RAND, kSplitFeaturePairs = IMP.
+class SafeEngineer : public FeatureEngineer {
+ public:
+  explicit SafeEngineer(SafeParams params)
+      : engine_(std::move(params)) {}
+  SafeEngineer(SafeParams params, OperatorRegistry registry)
+      : engine_(std::move(params), std::move(registry)) {}
+
+  Result<FeaturePlan> FitPlan(const Dataset& train,
+                              const Dataset* valid) override;
+  std::string name() const override;
+
+  /// Diagnostics of the last FitPlan call.
+  const std::vector<IterationDiagnostics>& last_diagnostics() const {
+    return last_diagnostics_;
+  }
+
+ private:
+  SafeEngine engine_;
+  std::vector<IterationDiagnostics> last_diagnostics_;
+};
+
+/// Convenience factories matching the paper's method names.
+std::unique_ptr<FeatureEngineer> MakeSafe(SafeParams params);
+std::unique_ptr<FeatureEngineer> MakeRand(SafeParams params);
+std::unique_ptr<FeatureEngineer> MakeImp(SafeParams params);
+
+}  // namespace baselines
+}  // namespace safe

@@ -1,0 +1,160 @@
+#include "src/baselines/tfc.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/stats/entropy.h"
+
+namespace safe {
+namespace baselines {
+
+namespace {
+
+/// A scored candidate held in the streaming top-k pool.
+struct ScoredCandidate {
+  double info_gain = 0.0;
+  Column column;
+  GeneratedFeature feature;  // empty op for pool columns carried over
+  bool is_generated = false;
+
+  bool operator<(const ScoredCandidate& other) const {
+    return info_gain > other.info_gain;  // min-heap via greater-than
+  }
+};
+
+}  // namespace
+
+Result<FeaturePlan> TfcEngineer::FitPlan(const Dataset& train,
+                                         const Dataset* valid) {
+  (void)valid;
+  if (train.num_rows() == 0 || train.x.num_columns() == 0) {
+    return Status::InvalidArgument("tfc: empty training data");
+  }
+  if (params_.num_iterations == 0) {
+    return Status::InvalidArgument("tfc: num_iterations must be > 0");
+  }
+  std::vector<std::shared_ptr<const Operator>> operators;
+  for (const auto& name : params_.operator_names) {
+    SAFE_ASSIGN_OR_RETURN(auto op, registry_.Find(name));
+    if (op->arity() != 2) {
+      return Status::InvalidArgument(
+          "tfc: only binary operators are supported, got '" + name + "'");
+    }
+    operators.push_back(std::move(op));
+  }
+  if (operators.empty()) {
+    return Status::InvalidArgument("tfc: no operators");
+  }
+
+  const size_t orig_m = train.x.num_columns();
+  const size_t max_output = params_.max_output_features > 0
+                                ? params_.max_output_features
+                                : 2 * orig_m;
+  const auto& labels = train.labels();
+
+  std::vector<Column> pool(train.x.columns());
+  std::vector<GeneratedFeature> all_generated;
+  std::unordered_set<std::string> known_names;
+  for (const auto& col : pool) known_names.insert(col.name());
+
+  for (size_t iter = 0; iter < params_.num_iterations; ++iter) {
+    const size_t m = pool.size();
+    // Exhaustive pair enumeration — the cost the paper's Eq. 8 describes.
+    size_t planned = m * (m - 1) / 2 * operators.size() * 2;
+    if (planned > params_.max_candidates) {
+      return Status::InvalidArgument(
+          "tfc: candidate space " + std::to_string(planned) +
+          " exceeds max_candidates (" +
+          std::to_string(params_.max_candidates) +
+          ") — this is TFC's documented scalability wall");
+    }
+
+    // Streaming top-k by information gain; pool columns compete too.
+    std::vector<ScoredCandidate> heap;
+    heap.reserve(max_output + 1);
+    auto push = [&](ScoredCandidate candidate) {
+      heap.push_back(std::move(candidate));
+      std::push_heap(heap.begin(), heap.end());
+      if (heap.size() > max_output) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.pop_back();
+      }
+    };
+
+    for (const auto& col : pool) {
+      ScoredCandidate candidate;
+      candidate.info_gain =
+          BinnedInformationGain(col.values(), labels, params_.info_gain_bins);
+      candidate.column = col;
+      push(std::move(candidate));
+    }
+
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        for (const auto& op : operators) {
+          const size_t orderings = op->commutative() ? 1 : 2;
+          for (size_t ordering = 0; ordering < orderings; ++ordering) {
+            const Column& a = pool[ordering == 0 ? i : j];
+            const Column& b = pool[ordering == 0 ? j : i];
+            std::string name = "(" + a.name() + op->symbol() + b.name() + ")";
+            if (known_names.count(name)) continue;
+            auto op_params = op->FitParams({&a.values(), &b.values()});
+            if (!op_params.ok()) continue;
+            auto values =
+                ApplyOperator(*op, *op_params, {&a.values(), &b.values()});
+            if (!values.ok()) continue;
+            Column column(name, std::move(*values));
+            if (column.IsConstant()) continue;
+            ScoredCandidate candidate;
+            candidate.info_gain = BinnedInformationGain(
+                column.values(), labels, params_.info_gain_bins);
+            candidate.column = std::move(column);
+            candidate.is_generated = true;
+            candidate.feature.name = name;
+            candidate.feature.op = op->name();
+            candidate.feature.parents = {a.name(), b.name()};
+            candidate.feature.params = std::move(*op_params);
+            push(std::move(candidate));
+          }
+        }
+      }
+    }
+
+    std::sort_heap(heap.begin(), heap.end());  // ascending by operator<
+    // operator< inverts, so sort_heap leaves descending info gain order.
+    std::vector<Column> next_pool;
+    for (auto& candidate : heap) {
+      if (candidate.is_generated) {
+        known_names.insert(candidate.feature.name);
+        all_generated.push_back(std::move(candidate.feature));
+      }
+      next_pool.push_back(std::move(candidate.column));
+    }
+    pool = std::move(next_pool);
+  }
+
+  std::vector<std::string> selected;
+  selected.reserve(pool.size());
+  for (const auto& col : pool) selected.push_back(col.name());
+
+  // Prune generated features not needed by the final pool.
+  std::unordered_set<std::string> needed(selected.begin(), selected.end());
+  std::vector<GeneratedFeature> pruned;
+  std::vector<char> keep(all_generated.size(), 0);
+  for (size_t g = all_generated.size(); g-- > 0;) {
+    if (needed.count(all_generated[g].name)) {
+      keep[g] = 1;
+      for (const auto& parent : all_generated[g].parents) {
+        needed.insert(parent);
+      }
+    }
+  }
+  for (size_t g = 0; g < all_generated.size(); ++g) {
+    if (keep[g]) pruned.push_back(std::move(all_generated[g]));
+  }
+  return FeaturePlan::Create(train.x.ColumnNames(), std::move(pruned),
+                             std::move(selected));
+}
+
+}  // namespace baselines
+}  // namespace safe

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/baselines/feature_engineer.h"
+#include "src/core/operators.h"
+
+namespace safe {
+namespace baselines {
+
+/// \brief Parameters of the TFC baseline [Piramuthu & Sikora 2009].
+struct TfcParams {
+  /// Outer iterations; each squares the effective combination space.
+  size_t num_iterations = 1;
+  std::vector<std::string> operator_names = {"add", "sub", "mul", "div"};
+  /// Pool size kept per iteration; 0 = 2·M (matching the paper's cap on
+  /// every method's output).
+  size_t max_output_features = 0;
+  /// Equal-frequency bins used to score candidates by information gain.
+  size_t info_gain_bins = 10;
+  /// Hard cap on candidate columns evaluated per iteration: TFC is the
+  /// paper's exhaustive-search strawman and blows up as O(M²·|O|); the
+  /// cap converts an OOM into a Status error.
+  size_t max_candidates = 2000000;
+};
+
+/// \brief TFC: exhaustive generation-selection (paper Section II).
+///
+/// Each iteration applies *every* operator to *every* feature pair of the
+/// current pool, scores all candidates by information gain against the
+/// label, and keeps the best `max_output_features` as the next pool.
+/// Candidates are scored streaming (generate → score → top-k heap), so
+/// memory stays O(pool), but time is still Θ(N·M²·|O|) — the complexity
+/// the paper contrasts SAFE against (Eq. 8).
+class TfcEngineer : public FeatureEngineer {
+ public:
+  explicit TfcEngineer(TfcParams params,
+                       OperatorRegistry registry = OperatorRegistry::Arithmetic())
+      : params_(std::move(params)), registry_(std::move(registry)) {}
+
+  Result<FeaturePlan> FitPlan(const Dataset& train,
+                              const Dataset* valid) override;
+  std::string name() const override { return "TFC"; }
+
+ private:
+  TfcParams params_;
+  OperatorRegistry registry_;
+};
+
+}  // namespace baselines
+}  // namespace safe

@@ -1,0 +1,58 @@
+#include "src/common/linalg.h"
+
+#include <cmath>
+
+namespace safe {
+
+Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,
+                                              std::vector<double> b) {
+  const size_t n = b.size();
+  if (a.size() != n * n) {
+    return Status::InvalidArgument("solve: A must be n*n for b of size n");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("solve: empty system");
+  }
+  // Forward elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double candidate = std::fabs(a[r * n + col]);
+      if (candidate > best) {
+        best = candidate;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::InvalidArgument("solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(a[col * n + c], a[pivot * n + c]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv_pivot = 1.0 / a[col * n + col];
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] * inv_pivot;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) {
+        a[r * n + c] -= factor * a[col * n + c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (size_t c = row + 1; c < n; ++c) {
+      sum -= a[row * n + c] * x[c];
+    }
+    x[row] = sum / a[row * n + row];
+  }
+  return x;
+}
+
+}  // namespace safe

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace safe {
+
+/// \brief Solves the dense linear system A·x = b by Gaussian elimination
+/// with partial pivoting. A is row-major n×n and is consumed (modified).
+/// Fails when the matrix is numerically singular.
+///
+/// Sized for the small systems this library needs (kernel-ridge landmark
+/// fits, n <= a few hundred); not a general-purpose LAPACK stand-in.
+Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,
+                                              std::vector<double> b);
+
+}  // namespace safe

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace safe {
+namespace internal {
+
+/// \brief Severity levels for the lightweight logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kFatal = 3 };
+
+/// \brief Stream-style log sink; flushes (and aborts for kFatal) on
+/// destruction. Used through the SAFE_LOG / SAFE_CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Global minimum level actually emitted (kFatal always emits).
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+}  // namespace internal
+}  // namespace safe
+
+#define SAFE_LOG_DEBUG                                            \
+  ::safe::internal::LogMessage(::safe::internal::LogLevel::kDebug, \
+                               __FILE__, __LINE__)
+#define SAFE_LOG_INFO                                            \
+  ::safe::internal::LogMessage(::safe::internal::LogLevel::kInfo, \
+                               __FILE__, __LINE__)
+#define SAFE_LOG_WARNING                                            \
+  ::safe::internal::LogMessage(::safe::internal::LogLevel::kWarning, \
+                               __FILE__, __LINE__)
+#define SAFE_LOG_FATAL                                            \
+  ::safe::internal::LogMessage(::safe::internal::LogLevel::kFatal, \
+                               __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Always on (release too):
+/// reserved for invariants whose violation would corrupt results.
+#define SAFE_CHECK(cond) \
+  if (!(cond)) SAFE_LOG_FATAL << "Check failed: " #cond " "
+
+#ifndef NDEBUG
+#define SAFE_DCHECK(cond) SAFE_CHECK(cond)
+#else
+#define SAFE_DCHECK(cond) \
+  if (false) SAFE_LOG_FATAL << ""
+#endif

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace safe {
+
+/// \brief Deterministic, platform-independent PRNG (xoshiro256**, seeded
+/// via SplitMix64).
+///
+/// std::mt19937 with std::*_distribution is not reproducible across
+/// standard libraries; every randomized component in this library takes an
+/// explicit seed and draws through Rng so results are bit-stable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) — bound must be > 0.
+  uint64_t NextUint64Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic pairing).
+  double NextGaussian();
+
+  /// Bernoulli with probability p of true.
+  bool NextBernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    if (values->empty()) return;
+    for (size_t i = values->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextUint64Below(i + 1));
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n). k is clamped to n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Forks an independent stream (seeded from this stream's output);
+  /// used to hand per-thread / per-tree RNGs deterministic seeds.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace safe

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/status.h"
+
+namespace safe {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result / absl::StatusOr. Accessing the value of an
+/// errored Result aborts (programming error), so callers must check ok()
+/// or use the SAFE_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    SAFE_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    SAFE_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    SAFE_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    SAFE_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace safe
+
+/// Propagates a non-OK Status from an expression.
+#define SAFE_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::safe::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define SAFE_CONCAT_IMPL(a, b) a##b
+#define SAFE_CONCAT(a, b) SAFE_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression yielding Result<T>; on error returns the Status,
+/// otherwise moves the value into `lhs` (which may include a declaration).
+#define SAFE_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  SAFE_ASSIGN_OR_RETURN_IMPL(SAFE_CONCAT(_safe_result_, __LINE__), lhs,   \
+                             rexpr)
+
+#define SAFE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = std::move(result_name).ValueOrDie()

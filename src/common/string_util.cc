@@ -1,0 +1,89 @@
+#include "src/common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace safe {
+
+std::vector<std::string> SplitString(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = StripWhitespace(s);
+  if (s.empty() || s == "NA" || s == "na" || s == "nan" || s == "NaN" ||
+      s == "?" || s == "null" || s == "NULL") {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double value = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("cannot parse double: '" +
+                                   std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt(std::string_view s) {
+  s = StripWhitespace(s);
+  int64_t value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("cannot parse int: '" + std::string(s) +
+                                   "'");
+  }
+  return value;
+}
+
+std::string FormatDouble(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatDoubleExact(double value) {
+  if (std::isnan(value)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace safe

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace safe {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Parses a double; "" / "NA" / "nan" / "?" parse as NaN (missing).
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses a base-10 integer.
+Result<int64_t> ParseInt(std::string_view s);
+
+/// Formats with `precision` significant decimal digits, no trailing-zero
+/// trimming (stable widths for table output).
+std::string FormatDouble(double value, int precision = 6);
+
+/// Round-trip-exact formatting (%.17g); model serialization uses this so
+/// thresholds equal to data values survive a save/load unchanged.
+std::string FormatDoubleExact(double value);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins parts with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+}  // namespace safe

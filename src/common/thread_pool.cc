@@ -1,0 +1,94 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace safe {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads_ = num_threads;
+  if (num_threads_ == 1) return;  // run inline, no workers
+  workers_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> fut = packaged.get_future();
+  if (num_threads_ == 1) {
+    packaged();
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool pool(0);
+  return &pool;
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t workers = pool ? pool->num_threads() : 1;
+  if (workers <= 1 || n == 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Static chunking: one contiguous block per worker keeps cache behaviour
+  // predictable for the column-major scans that dominate this library.
+  const size_t num_chunks = std::min(workers, n);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t lo = begin + c * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    futures.push_back(pool->Submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.wait();
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  ParallelFor(ThreadPool::Global(), begin, end, fn);
+}
+
+}  // namespace safe

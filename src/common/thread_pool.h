@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace safe {
+
+/// \brief Fixed-size thread pool with a shared FIFO queue.
+///
+/// The paper requires "most parts of the algorithm to be computed in
+/// parallel" (Section I); IV computation, the Pearson matrix, GBDT split
+/// search and the evaluation harness all fan out through this pool (via
+/// ParallelFor). With num_threads == 1 tasks run on the caller thread at
+/// Submit time, which keeps single-core machines overhead-free and
+/// execution deterministic.
+class ThreadPool {
+ public:
+  /// \param num_threads 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Enqueues a task; the future resolves when it has run.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Process-wide default pool (sized to hardware concurrency).
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  size_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// \brief Runs fn(i) for i in [begin, end) across the pool, blocking until
+/// all iterations finish. Exceptions in fn are not supported (the library
+/// is exception-free); fn must communicate failure through its captures.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+/// ParallelFor on the global pool.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace safe

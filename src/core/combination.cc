@@ -1,0 +1,135 @@
+#include "src/core/combination.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "src/common/thread_pool.h"
+#include "src/stats/entropy.h"
+
+namespace safe {
+
+namespace {
+
+/// Canonical key of a combination: its sorted feature list.
+using ComboKey = std::vector<int>;
+
+/// Enumerates all subsets of `features` with size in [1, max_arity],
+/// invoking fn(subset_indices) with indices into `features`.
+void ForEachSubset(size_t num_features, size_t max_arity,
+                   const std::function<void(const std::vector<size_t>&)>& fn) {
+  std::vector<size_t> subset;
+  // Iterative DFS enumerating ordered ascending index subsets.
+  std::function<void(size_t)> recurse = [&](size_t start) {
+    if (!subset.empty()) fn(subset);
+    if (subset.size() >= max_arity) return;
+    for (size_t i = start; i < num_features; ++i) {
+      subset.push_back(i);
+      recurse(i + 1);
+      subset.pop_back();
+    }
+  };
+  recurse(0);
+}
+
+}  // namespace
+
+std::vector<FeatureCombination> MineCombinations(
+    const std::vector<gbdt::TreePath>& paths,
+    const CombinationMinerOptions& options) {
+  std::map<ComboKey, std::map<int, std::set<double>>> merged;
+  size_t enumerated = 0;
+
+  for (const auto& path : paths) {
+    // Distinct features of this path, with their split values collected.
+    std::map<int, std::set<double>> path_features;
+    for (const auto& step : path) {
+      path_features[step.feature].insert(step.threshold);
+    }
+    std::vector<int> features;
+    features.reserve(path_features.size());
+    for (const auto& [feature, values] : path_features) {
+      features.push_back(feature);
+    }
+
+    ForEachSubset(
+        features.size(), options.max_arity,
+        [&](const std::vector<size_t>& subset) {
+          if (enumerated >= options.max_combinations) return;
+          ComboKey key;
+          key.reserve(subset.size());
+          for (size_t i : subset) key.push_back(features[i]);
+          auto& slot = merged[key];
+          for (int f : key) {
+            slot[f].insert(path_features[f].begin(), path_features[f].end());
+          }
+          ++enumerated;
+        });
+    if (enumerated >= options.max_combinations) break;
+  }
+
+  std::vector<FeatureCombination> out;
+  out.reserve(merged.size());
+  for (auto& [key, value_sets] : merged) {
+    FeatureCombination combo;
+    combo.features = key;
+    for (int f : key) {
+      const auto& values = value_sets[f];
+      combo.split_values.emplace_back(values.begin(), values.end());
+    }
+    out.push_back(std::move(combo));
+  }
+  return out;
+}
+
+std::vector<FeatureCombination> RankCombinations(
+    std::vector<FeatureCombination> combinations, const DataFrame& x,
+    const std::vector<double>& labels, size_t gamma) {
+  ParallelFor(0, combinations.size(), [&](size_t i) {
+    FeatureCombination& combo = combinations[i];
+    // Cell layout: per feature, |V|+1 value intervals plus a missing slot.
+    size_t num_cells = 1;
+    std::vector<size_t> strides(combo.features.size());
+    for (size_t f = 0; f < combo.features.size(); ++f) {
+      strides[f] = num_cells;
+      num_cells *= combo.split_values[f].size() + 2;
+    }
+    if (num_cells > 1000000) {
+      combo.gain_ratio = 0.0;  // degenerate: too fragmented to score
+      return;
+    }
+    std::vector<PartitionCell> cells(num_cells);
+    for (size_t r = 0; r < x.num_rows(); ++r) {
+      size_t cell = 0;
+      for (size_t f = 0; f < combo.features.size(); ++f) {
+        const double v =
+            x.column(static_cast<size_t>(combo.features[f]))[r];
+        const auto& splits = combo.split_values[f];
+        size_t slot;
+        if (std::isnan(v)) {
+          slot = splits.size() + 1;
+        } else {
+          slot = static_cast<size_t>(
+              std::lower_bound(splits.begin(), splits.end(), v) -
+              splits.begin());
+        }
+        cell += slot * strides[f];
+      }
+      cells[cell].total += 1;
+      if (labels[r] > 0.5) cells[cell].positives += 1;
+    }
+    combo.gain_ratio = InformationGainRatio(cells);
+  });
+
+  std::stable_sort(combinations.begin(), combinations.end(),
+                   [](const FeatureCombination& a,
+                      const FeatureCombination& b) {
+                     return a.gain_ratio > b.gain_ratio;
+                   });
+  if (gamma > 0 && combinations.size() > gamma) {
+    combinations.resize(gamma);
+  }
+  return combinations;
+}
+
+}  // namespace safe

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/dataframe/dataframe.h"
+#include "src/gbdt/tree.h"
+
+namespace safe {
+
+/// \brief A candidate feature combination mined from GBDT paths: the
+/// parent feature indices plus, per feature, the split values observed
+/// for it (the paper's V_i sets — a feature can split several times).
+struct FeatureCombination {
+  std::vector<int> features;                      // sorted, distinct
+  std::vector<std::vector<double>> split_values;  // parallel to features
+  /// Information gain ratio assigned by CombinationRanker.
+  double gain_ratio = 0.0;
+};
+
+/// \brief Options for mining combinations out of tree paths.
+struct CombinationMinerOptions {
+  /// Largest combination size enumerated (the paper's experiments use
+  /// binary operators only, i.e. 2; ternary operators need 3).
+  size_t max_arity = 2;
+  /// Hard cap on enumerated combinations (guards pathological deep trees).
+  size_t max_combinations = 100000;
+};
+
+/// \brief Enumerates feature combinations of size 1..max_arity from the
+/// distinct features of each path (paper Eq. 4), de-duplicated across
+/// paths with split-value sets merged.
+std::vector<FeatureCombination> MineCombinations(
+    const std::vector<gbdt::TreePath>& paths,
+    const CombinationMinerOptions& options);
+
+/// \brief Scores combinations by information gain ratio (paper Alg. 2):
+/// the split features and values of a combination partition the records
+/// into Π(|V_i|+1) cells; the gain ratio of that partition is the score.
+/// Returns the top `gamma` combinations, sorted descending (all of them
+/// when gamma == 0). Missing feature values occupy a dedicated slot per
+/// feature.
+std::vector<FeatureCombination> RankCombinations(
+    std::vector<FeatureCombination> combinations, const DataFrame& x,
+    const std::vector<double>& labels, size_t gamma);
+
+}  // namespace safe

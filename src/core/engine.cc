@@ -1,0 +1,322 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "src/common/random.h"
+#include "src/common/stopwatch.h"
+#include "src/core/combination.h"
+#include "src/core/selection.h"
+#include "src/gbdt/booster.h"
+
+namespace safe {
+
+namespace {
+
+/// Builds the display name of a generated feature.
+std::string FeatureName(const Operator& op,
+                        const std::vector<std::string>& parents) {
+  if (op.arity() == 1) {
+    return op.name() + "(" + parents[0] + ")";
+  }
+  if (op.arity() == 2 && op.symbol().size() <= 2 &&
+      op.symbol() != op.name()) {
+    return "(" + parents[0] + op.symbol() + parents[1] + ")";
+  }
+  std::string out = op.name() + "(";
+  for (size_t i = 0; i < parents.size(); ++i) {
+    if (i > 0) out += ";";
+    out += parents[i];
+  }
+  out += ")";
+  return out;
+}
+
+/// Random distinct pairs drawn from `pool`, as FeatureCombinations without
+/// split values (RAND / IMP / non-split mining).
+std::vector<FeatureCombination> RandomPairs(const std::vector<int>& pool,
+                                            size_t count, Rng* rng) {
+  std::vector<FeatureCombination> out;
+  if (pool.size() < 2 || count == 0) return out;
+  std::set<std::pair<int, int>> seen;
+  const size_t max_distinct = pool.size() * (pool.size() - 1) / 2;
+  const size_t target = std::min(count, max_distinct);
+  size_t attempts = 0;
+  while (seen.size() < target && attempts < target * 50) {
+    ++attempts;
+    int a = pool[rng->NextUint64Below(pool.size())];
+    int b = pool[rng->NextUint64Below(pool.size())];
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (!seen.insert({a, b}).second) continue;
+  }
+  for (const auto& [a, b] : seen) {
+    FeatureCombination combo;
+    combo.features = {a, b};
+    combo.split_values = {{}, {}};
+    out.push_back(std::move(combo));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
+                                      const Dataset* valid) const {
+  if (train.num_rows() == 0 || train.x.num_columns() == 0) {
+    return Status::InvalidArgument("safe: empty training data");
+  }
+  if (train.y == nullptr || train.y->size() != train.num_rows()) {
+    return Status::InvalidArgument("safe: label size mismatch");
+  }
+  if (params_.num_iterations == 0) {
+    return Status::InvalidArgument("safe: num_iterations must be > 0");
+  }
+  if (params_.max_arity < 1 || params_.max_arity > 3) {
+    return Status::InvalidArgument("safe: max_arity must be 1..3");
+  }
+  if (params_.iv_bins < 2) {
+    return Status::InvalidArgument("safe: iv_bins must be >= 2");
+  }
+  // Resolve operators up front so a typo fails fast.
+  std::vector<std::shared_ptr<const Operator>> operators;
+  for (const auto& name : params_.operator_names) {
+    SAFE_ASSIGN_OR_RETURN(auto op, registry_.Find(name));
+    if (op->arity() > params_.max_arity) continue;
+    operators.push_back(std::move(op));
+  }
+  if (operators.empty()) {
+    return Status::InvalidArgument(
+        "safe: no usable operators (check names and max_arity)");
+  }
+
+  const size_t orig_m = train.x.num_columns();
+  const size_t gamma =
+      params_.gamma > 0 ? params_.gamma
+                        : std::min<size_t>(4 * orig_m, 1000);
+  const size_t max_output =
+      params_.max_output_features > 0 ? params_.max_output_features
+                                      : 2 * orig_m;
+
+  Stopwatch total_watch;
+  Rng rng(params_.seed);
+
+  Dataset current = train;
+  Dataset current_valid;
+  const bool has_valid = valid != nullptr && valid->num_rows() > 0;
+  if (has_valid) {
+    if (valid->x.num_columns() != orig_m) {
+      return Status::InvalidArgument("safe: valid column count mismatch");
+    }
+    current_valid = *valid;
+  }
+
+  std::vector<GeneratedFeature> all_generated;
+  std::unordered_set<std::string> known_names;
+  for (const auto& name : train.x.ColumnNames()) known_names.insert(name);
+
+  SafeFitResult result;
+
+  for (size_t iter = 0; iter < params_.num_iterations; ++iter) {
+    if (total_watch.ElapsedSeconds() >= params_.time_budget_seconds &&
+        iter > 0) {
+      break;
+    }
+    Stopwatch iter_watch;
+    IterationDiagnostics diag;
+
+    // -------------------------------------------------- mine combinations
+    std::vector<FeatureCombination> combos;
+    if (params_.strategy == MiningStrategy::kTreePaths ||
+        params_.strategy == MiningStrategy::kSplitFeaturePairs ||
+        params_.strategy == MiningStrategy::kNonSplitPairs) {
+      gbdt::GbdtParams miner_params = params_.miner;
+      miner_params.seed = rng.NextUint64();
+      SAFE_ASSIGN_OR_RETURN(
+          gbdt::Booster miner,
+          gbdt::Booster::Fit(current, has_valid ? &current_valid : nullptr,
+                             miner_params));
+      if (params_.strategy == MiningStrategy::kTreePaths) {
+        const auto paths = miner.ExtractAllPaths();
+        diag.num_paths = paths.size();
+        CombinationMinerOptions options;
+        options.max_arity = params_.max_arity;
+        combos = MineCombinations(paths, options);
+        combos = RankCombinations(combos, current.x, current.labels(), gamma);
+      } else {
+        std::vector<int> pool;
+        if (params_.strategy == MiningStrategy::kSplitFeaturePairs) {
+          pool = miner.SplitFeatures();
+        } else {
+          const auto split = miner.SplitFeatures();
+          std::set<int> split_set(split.begin(), split.end());
+          for (size_t c = 0; c < current.x.num_columns(); ++c) {
+            if (!split_set.count(static_cast<int>(c))) {
+              pool.push_back(static_cast<int>(c));
+            }
+          }
+          if (pool.size() < 2) {
+            // Everything splits: fall back to the full pool (keeps the
+            // ablation runnable on tiny frames).
+            pool.clear();
+            for (size_t c = 0; c < current.x.num_columns(); ++c) {
+              pool.push_back(static_cast<int>(c));
+            }
+          }
+        }
+        combos = RandomPairs(pool, gamma, &rng);
+      }
+    } else {  // kRandomPairs
+      std::vector<int> pool;
+      for (size_t c = 0; c < current.x.num_columns(); ++c) {
+        pool.push_back(static_cast<int>(c));
+      }
+      combos = RandomPairs(pool, gamma, &rng);
+    }
+    diag.num_combinations = combos.size();
+
+    // -------------------------------------------------- generate features
+    std::vector<GeneratedFeature> iteration_features;
+    DataFrame generated_train;
+    DataFrame generated_valid;
+    for (const auto& combo : combos) {
+      for (const auto& op : operators) {
+        if (op->arity() != combo.features.size()) continue;
+        // Non-commutative operators act once per ordering (paper treats
+        // "÷" as two operators). Ternary orderings stay at identity to
+        // bound blow-up.
+        std::vector<std::vector<int>> orderings;
+        orderings.push_back(combo.features);
+        if (!op->commutative() && combo.features.size() == 2) {
+          orderings.push_back({combo.features[1], combo.features[0]});
+        }
+        for (const auto& ordering : orderings) {
+          std::vector<std::string> parent_names;
+          std::vector<const std::vector<double>*> train_parents;
+          std::vector<const std::vector<double>*> valid_parents;
+          for (int f : ordering) {
+            const auto& col = current.x.column(static_cast<size_t>(f));
+            parent_names.push_back(col.name());
+            train_parents.push_back(&col.values());
+            if (has_valid) {
+              valid_parents.push_back(
+                  &current_valid.x.column(static_cast<size_t>(f)).values());
+            }
+          }
+          const std::string name = FeatureName(*op, parent_names);
+          if (known_names.count(name)) continue;
+
+          auto params_result = op->FitParams(train_parents);
+          if (!params_result.ok()) continue;  // unfittable on this data
+          auto values_result =
+              ApplyOperator(*op, *params_result, train_parents);
+          if (!values_result.ok()) continue;
+          Column column(name, std::move(*values_result));
+          if (column.IsConstant()) continue;  // carries no information
+          if (column.CountMissing() == column.size()) continue;
+
+          if (has_valid) {
+            auto valid_values =
+                ApplyOperator(*op, *params_result, valid_parents);
+            if (!valid_values.ok()) continue;
+            SAFE_RETURN_NOT_OK(generated_valid.AddColumn(
+                Column(name, std::move(*valid_values))));
+          }
+          SAFE_RETURN_NOT_OK(generated_train.AddColumn(std::move(column)));
+          known_names.insert(name);
+          GeneratedFeature feature;
+          feature.name = name;
+          feature.op = op->name();
+          feature.parents = parent_names;
+          feature.params = std::move(*params_result);
+          iteration_features.push_back(std::move(feature));
+        }
+      }
+    }
+    diag.num_generated = generated_train.num_columns();
+
+    // -------------------------------------------------- candidate pool
+    SAFE_ASSIGN_OR_RETURN(DataFrame candidate_frame,
+                          current.x.Concat(generated_train));
+    diag.num_candidates = candidate_frame.num_columns();
+    Dataset candidates;
+    candidates.x = std::move(candidate_frame);
+    candidates.y = current.y;
+
+    // -------------------------------------------------- Alg. 3: IV filter
+    const std::vector<double> ivs =
+        ComputeIvs(candidates.x, candidates.labels(), params_.iv_bins);
+    std::vector<size_t> after_iv =
+        IvFilterIndices(ivs, params_.iv_threshold);
+    if (after_iv.empty()) {
+      // Degenerate task (no feature clears α): fall back to every
+      // candidate so the pipeline still emits a usable feature set.
+      after_iv.resize(candidates.x.num_columns());
+      for (size_t c = 0; c < after_iv.size(); ++c) after_iv[c] = c;
+    }
+    diag.num_after_iv = after_iv.size();
+
+    // -------------------------------------------------- Alg. 4: redundancy
+    std::vector<size_t> after_redundancy = RedundancyFilterIndices(
+        candidates.x, ivs, after_iv, params_.pearson_threshold);
+    diag.num_after_redundancy = after_redundancy.size();
+
+    // -------------------------------------------------- importance ranking
+    gbdt::GbdtParams ranker_params = params_.ranker;
+    ranker_params.seed = rng.NextUint64();
+    SAFE_ASSIGN_OR_RETURN(
+        std::vector<size_t> selected,
+        ImportanceRankIndices(candidates, after_redundancy, ivs,
+                              ranker_params, max_output));
+    if (selected.empty()) {
+      return Status::Internal("safe: selection produced no features");
+    }
+    diag.num_selected = selected.size();
+
+    // -------------------------------------------------- next iteration
+    SAFE_ASSIGN_OR_RETURN(DataFrame next_train,
+                          candidates.x.Select(selected));
+    current.x = std::move(next_train);
+    if (has_valid) {
+      SAFE_ASSIGN_OR_RETURN(DataFrame valid_candidates,
+                            current_valid.x.Concat(generated_valid));
+      SAFE_ASSIGN_OR_RETURN(DataFrame next_valid,
+                            valid_candidates.Select(selected));
+      current_valid.x = std::move(next_valid);
+    }
+    all_generated.insert(all_generated.end(),
+                         std::make_move_iterator(iteration_features.begin()),
+                         std::make_move_iterator(iteration_features.end()));
+
+    diag.seconds = iter_watch.ElapsedSeconds();
+    result.iterations.push_back(diag);
+  }
+
+  // Prune generated features the final selection does not need
+  // (transitively), so inference pays only for what Ψ outputs.
+  const std::vector<std::string> selected_names = current.x.ColumnNames();
+  std::unordered_set<std::string> needed(selected_names.begin(),
+                                         selected_names.end());
+  std::vector<char> keep(all_generated.size(), 0);
+  for (size_t g = all_generated.size(); g-- > 0;) {
+    if (needed.count(all_generated[g].name)) {
+      keep[g] = 1;
+      for (const auto& parent : all_generated[g].parents) {
+        needed.insert(parent);
+      }
+    }
+  }
+  std::vector<GeneratedFeature> pruned;
+  for (size_t g = 0; g < all_generated.size(); ++g) {
+    if (keep[g]) pruned.push_back(std::move(all_generated[g]));
+  }
+
+  SAFE_ASSIGN_OR_RETURN(
+      result.plan, FeaturePlan::Create(train.x.ColumnNames(),
+                                       std::move(pruned), selected_names));
+  return result;
+}
+
+}  // namespace safe

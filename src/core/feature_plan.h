@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/operators.h"
+#include "src/dataframe/dataframe.h"
+
+namespace safe {
+
+/// \brief One constructed feature: an operator applied to named parents,
+/// plus any parameters the operator learned at fit time.
+///
+/// Parents refer to original columns or to earlier entries of the plan
+/// (iteration > 1 can build on iteration 1's outputs), so entries form a
+/// DAG linearized in creation order.
+struct GeneratedFeature {
+  std::string name;                  // e.g. "(f3/f7)"
+  std::string op;                    // operator registry name
+  std::vector<std::string> parents;  // input column names
+  std::vector<double> params;        // operator-fitted parameters
+};
+
+/// \brief The learned feature-generation function Ψ : X → Z (paper Eq. 1).
+///
+/// A FeaturePlan is a pure value: it records the input schema, every
+/// generated feature in dependency order, and which columns the selection
+/// stage kept. It serializes to a line-oriented text format, transforms
+/// whole DataFrames for batch scoring, and transforms single rows for the
+/// paper's real-time inference requirement.
+class FeaturePlan {
+ public:
+  FeaturePlan() = default;
+
+  /// \param input_columns  schema the plan expects (original features).
+  /// \param generated      constructed features in dependency order.
+  /// \param selected       final output column names; each must be an
+  ///                       input column or a generated feature.
+  static Result<FeaturePlan> Create(std::vector<std::string> input_columns,
+                                    std::vector<GeneratedFeature> generated,
+                                    std::vector<std::string> selected);
+
+  /// Applies Ψ to a frame whose columns match the input schema (by name).
+  /// Output columns appear in `selected()` order.
+  Result<DataFrame> Transform(const DataFrame& x,
+                              const OperatorRegistry& registry) const;
+  Result<DataFrame> Transform(const DataFrame& x) const;
+
+  /// Applies Ψ to one dense row ordered like the input schema — the
+  /// real-time path: no frame materialization, O(plan size) work.
+  Result<std::vector<double>> TransformRow(
+      const std::vector<double>& row, const OperatorRegistry& registry) const;
+  Result<std::vector<double>> TransformRow(
+      const std::vector<double>& row) const;
+
+  const std::vector<std::string>& input_columns() const {
+    return input_columns_;
+  }
+  const std::vector<GeneratedFeature>& generated() const {
+    return generated_;
+  }
+  const std::vector<std::string>& selected() const { return selected_; }
+
+  /// How many selected outputs are generated (vs original) features.
+  size_t NumSelectedGenerated() const;
+
+  std::string Serialize() const;
+  static Result<FeaturePlan> Deserialize(const std::string& text);
+
+ private:
+  std::vector<std::string> input_columns_;
+  std::vector<GeneratedFeature> generated_;
+  std::vector<std::string> selected_;
+  // name -> slot in the evaluation workspace (inputs then generated).
+  std::vector<size_t> selected_slots_;
+  std::vector<std::vector<size_t>> parent_slots_;  // per generated feature
+};
+
+}  // namespace safe

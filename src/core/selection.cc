@@ -1,0 +1,101 @@
+#include "src/core/selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/thread_pool.h"
+#include "src/gbdt/booster.h"
+#include "src/stats/correlation.h"
+#include "src/stats/iv.h"
+
+namespace safe {
+
+std::vector<double> ComputeIvs(const DataFrame& x,
+                               const std::vector<double>& labels,
+                               size_t num_bins) {
+  std::vector<double> ivs(x.num_columns(), 0.0);
+  ParallelFor(0, x.num_columns(), [&](size_t c) {
+    auto iv = InformationValue(x.column(c).values(), labels, num_bins);
+    ivs[c] = iv.ok() ? *iv : 0.0;
+  });
+  return ivs;
+}
+
+std::vector<size_t> IvFilterIndices(const std::vector<double>& ivs,
+                                    double iv_threshold) {
+  std::vector<size_t> kept;
+  for (size_t c = 0; c < ivs.size(); ++c) {
+    if (ivs[c] > iv_threshold) kept.push_back(c);
+  }
+  return kept;
+}
+
+std::vector<size_t> RedundancyFilterIndices(
+    const DataFrame& x, const std::vector<double>& ivs,
+    const std::vector<size_t>& candidates, double pearson_threshold) {
+  // Descending IV, so the stronger of a redundant pair survives — the
+  // paper's Alg. 4 tie-break ("the feature with the smaller IV is
+  // removed").
+  std::vector<size_t> order = candidates;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ivs[a] > ivs[b];
+  });
+  std::vector<size_t> kept;
+  for (size_t candidate : order) {
+    bool redundant = false;
+    // The kept set is usually small; correlations computed lazily and in
+    // parallel across kept columns.
+    std::vector<char> hits(kept.size(), 0);
+    ParallelFor(0, kept.size(), [&](size_t k) {
+      const double r = PearsonCorrelation(
+          x.column(candidate).values(), x.column(kept[k]).values());
+      if (std::fabs(r) > pearson_threshold) hits[k] = 1;
+    });
+    for (char hit : hits) {
+      if (hit) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) kept.push_back(candidate);
+  }
+  return kept;
+}
+
+Result<std::vector<size_t>> ImportanceRankIndices(
+    const Dataset& train, const std::vector<size_t>& candidates,
+    const std::vector<double>& ivs, const gbdt::GbdtParams& params,
+    size_t max_output) {
+  if (candidates.empty()) return std::vector<size_t>{};
+  SAFE_ASSIGN_OR_RETURN(DataFrame candidate_frame,
+                        train.x.Select(candidates));
+  Dataset candidate_train;
+  candidate_train.x = std::move(candidate_frame);
+  candidate_train.y = train.y;
+
+  SAFE_ASSIGN_OR_RETURN(gbdt::Booster ranker,
+                        gbdt::Booster::Fit(candidate_train, nullptr, params));
+
+  const auto importances = ranker.FeatureImportances();
+  std::vector<char> ranked(candidates.size(), 0);
+  std::vector<size_t> out;
+  for (const auto& imp : importances) {
+    out.push_back(candidates[static_cast<size_t>(imp.feature)]);
+    ranked[static_cast<size_t>(imp.feature)] = 1;
+  }
+  // Unsplit candidates follow, ordered by IV: the ranker's trees are
+  // finite, and an unsplit feature is unranked, not worthless.
+  std::vector<size_t> rest;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!ranked[i]) rest.push_back(candidates[i]);
+  }
+  std::stable_sort(rest.begin(), rest.end(), [&](size_t a, size_t b) {
+    return ivs[a] > ivs[b];
+  });
+  out.insert(out.end(), rest.begin(), rest.end());
+
+  if (max_output > 0 && out.size() > max_output) out.resize(max_output);
+  return out;
+}
+
+}  // namespace safe

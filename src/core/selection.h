@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dataframe/dataframe.h"
+#include "src/gbdt/params.h"
+
+namespace safe {
+
+/// \brief The three-step selection pipeline of paper Section IV-C,
+/// exposed as free functions so the RAND/IMP comparison baselines can
+/// reuse it verbatim (Section V-A1).
+
+/// Step 1 (Alg. 3): Information Values of every column, over `num_bins`
+/// equal-frequency bins. Columns whose IV cannot be computed (constant,
+/// all-missing) score 0.
+std::vector<double> ComputeIvs(const DataFrame& x,
+                               const std::vector<double>& labels,
+                               size_t num_bins);
+
+/// Step 1 (Alg. 3): indices of columns with IV > `iv_threshold` (the
+/// paper's α = 0.1, the Table I "medium predictor" floor).
+std::vector<size_t> IvFilterIndices(const std::vector<double>& ivs,
+                                    double iv_threshold);
+
+/// Step 2 (Alg. 4): removes redundancy among `candidates` — processes
+/// them in descending-IV order and drops any column whose |Pearson| with
+/// an already-kept column exceeds `pearson_threshold` (the paper's
+/// θ = 0.8, the Table II "extremely strong" floor). Returns kept indices
+/// (into x's columns) in descending-IV order.
+std::vector<size_t> RedundancyFilterIndices(
+    const DataFrame& x, const std::vector<double>& ivs,
+    const std::vector<size_t>& candidates, double pearson_threshold);
+
+/// Step 3 (Section IV-C3): trains a GBDT on the candidate columns and
+/// returns up to `max_output` of them ranked by average split gain.
+/// Candidates the model never splits on rank after ranked ones, by IV.
+Result<std::vector<size_t>> ImportanceRankIndices(
+    const Dataset& train, const std::vector<size_t>& candidates,
+    const std::vector<double>& ivs, const gbdt::GbdtParams& params,
+    size_t max_output);
+
+}  // namespace safe

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/synthetic.h"
+#include "src/dataframe/split.h"
+
+namespace safe {
+namespace data {
+
+/// \brief Shape of one benchmark dataset (paper Table IV) plus the
+/// synthetic-generation knobs chosen for its analogue.
+struct BenchmarkDatasetInfo {
+  std::string name;
+  size_t n_train = 0;
+  size_t n_valid = 0;  // 0 = no validation split (paper: datasets < 10k)
+  size_t n_test = 0;
+  size_t num_features = 0;
+  /// Synthetic-analogue knobs (see DESIGN.md Substitution 1).
+  size_t num_informative = 0;
+  size_t num_interactions = 0;
+  size_t num_redundant = 0;
+  double noise = 0.25;
+  uint64_t seed = 0;
+};
+
+/// The 12 benchmark shapes of Table IV (valley .. vehicle), with
+/// per-dataset generation knobs. Order matches the paper's table.
+const std::vector<BenchmarkDatasetInfo>& BenchmarkSuite();
+
+/// Looks a suite entry up by name.
+Result<BenchmarkDatasetInfo> FindBenchmarkDataset(const std::string& name);
+
+/// Generates the synthetic analogue of a suite entry and splits it into
+/// the paper's train/valid/test sizes. `row_scale` in (0,1] shrinks every
+/// split proportionally (for quick runs); the shape knobs are untouched.
+Result<DatasetSplit> MakeBenchmarkSplit(const BenchmarkDatasetInfo& info,
+                                        double row_scale = 1.0,
+                                        uint64_t seed_offset = 0);
+
+}  // namespace data
+}  // namespace safe

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/synthetic.h"
+#include "src/dataframe/split.h"
+
+namespace safe {
+namespace data {
+
+/// \brief Shape of one Ant Financial fraud-detection dataset
+/// (paper Table VII). The real data is proprietary; the analogue is a
+/// heavily imbalanced synthetic dataset with the same dimensionality
+/// (see DESIGN.md Substitution 2).
+struct BusinessDatasetInfo {
+  std::string name;
+  size_t n_train = 0;
+  size_t n_valid = 0;
+  size_t n_test = 0;
+  size_t num_features = 0;
+  double positive_rate = 0.03;  // fraud-like imbalance
+  uint64_t seed = 0;
+};
+
+/// The three business shapes of Table VII (Data1..Data3).
+const std::vector<BusinessDatasetInfo>& BusinessSuite();
+
+/// Generates the analogue with every split scaled by `row_scale`
+/// (default 1/20: the paper's 8M-row sets are infeasible on a single
+/// core; the bench prints both row counts).
+Result<DatasetSplit> MakeBusinessSplit(const BusinessDatasetInfo& info,
+                                       double row_scale = 0.05);
+
+}  // namespace data
+}  // namespace safe

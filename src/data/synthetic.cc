@@ -1,0 +1,224 @@
+#include "src/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/random.h"
+#include "src/stats/descriptive.h"
+
+namespace safe {
+namespace data {
+
+namespace {
+
+/// Distribution family of one raw column.
+struct ColumnGen {
+  enum class Family { kGaussian, kLogNormal, kUniform } family;
+  double a = 0.0;  // mean / log-mean / low
+  double b = 1.0;  // std / log-std / high
+
+  double Draw(Rng* rng) const {
+    switch (family) {
+      case Family::kGaussian:
+        return a + b * rng->NextGaussian();
+      case Family::kLogNormal:
+        return std::exp(a + b * rng->NextGaussian());
+      case Family::kUniform:
+        return rng->NextUniform(a, b);
+    }
+    return 0.0;
+  }
+};
+
+ColumnGen RandomColumnGen(Rng* rng) {
+  ColumnGen gen;
+  const uint64_t family = rng->NextUint64Below(3);
+  if (family == 0) {
+    gen.family = ColumnGen::Family::kGaussian;
+    gen.a = rng->NextUniform(-2.0, 2.0);
+    gen.b = rng->NextUniform(0.5, 2.0);
+  } else if (family == 1) {
+    gen.family = ColumnGen::Family::kLogNormal;
+    gen.a = rng->NextUniform(-0.5, 0.5);
+    gen.b = rng->NextUniform(0.3, 0.8);
+  } else {
+    gen.family = ColumnGen::Family::kUniform;
+    gen.a = rng->NextUniform(-3.0, 0.0);
+    gen.b = gen.a + rng->NextUniform(1.0, 5.0);
+  }
+  return gen;
+}
+
+/// In-place standardization to zero mean / unit variance (no-op when the
+/// values are constant).
+void Standardize(std::vector<double>* values) {
+  const double mu = Mean(*values);
+  const double sd = StdDev(*values);
+  if (sd <= 0.0) return;
+  for (double& v : *values) v = (v - mu) / sd;
+}
+
+double ApplyInteraction(InteractionKind kind, double x, double y) {
+  switch (kind) {
+    case InteractionKind::kProduct:
+      return x * y;
+    case InteractionKind::kRatio:
+      // Bounded-denominator ratio keeps the latent score finite while
+      // remaining a genuinely non-additive function of the pair.
+      return x / (std::fabs(y) + 0.1);
+    case InteractionKind::kSum:
+      return x + y;
+    case InteractionKind::kDifference:
+      return x - y;
+  }
+  return 0.0;
+}
+
+Status ValidateSpec(const SyntheticSpec& spec) {
+  if (spec.num_rows < 10) {
+    return Status::InvalidArgument("synthetic: need at least 10 rows");
+  }
+  if (spec.num_features == 0) {
+    return Status::InvalidArgument("synthetic: need at least 1 feature");
+  }
+  if (spec.num_informative == 0 ||
+      spec.num_informative + spec.num_redundant > spec.num_features) {
+    return Status::InvalidArgument(
+        "synthetic: informative + redundant must be in [1, num_features]");
+  }
+  if (spec.num_interactions > 0 && spec.num_informative < 2) {
+    return Status::InvalidArgument(
+        "synthetic: interactions need >= 2 informative columns");
+  }
+  if (spec.positive_rate <= 0.0 || spec.positive_rate >= 1.0) {
+    return Status::InvalidArgument(
+        "synthetic: positive_rate must be in (0,1)");
+  }
+  if (spec.missing_rate < 0.0 || spec.missing_rate >= 1.0 ||
+      spec.label_flip < 0.0 || spec.label_flip >= 0.5) {
+    return Status::InvalidArgument("synthetic: bad noise rates");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dataset> MakeSyntheticDataset(const SyntheticSpec& spec) {
+  SAFE_RETURN_NOT_OK(ValidateSpec(spec));
+  Rng rng(spec.seed);
+  const size_t n = spec.num_rows;
+  const size_t m = spec.num_features;
+  const size_t n_info = spec.num_informative;
+  const size_t n_red = spec.num_redundant;
+
+  // Raw informative columns.
+  std::vector<std::vector<double>> informative(n_info);
+  for (size_t c = 0; c < n_info; ++c) {
+    ColumnGen gen = RandomColumnGen(&rng);
+    informative[c].resize(n);
+    for (size_t r = 0; r < n; ++r) informative[c][r] = gen.Draw(&rng);
+  }
+
+  // Latent score: standardized interactions + a weaker linear part.
+  std::vector<double> score(n, 0.0);
+  for (size_t k = 0; k < spec.num_interactions; ++k) {
+    const size_t a = rng.NextUint64Below(n_info);
+    size_t b = rng.NextUint64Below(n_info);
+    if (n_info > 1) {
+      while (b == a) b = rng.NextUint64Below(n_info);
+    }
+    const auto kind = static_cast<InteractionKind>(rng.NextUint64Below(4));
+    const double sign = rng.NextBernoulli(0.5) ? 1.0 : -1.0;
+    const double weight = sign * rng.NextUniform(1.0, 2.0);
+    std::vector<double> term(n);
+    for (size_t r = 0; r < n; ++r) {
+      term[r] = ApplyInteraction(kind, informative[a][r], informative[b][r]);
+    }
+    Standardize(&term);
+    for (size_t r = 0; r < n; ++r) score[r] += weight * term[r];
+  }
+  Standardize(&score);
+  for (double& s : score) s *= (1.0 - spec.linear_weight);
+
+  std::vector<double> linear(n, 0.0);
+  for (size_t c = 0; c < n_info; ++c) {
+    const double w = rng.NextUniform(-1.0, 1.0);
+    std::vector<double> term = informative[c];
+    Standardize(&term);
+    for (size_t r = 0; r < n; ++r) linear[r] += w * term[r];
+  }
+  Standardize(&linear);
+  for (size_t r = 0; r < n; ++r) {
+    score[r] += spec.linear_weight * linear[r] +
+                spec.noise * rng.NextGaussian();
+  }
+
+  // Threshold at the (1 - positive_rate) quantile, then flip noise.
+  const double threshold = Quantile(score, 1.0 - spec.positive_rate);
+  std::vector<double> labels(n);
+  for (size_t r = 0; r < n; ++r) {
+    bool positive = score[r] > threshold;
+    if (spec.label_flip > 0.0 && rng.NextBernoulli(spec.label_flip)) {
+      positive = !positive;
+    }
+    labels[r] = positive ? 1.0 : 0.0;
+  }
+  // Guarantee both classes exist (tiny datasets + quantile ties).
+  if (CountEqual(labels, 1.0) == 0) labels[0] = 1.0;
+  if (CountEqual(labels, 0.0) == 0) labels[0] = 0.0;
+
+  // Assemble all columns: informative, redundant, nuisance — then shuffle
+  // the column order so role is not recoverable from position.
+  std::vector<std::vector<double>> columns;
+  columns.reserve(m);
+  for (auto& col : informative) columns.push_back(std::move(col));
+  for (size_t k = 0; k < n_red; ++k) {
+    const size_t src = rng.NextUint64Below(n_info);
+    const double scale = rng.NextUniform(0.5, 2.0);
+    const double shift = rng.NextUniform(-1.0, 1.0);
+    std::vector<double> col(n);
+    for (size_t r = 0; r < n; ++r) {
+      col[r] = scale * columns[src][r] + shift +
+               0.01 * rng.NextGaussian();
+    }
+    columns.push_back(std::move(col));
+  }
+  while (columns.size() < m) {
+    ColumnGen gen = RandomColumnGen(&rng);
+    std::vector<double> col(n);
+    for (size_t r = 0; r < n; ++r) col[r] = gen.Draw(&rng);
+    columns.push_back(std::move(col));
+  }
+  std::vector<size_t> order(m);
+  for (size_t i = 0; i < m; ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  // Missing-value injection (after label generation).
+  if (spec.missing_rate > 0.0) {
+    for (auto& col : columns) {
+      for (double& v : col) {
+        if (rng.NextBernoulli(spec.missing_rate)) {
+          v = std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+    }
+  }
+
+  DataFrame x;
+  for (size_t i = 0; i < m; ++i) {
+    SAFE_RETURN_NOT_OK(x.AddColumn(
+        Column("f" + std::to_string(i), std::move(columns[order[i]]))));
+  }
+  return MakeDataset(std::move(x), std::move(labels));
+}
+
+Result<DatasetSplit> MakeSyntheticSplit(SyntheticSpec spec, size_t n_train,
+                                        size_t n_valid, size_t n_test) {
+  spec.num_rows = n_train + n_valid + n_test;
+  SAFE_ASSIGN_OR_RETURN(Dataset data, MakeSyntheticDataset(spec));
+  return SplitDataset(data, n_train, n_valid, n_test, spec.seed ^ 0xD5);
+}
+
+}  // namespace data
+}  // namespace safe

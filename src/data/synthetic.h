@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dataframe/dataframe.h"
+#include "src/dataframe/split.h"
+
+namespace safe {
+namespace data {
+
+/// \brief How a planted interaction combines its two parent columns.
+/// The generator plants label signal in *pairwise* combinations because
+/// that is exactly the structure SAFE's {+,−,×,÷} generation stage is
+/// designed to recover (see DESIGN.md, Substitution 1).
+enum class InteractionKind {
+  kProduct,
+  kRatio,
+  kSum,
+  kDifference,
+};
+
+/// \brief Recipe for one synthetic supervised dataset.
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  size_t num_rows = 1000;
+  /// Total feature count M (informative + nuisance + redundant).
+  size_t num_features = 10;
+  /// Columns that carry label signal (directly or through interactions).
+  size_t num_informative = 4;
+  /// Planted pairwise interactions among informative columns.
+  size_t num_interactions = 3;
+  /// Redundant columns: near-affine copies of informative ones, planted to
+  /// exercise the Pearson redundancy filter.
+  size_t num_redundant = 1;
+  /// Weight of the direct linear part of the score (vs interactions).
+  double linear_weight = 0.3;
+  /// Gaussian noise added to the latent score before thresholding.
+  double noise = 0.25;
+  /// Fraction of labels flipped after thresholding.
+  double label_flip = 0.01;
+  /// Positive-class rate (threshold is the matching score quantile).
+  double positive_rate = 0.5;
+  /// Fraction of feature cells set to NaN.
+  double missing_rate = 0.0;
+  uint64_t seed = 7;
+};
+
+/// Generates a dataset per the spec. Columns are named f0..f{M-1}; the
+/// mapping from columns to roles is internal (and seed-deterministic).
+Result<Dataset> MakeSyntheticDataset(const SyntheticSpec& spec);
+
+/// \brief Generates and splits in one call: `n_train`+`n_valid`+`n_test`
+/// rows, split deterministically from `spec.seed`. A zero `n_valid`
+/// mirrors the paper's small datasets (train doubles as validation).
+Result<DatasetSplit> MakeSyntheticSplit(SyntheticSpec spec, size_t n_train,
+                                        size_t n_valid, size_t n_test);
+
+}  // namespace data
+}  // namespace safe

@@ -1,0 +1,141 @@
+#include "src/dataframe/binning.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace safe {
+
+size_t BinEdges::BinIndex(double value) const {
+  if (std::isnan(value)) return missing_bin();
+  // First edge >= value  ->  bin = count of edges < value.
+  return static_cast<size_t>(
+      std::lower_bound(edges.begin(), edges.end(), value) - edges.begin());
+}
+
+namespace {
+Result<std::vector<double>> SortedNonMissing(
+    const std::vector<double>& values) {
+  std::vector<double> sorted;
+  sorted.reserve(values.size());
+  for (double v : values) {
+    if (!std::isnan(v)) sorted.push_back(v);
+  }
+  if (sorted.empty()) {
+    return Status::InvalidArgument("binning: all values are missing");
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+}  // namespace
+
+Result<BinEdges> EqualFrequencyEdges(const std::vector<double>& values,
+                                     size_t num_bins) {
+  if (num_bins < 2) {
+    return Status::InvalidArgument("num_bins must be >= 2");
+  }
+  SAFE_ASSIGN_OR_RETURN(std::vector<double> sorted,
+                        SortedNonMissing(values));
+  BinEdges out;
+  const size_t n = sorted.size();
+  for (size_t b = 1; b < num_bins; ++b) {
+    // Quantile cut at rank b/num_bins (inclusive upper edge).
+    size_t rank = (b * n) / num_bins;
+    if (rank == 0) continue;
+    double edge = sorted[rank - 1];
+    if (out.edges.empty() || edge > out.edges.back()) {
+      out.edges.push_back(edge);
+    }
+  }
+  // Drop a trailing edge equal to the maximum, which would create an
+  // empty final bin.
+  while (!out.edges.empty() && out.edges.back() >= sorted.back()) {
+    out.edges.pop_back();
+  }
+  return out;
+}
+
+Result<BinEdges> EqualWidthEdges(const std::vector<double>& values,
+                                 size_t num_bins) {
+  if (num_bins < 2) {
+    return Status::InvalidArgument("num_bins must be >= 2");
+  }
+  SAFE_ASSIGN_OR_RETURN(std::vector<double> sorted,
+                        SortedNonMissing(values));
+  const double lo = sorted.front();
+  const double hi = sorted.back();
+  BinEdges out;
+  if (lo == hi) return out;  // constant column -> single bin
+  const double width = (hi - lo) / static_cast<double>(num_bins);
+  for (size_t b = 1; b < num_bins; ++b) {
+    out.edges.push_back(lo + width * static_cast<double>(b));
+  }
+  return out;
+}
+
+Result<BinEdges> KMeansEdges(const std::vector<double>& values,
+                             size_t num_bins, size_t max_iterations) {
+  if (num_bins < 2) {
+    return Status::InvalidArgument("num_bins must be >= 2");
+  }
+  SAFE_ASSIGN_OR_RETURN(std::vector<double> sorted,
+                        SortedNonMissing(values));
+  // Initial centers at quantiles; duplicates collapse.
+  std::vector<double> centers;
+  for (size_t k = 0; k < num_bins; ++k) {
+    const size_t rank =
+        (2 * k + 1) * sorted.size() / (2 * num_bins);  // mid-quantiles
+    const double center = sorted[std::min(rank, sorted.size() - 1)];
+    if (centers.empty() || center > centers.back()) {
+      centers.push_back(center);
+    }
+  }
+  if (centers.size() < 2) return BinEdges{};  // effectively constant
+
+  // Lloyd iterations over the sorted values: assignment boundaries are
+  // the midpoints between adjacent centers, so each pass is O(n).
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    std::vector<double> sums(centers.size(), 0.0);
+    std::vector<size_t> counts(centers.size(), 0);
+    size_t cluster = 0;
+    for (double v : sorted) {
+      while (cluster + 1 < centers.size() &&
+             v > 0.5 * (centers[cluster] + centers[cluster + 1])) {
+        ++cluster;
+      }
+      sums[cluster] += v;
+      counts[cluster] += 1;
+    }
+    bool moved = false;
+    std::vector<double> next;
+    for (size_t k = 0; k < centers.size(); ++k) {
+      if (counts[k] == 0) continue;  // drop empty clusters
+      const double mean = sums[k] / static_cast<double>(counts[k]);
+      if (next.empty() || mean > next.back()) {
+        if (std::fabs(mean - centers[k]) > 1e-12) moved = true;
+        next.push_back(mean);
+      }
+    }
+    const bool shrunk = next.size() != centers.size();
+    centers = std::move(next);
+    if (centers.size() < 2) return BinEdges{};
+    if (!moved && !shrunk) break;
+  }
+
+  BinEdges out;
+  for (size_t k = 0; k + 1 < centers.size(); ++k) {
+    out.edges.push_back(0.5 * (centers[k] + centers[k + 1]));
+  }
+  return out;
+}
+
+std::vector<double> ApplyBins(const BinEdges& edges,
+                              const std::vector<double>& values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    out.push_back(static_cast<double>(edges.BinIndex(v)));
+  }
+  return out;
+}
+
+}  // namespace safe

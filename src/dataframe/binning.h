@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace safe {
+
+/// \brief Interior cut points defining bins over a numeric feature.
+///
+/// `edges` sorted ascending; value v falls in bin i where
+/// edges[i-1] < v <= edges[i] (bin 0 is (-inf, edges[0]], the last bin is
+/// (edges.back(), +inf)). NaN maps to a dedicated missing bin with index
+/// `edges.size() + 1`.
+struct BinEdges {
+  std::vector<double> edges;
+
+  size_t num_bins() const { return edges.size() + 1; }
+  size_t missing_bin() const { return edges.size() + 1; }
+
+  /// Bin index of a value (missing_bin() for NaN).
+  size_t BinIndex(double value) const;
+};
+
+/// Equal-frequency (quantile) cut points. Duplicated quantiles collapse,
+/// so the result may have fewer than `num_bins - 1` edges. Requires
+/// num_bins >= 2 and at least one non-missing value.
+Result<BinEdges> EqualFrequencyEdges(const std::vector<double>& values,
+                                     size_t num_bins);
+
+/// Equal-width cut points over [min, max] of the non-missing values.
+Result<BinEdges> EqualWidthEdges(const std::vector<double>& values,
+                                 size_t num_bins);
+
+/// 1-D k-means (Lloyd) clustering binning — the paper's Section III
+/// "clustering binning". Clusters the non-missing values into up to
+/// `num_bins` clusters starting from quantile centers; cut points are the
+/// midpoints between adjacent cluster centers. Deterministic.
+Result<BinEdges> KMeansEdges(const std::vector<double>& values,
+                             size_t num_bins, size_t max_iterations = 50);
+
+/// Maps every value to its bin index (as double, for use as a feature).
+std::vector<double> ApplyBins(const BinEdges& edges,
+                              const std::vector<double>& values);
+
+}  // namespace safe

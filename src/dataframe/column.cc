@@ -1,0 +1,20 @@
+#include "src/dataframe/column.h"
+
+namespace safe {
+
+bool Column::IsConstant() const {
+  bool seen = false;
+  double first = 0.0;
+  for (double v : *data_) {
+    if (std::isnan(v)) continue;
+    if (!seen) {
+      first = v;
+      seen = true;
+    } else if (v != first) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace safe

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace safe {
+
+/// \brief An immutable, named column of doubles.
+///
+/// All values in this library are doubles; NaN encodes a missing value.
+/// Column data is held behind a shared_ptr so that selecting / reordering
+/// columns in a DataFrame is O(1) per column — essential when SAFE's
+/// candidate pool holds thousands of columns over millions of rows.
+class Column {
+ public:
+  Column() : data_(std::make_shared<std::vector<double>>()) {}
+
+  Column(std::string name, std::vector<double> values)
+      : name_(std::move(name)),
+        data_(std::make_shared<std::vector<double>>(std::move(values))) {}
+
+  Column(std::string name, std::shared_ptr<const std::vector<double>> values)
+      : name_(std::move(name)), data_(std::move(values)) {
+    SAFE_CHECK(data_ != nullptr);
+  }
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return data_->size(); }
+  const std::vector<double>& values() const { return *data_; }
+  double operator[](size_t i) const { return (*data_)[i]; }
+
+  /// Shares the underlying buffer under a new name.
+  Column Renamed(std::string new_name) const {
+    return Column(std::move(new_name), data_);
+  }
+
+  /// Number of NaN entries.
+  size_t CountMissing() const {
+    size_t n = 0;
+    for (double v : *data_) {
+      if (std::isnan(v)) ++n;
+    }
+    return n;
+  }
+
+  /// True when every non-missing value equals the first non-missing value.
+  bool IsConstant() const;
+
+  /// The shared buffer (for zero-copy hand-off).
+  const std::shared_ptr<const std::vector<double>>& data() const {
+    return data_;
+  }
+
+ private:
+  std::string name_;
+  std::shared_ptr<const std::vector<double>> data_;
+};
+
+}  // namespace safe

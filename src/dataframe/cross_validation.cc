@@ -1,0 +1,81 @@
+#include "src/dataframe/cross_validation.h"
+
+#include "src/common/random.h"
+#include "src/dataframe/split.h"
+
+namespace safe {
+
+namespace {
+
+Status ValidateKFold(const Dataset& data, size_t k) {
+  if (k < 2) {
+    return Status::InvalidArgument("kfold: k must be >= 2");
+  }
+  if (data.num_rows() < k) {
+    return Status::InvalidArgument("kfold: fewer rows than folds");
+  }
+  if (data.y == nullptr || data.y->size() != data.num_rows()) {
+    return Status::InvalidArgument("kfold: label size mismatch");
+  }
+  return Status::OK();
+}
+
+/// Builds folds from per-fold row assignments.
+std::vector<CvFold> Materialize(
+    const Dataset& data, const std::vector<std::vector<size_t>>& assignment) {
+  std::vector<CvFold> folds;
+  folds.reserve(assignment.size());
+  for (size_t f = 0; f < assignment.size(); ++f) {
+    std::vector<size_t> train_rows;
+    for (size_t other = 0; other < assignment.size(); ++other) {
+      if (other == f) continue;
+      train_rows.insert(train_rows.end(), assignment[other].begin(),
+                        assignment[other].end());
+    }
+    CvFold fold;
+    fold.train = TakeDatasetRows(data, train_rows);
+    fold.holdout = TakeDatasetRows(data, assignment[f]);
+    folds.push_back(std::move(fold));
+  }
+  return folds;
+}
+
+}  // namespace
+
+Result<std::vector<CvFold>> KFoldSplit(const Dataset& data, size_t k,
+                                       uint64_t seed) {
+  SAFE_RETURN_NOT_OK(ValidateKFold(data, k));
+  std::vector<size_t> perm(data.num_rows());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&perm);
+  std::vector<std::vector<size_t>> assignment(k);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    assignment[i % k].push_back(perm[i]);
+  }
+  return Materialize(data, assignment);
+}
+
+Result<std::vector<CvFold>> StratifiedKFoldSplit(const Dataset& data,
+                                                 size_t k, uint64_t seed) {
+  SAFE_RETURN_NOT_OK(ValidateKFold(data, k));
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    ((*data.y)[r] > 0.5 ? positives : negatives).push_back(r);
+  }
+  Rng rng(seed);
+  rng.Shuffle(&positives);
+  rng.Shuffle(&negatives);
+  std::vector<std::vector<size_t>> assignment(k);
+  for (size_t i = 0; i < positives.size(); ++i) {
+    assignment[i % k].push_back(positives[i]);
+  }
+  for (size_t i = 0; i < negatives.size(); ++i) {
+    // Offset keeps fold sizes balanced when classes are imbalanced.
+    assignment[(i + positives.size()) % k].push_back(negatives[i]);
+  }
+  return Materialize(data, assignment);
+}
+
+}  // namespace safe

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/dataframe/dataframe.h"
+
+namespace safe {
+
+/// \brief Options for ReadCsv.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// When true the first line supplies column names; otherwise columns are
+  /// named c0, c1, ...
+  bool has_header = true;
+};
+
+/// Reads an all-numeric CSV into a DataFrame. Empty fields, "NA", "nan"
+/// and "?" become NaN; any other non-numeric field is an error naming the
+/// offending line.
+Result<DataFrame> ReadCsv(const std::string& path,
+                          const CsvReadOptions& options = {});
+
+/// Writes a DataFrame as CSV (header + rows). NaN is written as "".
+Status WriteCsv(const DataFrame& frame, const std::string& path,
+                char delimiter = ',');
+
+/// Reads a CSV and pops `label_column` out as the dataset labels
+/// (which must be binary {0,1}).
+Result<Dataset> ReadCsvDataset(const std::string& path,
+                               const std::string& label_column,
+                               const CsvReadOptions& options = {});
+
+}  // namespace safe

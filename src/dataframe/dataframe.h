@@ -1,0 +1,82 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/dataframe/column.h"
+
+namespace safe {
+
+/// \brief A column-major, in-memory table of features.
+///
+/// Columns are immutable and shared; DataFrame operations that rearrange
+/// columns (Select, Concat) are zero-copy, while row operations (Take,
+/// Slice) materialize new buffers. Column names are unique within a frame.
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  /// Appends a column. Fails if the name already exists or the length
+  /// disagrees with existing columns.
+  Status AddColumn(Column column);
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column with `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const {
+    return index_.find(name) != index_.end();
+  }
+
+  std::vector<std::string> ColumnNames() const;
+
+  /// New frame holding the given columns (zero-copy). Indices may repeat
+  /// only if renaming elsewhere prevents a duplicate-name clash; a
+  /// duplicate name fails.
+  Result<DataFrame> Select(const std::vector<size_t>& indices) const;
+
+  /// New frame with the given rows gathered (copies data).
+  DataFrame TakeRows(const std::vector<size_t>& rows) const;
+
+  /// New frame with rows [begin, end) (copies data).
+  DataFrame SliceRows(size_t begin, size_t end) const;
+
+  /// Value at (row, col).
+  double at(size_t row, size_t col) const { return columns_[col][row]; }
+
+  /// One materialized row (used by the real-time inference path).
+  std::vector<double> Row(size_t row) const;
+
+  /// Horizontally concatenates `other` onto a copy of this frame
+  /// (zero-copy per column). Fails on duplicate names or row mismatch.
+  Result<DataFrame> Concat(const DataFrame& other) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// \brief A supervised dataset: features plus a binary {0,1} label vector.
+struct Dataset {
+  DataFrame x;
+  std::shared_ptr<const std::vector<double>> y;
+
+  size_t num_rows() const { return x.num_rows(); }
+  const std::vector<double>& labels() const { return *y; }
+};
+
+/// Builds a Dataset from parallel containers, validating shape and that
+/// labels are binary {0,1}.
+Result<Dataset> MakeDataset(DataFrame x, std::vector<double> y);
+
+}  // namespace safe

@@ -1,0 +1,74 @@
+#include "src/dataframe/split.h"
+
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace safe {
+
+Dataset TakeDatasetRows(const Dataset& data,
+                        const std::vector<size_t>& rows) {
+  Dataset out;
+  out.x = data.x.TakeRows(rows);
+  std::vector<double> y;
+  y.reserve(rows.size());
+  for (size_t r : rows) y.push_back((*data.y)[r]);
+  out.y = std::make_shared<const std::vector<double>>(std::move(y));
+  return out;
+}
+
+Result<DatasetSplit> SplitDataset(const Dataset& data, size_t n_train,
+                                  size_t n_valid, size_t n_test,
+                                  uint64_t seed) {
+  const size_t n = data.num_rows();
+  if (n_train + n_valid + n_test > n) {
+    return Status::InvalidArgument(
+        "split sizes sum to " + std::to_string(n_train + n_valid + n_test) +
+        " but dataset has " + std::to_string(n) + " rows");
+  }
+  if (n_train == 0 || n_test == 0) {
+    return Status::InvalidArgument("train and test splits must be nonempty");
+  }
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&perm);
+
+  DatasetSplit split;
+  split.train = TakeDatasetRows(
+      data, std::vector<size_t>(perm.begin(), perm.begin() + n_train));
+  if (n_valid > 0) {
+    split.valid = TakeDatasetRows(
+        data, std::vector<size_t>(perm.begin() + n_train,
+                                  perm.begin() + n_train + n_valid));
+  } else {
+    // Paper Section V-A: datasets under 10k rows have no validation split;
+    // training data doubles as validation where one is required.
+    split.valid = split.train;
+  }
+  split.test = TakeDatasetRows(
+      data,
+      std::vector<size_t>(perm.begin() + n_train + n_valid,
+                          perm.begin() + n_train + n_valid + n_test));
+  return split;
+}
+
+Result<DatasetSplit> SplitDatasetByFraction(const Dataset& data,
+                                            double train_frac,
+                                            double valid_frac,
+                                            double test_frac, uint64_t seed) {
+  if (train_frac < 0 || valid_frac < 0 || test_frac < 0 ||
+      train_frac + valid_frac + test_frac > 1.0 + 1e-9) {
+    return Status::InvalidArgument("fractions must be >=0 and sum to <= 1");
+  }
+  const double n = static_cast<double>(data.num_rows());
+  const size_t n_train = static_cast<size_t>(std::floor(train_frac * n));
+  const size_t n_valid = static_cast<size_t>(std::floor(valid_frac * n));
+  size_t n_test = static_cast<size_t>(std::floor(test_frac * n));
+  if (train_frac + valid_frac + test_frac > 1.0 - 1e-9) {
+    n_test = data.num_rows() - n_train - n_valid;  // use every row
+  }
+  return SplitDataset(data, n_train, n_valid, n_test, seed);
+}
+
+}  // namespace safe

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/dataframe/dataframe.h"
+
+namespace safe {
+
+/// \brief Train / validation / test partition of a Dataset.
+struct DatasetSplit {
+  Dataset train;
+  Dataset valid;
+  Dataset test;
+};
+
+/// Randomly partitions `data` into train/valid/test with the given row
+/// counts (they must sum to <= data rows; a zero valid count mirrors the
+/// paper's small datasets, where training data doubles as validation).
+Result<DatasetSplit> SplitDataset(const Dataset& data, size_t n_train,
+                                  size_t n_valid, size_t n_test,
+                                  uint64_t seed);
+
+/// Fraction-based convenience wrapper (fractions must sum to <= 1).
+Result<DatasetSplit> SplitDatasetByFraction(const Dataset& data,
+                                            double train_frac,
+                                            double valid_frac,
+                                            double test_frac, uint64_t seed);
+
+/// Gathers the given rows of a dataset (features and labels together).
+Dataset TakeDatasetRows(const Dataset& data,
+                        const std::vector<size_t>& rows);
+
+}  // namespace safe

@@ -1,0 +1,313 @@
+#include "src/gbdt/booster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/common/random.h"
+#include "src/common/string_util.h"
+#include "src/gbdt/exact_trainer.h"
+#include "src/gbdt/loss.h"
+#include "src/gbdt/quantizer.h"
+#include "src/gbdt/trainer.h"
+
+namespace safe {
+namespace gbdt {
+
+namespace {
+
+/// Tree traversal over a column-major frame for one row index.
+double PredictTreeOnFrame(const RegressionTree& tree, const DataFrame& x,
+                          size_t row) {
+  const auto& nodes = tree.nodes();
+  if (nodes.empty()) return 0.0;
+  int idx = 0;
+  while (!nodes[static_cast<size_t>(idx)].is_leaf()) {
+    const TreeNode& node = nodes[static_cast<size_t>(idx)];
+    const double v = x.column(static_cast<size_t>(node.feature))[row];
+    if (std::isnan(v)) {
+      idx = node.default_left ? node.left : node.right;
+    } else {
+      idx = (v <= node.threshold) ? node.left : node.right;
+    }
+  }
+  return nodes[static_cast<size_t>(idx)].value;
+}
+
+}  // namespace
+
+Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
+                             const GbdtParams& params) {
+  const size_t n = train.num_rows();
+  const size_t m = train.x.num_columns();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("gbdt: empty training data");
+  }
+  if (train.y == nullptr || train.y->size() != n) {
+    return Status::InvalidArgument("gbdt: label size mismatch");
+  }
+  if (params.num_trees == 0) {
+    return Status::InvalidArgument("gbdt: num_trees must be > 0");
+  }
+  if (params.learning_rate <= 0.0) {
+    return Status::InvalidArgument("gbdt: learning_rate must be > 0");
+  }
+  if (params.early_stopping_rounds > 0 && valid == nullptr) {
+    return Status::InvalidArgument(
+        "gbdt: early stopping requires a validation set");
+  }
+  if (valid != nullptr && valid->x.num_columns() != m) {
+    return Status::InvalidArgument("gbdt: valid column count mismatch");
+  }
+
+  // Histogram path quantizes up front; the exact path pre-sorts columns.
+  BinnedMatrix matrix;
+  if (params.tree_method == TreeMethod::kHist) {
+    SAFE_ASSIGN_OR_RETURN(FeatureQuantizer quantizer,
+                          FeatureQuantizer::Fit(train.x, params.max_bins));
+    SAFE_ASSIGN_OR_RETURN(matrix, quantizer.Transform(train.x));
+  }
+
+  Booster model;
+  model.num_features_ = m;
+  model.objective_ = params.objective;
+  model.base_score_ = BaseScore(params.objective, *train.y);
+
+  std::vector<double> margins(n, model.base_score_);
+  std::vector<double> valid_margins;
+  if (valid != nullptr) {
+    valid_margins.assign(valid->num_rows(), model.base_score_);
+  }
+
+  std::vector<double> grad;
+  std::vector<double> hess;
+  Rng rng(params.seed);
+  TreeTrainer hist_trainer(&matrix, &params);
+  ExactTreeTrainer exact_trainer(
+      params.tree_method == TreeMethod::kExact ? &train.x : nullptr,
+      &params);
+
+  double best_valid_loss = std::numeric_limits<double>::infinity();
+  size_t best_iter = 0;
+
+  std::vector<int> all_features(m);
+  for (size_t f = 0; f < m; ++f) all_features[f] = static_cast<int>(f);
+
+  for (size_t round = 0; round < params.num_trees; ++round) {
+    ComputeGradients(params.objective, margins, *train.y, &grad, &hess);
+
+    // Row subsampling.
+    std::vector<size_t> rows;
+    if (params.subsample >= 1.0) {
+      rows.resize(n);
+      for (size_t i = 0; i < n; ++i) rows[i] = i;
+    } else {
+      rows.reserve(static_cast<size_t>(params.subsample * n) + 1);
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.NextBernoulli(params.subsample)) rows.push_back(i);
+      }
+      if (rows.empty()) rows.push_back(rng.NextUint64Below(n));
+    }
+
+    // Column subsampling.
+    std::vector<int> features;
+    if (params.colsample_bytree >= 1.0) {
+      features = all_features;
+    } else {
+      size_t k = std::max<size_t>(
+          1, static_cast<size_t>(params.colsample_bytree * m));
+      for (size_t idx : rng.SampleWithoutReplacement(m, k)) {
+        features.push_back(static_cast<int>(idx));
+      }
+      std::sort(features.begin(), features.end());
+    }
+
+    RegressionTree tree =
+        params.tree_method == TreeMethod::kExact
+            ? exact_trainer.Train(grad, hess, rows, features)
+            : hist_trainer.Train(grad, hess, rows, features);
+    // Update margins over the full training set.
+    for (size_t i = 0; i < n; ++i) {
+      margins[i] += PredictTreeOnFrame(tree, train.x, i);
+    }
+    model.trees_.push_back(std::move(tree));
+    model.best_iteration_ = model.trees_.size() - 1;
+
+    if (valid != nullptr) {
+      const auto& t = model.trees_.back();
+      for (size_t i = 0; i < valid_margins.size(); ++i) {
+        valid_margins[i] += PredictTreeOnFrame(t, valid->x, i);
+      }
+      if (params.early_stopping_rounds > 0) {
+        const double loss =
+            ComputeLoss(params.objective, valid_margins, *valid->y);
+        if (loss + 1e-12 < best_valid_loss) {
+          best_valid_loss = loss;
+          best_iter = round;
+        } else if (round - best_iter >= params.early_stopping_rounds) {
+          model.trees_.resize(best_iter + 1);
+          model.best_iteration_ = best_iter;
+          break;
+        }
+      }
+    }
+  }
+  return model;
+}
+
+Result<std::vector<double>> Booster::PredictMargin(const DataFrame& x) const {
+  if (x.num_columns() != num_features_) {
+    return Status::InvalidArgument(
+        "gbdt predict: expected " + std::to_string(num_features_) +
+        " features, got " + std::to_string(x.num_columns()));
+  }
+  std::vector<double> margins(x.num_rows(), base_score_);
+  for (const auto& tree : trees_) {
+    for (size_t r = 0; r < x.num_rows(); ++r) {
+      margins[r] += PredictTreeOnFrame(tree, x, r);
+    }
+  }
+  return margins;
+}
+
+Result<std::vector<double>> Booster::PredictProba(const DataFrame& x) const {
+  SAFE_ASSIGN_OR_RETURN(std::vector<double> margins, PredictMargin(x));
+  for (double& v : margins) v = TransformMargin(objective_, v);
+  return margins;
+}
+
+double Booster::PredictRowMargin(const std::vector<double>& row) const {
+  SAFE_CHECK(row.size() == num_features_);
+  double margin = base_score_;
+  for (const auto& tree : trees_) margin += tree.PredictRow(row);
+  return margin;
+}
+
+double Booster::PredictRowProba(const std::vector<double>& row) const {
+  return TransformMargin(objective_, PredictRowMargin(row));
+}
+
+std::vector<TreePath> Booster::ExtractAllPaths() const {
+  std::vector<TreePath> paths;
+  for (const auto& tree : trees_) {
+    auto tree_paths = tree.ExtractPaths();
+    paths.insert(paths.end(), std::make_move_iterator(tree_paths.begin()),
+                 std::make_move_iterator(tree_paths.end()));
+  }
+  return paths;
+}
+
+std::vector<int> Booster::SplitFeatures() const {
+  std::set<int> features;
+  for (const auto& tree : trees_) {
+    for (const auto& node : tree.nodes()) {
+      if (!node.is_leaf()) features.insert(node.feature);
+    }
+  }
+  return std::vector<int>(features.begin(), features.end());
+}
+
+std::vector<FeatureImportance> Booster::FeatureImportances() const {
+  std::map<int, FeatureImportance> by_feature;
+  for (const auto& tree : trees_) {
+    for (const auto& node : tree.nodes()) {
+      if (node.is_leaf()) continue;
+      FeatureImportance& fi = by_feature[node.feature];
+      fi.feature = node.feature;
+      fi.total_gain += node.gain;
+      fi.num_splits += 1;
+    }
+  }
+  std::vector<FeatureImportance> out;
+  out.reserve(by_feature.size());
+  for (auto& [feature, fi] : by_feature) {
+    fi.avg_gain = fi.total_gain / static_cast<double>(fi.num_splits);
+    out.push_back(fi);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FeatureImportance& a, const FeatureImportance& b) {
+              if (a.avg_gain != b.avg_gain) return a.avg_gain > b.avg_gain;
+              return a.feature < b.feature;
+            });
+  return out;
+}
+
+std::string Booster::Serialize() const {
+  std::ostringstream out;
+  out << "booster v1\n";
+  out << "objective "
+      << (objective_ == Objective::kLogistic ? "logistic" : "squared")
+      << "\n";
+  out << "num_features " << num_features_ << "\n";
+  out << "base_score " << FormatDoubleExact(base_score_) << "\n";
+  out << "num_trees " << trees_.size() << "\n";
+  for (const auto& tree : trees_) out << tree.Serialize();
+  return out.str();
+}
+
+Result<Booster> Booster::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string tag;
+  std::string version;
+  in >> tag >> version;
+  if (!in || tag != "booster" || version != "v1") {
+    return Status::InvalidArgument("booster deserialize: bad header");
+  }
+  Booster model;
+  std::string key;
+  std::string objective;
+  size_t num_trees = 0;
+  in >> key >> objective;
+  if (!in || key != "objective") {
+    return Status::InvalidArgument("booster deserialize: missing objective");
+  }
+  model.objective_ =
+      objective == "logistic" ? Objective::kLogistic : Objective::kSquared;
+  in >> key >> model.num_features_;
+  if (!in || key != "num_features") {
+    return Status::InvalidArgument(
+        "booster deserialize: missing num_features");
+  }
+  in >> key >> model.base_score_;
+  if (!in || key != "base_score") {
+    return Status::InvalidArgument("booster deserialize: missing base_score");
+  }
+  in >> key >> num_trees;
+  if (!in || key != "num_trees") {
+    return Status::InvalidArgument("booster deserialize: missing num_trees");
+  }
+  // Each tree block: "tree <n>" then n node lines (7 fields per line).
+  for (size_t t = 0; t < num_trees; ++t) {
+    std::string tree_tag;
+    size_t node_count = 0;
+    in >> tree_tag >> node_count;
+    if (!in || tree_tag != "tree") {
+      return Status::InvalidArgument("booster deserialize: bad tree block " +
+                                     std::to_string(t));
+    }
+    std::ostringstream block;
+    block << "tree " << node_count << "\n";
+    for (size_t i = 0; i < node_count; ++i) {
+      std::string fields[7];
+      for (auto& f : fields) {
+        in >> f;
+        if (!in) {
+          return Status::InvalidArgument(
+              "booster deserialize: truncated tree " + std::to_string(t));
+        }
+        block << f << " ";
+      }
+      block << "\n";
+    }
+    SAFE_ASSIGN_OR_RETURN(RegressionTree tree,
+                          RegressionTree::Deserialize(block.str()));
+    model.trees_.push_back(std::move(tree));
+  }
+  model.best_iteration_ = model.trees_.empty() ? 0 : model.trees_.size() - 1;
+  return model;
+}
+
+}  // namespace gbdt
+}  // namespace safe

@@ -1,0 +1,85 @@
+#include "src/gbdt/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace safe {
+namespace gbdt {
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+void ComputeGradients(Objective objective,
+                      const std::vector<double>& margins,
+                      const std::vector<double>& labels,
+                      std::vector<double>* grad, std::vector<double>* hess) {
+  SAFE_CHECK(margins.size() == labels.size());
+  grad->resize(margins.size());
+  hess->resize(margins.size());
+  switch (objective) {
+    case Objective::kLogistic:
+      for (size_t i = 0; i < margins.size(); ++i) {
+        const double p = Sigmoid(margins[i]);
+        (*grad)[i] = p - labels[i];
+        (*hess)[i] = std::max(p * (1.0 - p), 1e-16);
+      }
+      break;
+    case Objective::kSquared:
+      for (size_t i = 0; i < margins.size(); ++i) {
+        (*grad)[i] = margins[i] - labels[i];
+        (*hess)[i] = 1.0;
+      }
+      break;
+  }
+}
+
+double ComputeLoss(Objective objective, const std::vector<double>& margins,
+                   const std::vector<double>& labels) {
+  SAFE_CHECK(margins.size() == labels.size());
+  if (margins.empty()) return 0.0;
+  double total = 0.0;
+  switch (objective) {
+    case Objective::kLogistic:
+      for (size_t i = 0; i < margins.size(); ++i) {
+        const double p =
+            std::clamp(Sigmoid(margins[i]), 1e-15, 1.0 - 1e-15);
+        total -= labels[i] * std::log(p) +
+                 (1.0 - labels[i]) * std::log(1.0 - p);
+      }
+      break;
+    case Objective::kSquared:
+      for (size_t i = 0; i < margins.size(); ++i) {
+        const double d = margins[i] - labels[i];
+        total += d * d;
+      }
+      break;
+  }
+  return total / static_cast<double>(margins.size());
+}
+
+double BaseScore(Objective objective, const std::vector<double>& labels) {
+  if (labels.empty()) return 0.0;
+  double mean = 0.0;
+  for (double y : labels) mean += y;
+  mean /= static_cast<double>(labels.size());
+  if (objective == Objective::kLogistic) {
+    const double p = std::clamp(mean, 1e-6, 1.0 - 1e-6);
+    return std::log(p / (1.0 - p));
+  }
+  return mean;
+}
+
+double TransformMargin(Objective objective, double margin) {
+  return objective == Objective::kLogistic ? Sigmoid(margin) : margin;
+}
+
+}  // namespace gbdt
+}  // namespace safe

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "src/gbdt/params.h"
+
+namespace safe {
+namespace gbdt {
+
+/// Numerically-stable sigmoid.
+double Sigmoid(double x);
+
+/// \brief First/second-order gradient statistics of a loss at the current
+/// margins. grad/hess are resized to match.
+void ComputeGradients(Objective objective,
+                      const std::vector<double>& margins,
+                      const std::vector<double>& labels,
+                      std::vector<double>* grad, std::vector<double>* hess);
+
+/// Mean loss at the given margins (log-loss for kLogistic, MSE for
+/// kSquared); used for early stopping.
+double ComputeLoss(Objective objective, const std::vector<double>& margins,
+                   const std::vector<double>& labels);
+
+/// Model-space base score: log-odds of the positive rate for kLogistic,
+/// label mean for kSquared.
+double BaseScore(Objective objective, const std::vector<double>& labels);
+
+/// Maps a margin to an output (sigmoid for kLogistic, identity otherwise).
+double TransformMargin(Objective objective, double margin);
+
+}  // namespace gbdt
+}  // namespace safe

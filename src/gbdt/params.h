@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace safe {
+namespace gbdt {
+
+/// \brief Split-finding algorithm.
+enum class TreeMethod {
+  kHist,   ///< quantized histograms (XGBoost `hist`; the default)
+  kExact,  ///< pre-sorted exact greedy (XGBoost `exact`)
+};
+
+/// \brief Training objective.
+enum class Objective {
+  kLogistic,  ///< binary:logistic — margins pass through a sigmoid
+  kSquared,   ///< reg:squarederror
+};
+
+/// \brief Hyper-parameters of the boosted-tree learner.
+///
+/// Defaults mirror XGBoost's: 100 rounds are rarely needed here, so the
+/// library defaults to a lighter configuration suited to SAFE's role as a
+/// combination miner (paper Section IV-D: complexity is controlled by the
+/// number of trees K and depth D).
+struct GbdtParams {
+  size_t num_trees = 50;
+  size_t max_depth = 4;
+  double learning_rate = 0.3;
+  /// L2 regularization on leaf weights (XGBoost lambda).
+  double reg_lambda = 1.0;
+  /// Minimum loss reduction required to make a split (XGBoost gamma).
+  double min_split_gain = 0.0;
+  /// Minimum sum of instance hessians in each child.
+  double min_child_weight = 1.0;
+  /// Row subsample ratio per tree.
+  double subsample = 1.0;
+  /// Column subsample ratio per tree.
+  double colsample_bytree = 1.0;
+  /// Maximum histogram bins per feature.
+  size_t max_bins = 256;
+  Objective objective = Objective::kLogistic;
+  TreeMethod tree_method = TreeMethod::kHist;
+  uint64_t seed = 42;
+  /// Stop when validation loss has not improved for this many rounds
+  /// (0 disables early stopping; requires a validation set).
+  size_t early_stopping_rounds = 0;
+};
+
+}  // namespace gbdt
+}  // namespace safe

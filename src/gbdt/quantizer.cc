@@ -1,0 +1,58 @@
+#include "src/gbdt/quantizer.h"
+
+#include "src/common/thread_pool.h"
+
+namespace safe {
+namespace gbdt {
+
+Result<FeatureQuantizer> FeatureQuantizer::Fit(const DataFrame& frame,
+                                               size_t max_bins) {
+  if (frame.num_columns() == 0 || frame.num_rows() == 0) {
+    return Status::InvalidArgument("quantizer: empty frame");
+  }
+  if (max_bins < 2 || max_bins > 65534) {
+    return Status::InvalidArgument("quantizer: max_bins must be in [2,65534]");
+  }
+  FeatureQuantizer q;
+  q.edges_.resize(frame.num_columns());
+  std::vector<Status> statuses(frame.num_columns());
+  ParallelFor(0, frame.num_columns(), [&](size_t f) {
+    const auto& values = frame.column(f).values();
+    auto result = EqualFrequencyEdges(values, max_bins);
+    if (result.ok()) {
+      q.edges_[f] = std::move(*result);
+    } else if (frame.column(f).CountMissing() == values.size()) {
+      // All-missing column: a single (missing) bin, never splittable.
+      q.edges_[f] = BinEdges{};
+    } else {
+      statuses[f] = result.status();
+    }
+  });
+  for (const auto& st : statuses) SAFE_RETURN_NOT_OK(st);
+  return q;
+}
+
+Result<BinnedMatrix> FeatureQuantizer::Transform(
+    const DataFrame& frame) const {
+  if (frame.num_columns() != edges_.size()) {
+    return Status::InvalidArgument(
+        "quantizer: frame has " + std::to_string(frame.num_columns()) +
+        " columns, expected " + std::to_string(edges_.size()));
+  }
+  BinnedMatrix out;
+  out.num_rows = frame.num_rows();
+  out.edges = edges_;
+  out.bins.resize(edges_.size());
+  ParallelFor(0, edges_.size(), [&](size_t f) {
+    const auto& values = frame.column(f).values();
+    auto& bins = out.bins[f];
+    bins.resize(values.size());
+    for (size_t r = 0; r < values.size(); ++r) {
+      bins[r] = static_cast<uint16_t>(edges_[f].BinIndex(values[r]));
+    }
+  });
+  return out;
+}
+
+}  // namespace gbdt
+}  // namespace safe

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dataframe/binning.h"
+#include "src/dataframe/dataframe.h"
+
+namespace safe {
+namespace gbdt {
+
+/// \brief A feature matrix quantized into per-feature histogram bins.
+///
+/// bins[f][r] is the bin index of row r under feature f's edges; the last
+/// index (missing_bin) holds NaNs. Bin indices fit in uint16 because
+/// max_bins <= 65534.
+struct BinnedMatrix {
+  std::vector<std::vector<uint16_t>> bins;   // [feature][row]
+  std::vector<BinEdges> edges;               // per feature
+  size_t num_rows = 0;
+
+  size_t num_features() const { return bins.size(); }
+  /// Total cells for feature f including the missing bin.
+  size_t num_cells(size_t f) const { return edges[f].missing_bin() + 1; }
+};
+
+/// \brief Learns per-feature quantile cut points and quantizes frames.
+///
+/// This is the "weighted quantile sketch" stand-in: exact quantiles over
+/// the training frame, which is what XGBoost's `tree_method=hist` does for
+/// in-memory data.
+class FeatureQuantizer {
+ public:
+  /// Learns edges (<= max_bins bins per feature) from the training frame.
+  static Result<FeatureQuantizer> Fit(const DataFrame& frame,
+                                      size_t max_bins);
+
+  /// Quantizes a frame with the learned edges (column count must match).
+  Result<BinnedMatrix> Transform(const DataFrame& frame) const;
+
+  const std::vector<BinEdges>& edges() const { return edges_; }
+
+ private:
+  std::vector<BinEdges> edges_;
+};
+
+}  // namespace gbdt
+}  // namespace safe

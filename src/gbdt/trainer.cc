@@ -1,0 +1,202 @@
+#include "src/gbdt/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace safe {
+namespace gbdt {
+
+namespace {
+
+struct HistBin {
+  double grad = 0.0;
+  double hess = 0.0;
+};
+
+double LeafObjective(double g, double h, double lambda) {
+  return (g * g) / (h + lambda);
+}
+
+}  // namespace
+
+TreeTrainer::SplitCandidate TreeTrainer::FindBestSplit(
+    const std::vector<double>& grad, const std::vector<double>& hess,
+    const std::vector<size_t>& rows, const std::vector<int>& features,
+    double sum_grad, double sum_hess) const {
+  SplitCandidate best;
+  const double lambda = params_->reg_lambda;
+  const double parent_obj = LeafObjective(sum_grad, sum_hess, lambda);
+
+  std::vector<HistBin> hist;
+  for (int f : features) {
+    const auto& edges = matrix_->edges[static_cast<size_t>(f)].edges;
+    const size_t cells = matrix_->num_cells(static_cast<size_t>(f));
+    hist.assign(cells, HistBin{});
+    const auto& bins = matrix_->bins[static_cast<size_t>(f)];
+    for (size_t r : rows) {
+      HistBin& hb = hist[bins[r]];
+      hb.grad += grad[r];
+      hb.hess += hess[r];
+    }
+    const size_t missing_bin = matrix_->edges[static_cast<size_t>(f)].missing_bin();
+    const double miss_g = hist[missing_bin].grad;
+    const double miss_h = hist[missing_bin].hess;
+
+    if (edges.empty()) {
+      // Feature is constant over its non-missing values, but the
+      // missing-vs-present partition itself may carry signal: split with
+      // threshold +inf (all values left) and missing routed right.
+      const double lg = sum_grad - miss_g;
+      const double lh = sum_hess - miss_h;
+      if (lh >= params_->min_child_weight &&
+          miss_h >= params_->min_child_weight) {
+        const double gain = 0.5 * (LeafObjective(lg, lh, lambda) +
+                                   LeafObjective(miss_g, miss_h, lambda) -
+                                   parent_obj) -
+                            params_->min_split_gain;
+        if (gain > best.gain + 1e-12) {
+          best.gain = gain;
+          best.feature = f;
+          best.bin = 0;
+          best.missing_left = false;
+        }
+      }
+      continue;
+    }
+
+    // Scan split points: bins <= b left. Try missing on each side.
+    double left_g = 0.0;
+    double left_h = 0.0;
+    for (size_t b = 0; b < edges.size(); ++b) {
+      left_g += hist[b].grad;
+      left_h += hist[b].hess;
+      for (int miss_left = 0; miss_left < 2; ++miss_left) {
+        const double lg = left_g + (miss_left ? miss_g : 0.0);
+        const double lh = left_h + (miss_left ? miss_h : 0.0);
+        const double rg = sum_grad - lg;
+        const double rh = sum_hess - lh;
+        if (lh < params_->min_child_weight ||
+            rh < params_->min_child_weight) {
+          continue;
+        }
+        const double gain = 0.5 * (LeafObjective(lg, lh, lambda) +
+                                   LeafObjective(rg, rh, lambda) -
+                                   parent_obj) -
+                            params_->min_split_gain;
+        if (gain > best.gain + 1e-12) {
+          best.gain = gain;
+          best.feature = f;
+          best.bin = b;
+          best.missing_left = miss_left != 0;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+RegressionTree TreeTrainer::Train(const std::vector<double>& grad,
+                                  const std::vector<double>& hess,
+                                  const std::vector<size_t>& rows,
+                                  const std::vector<int>& features) const {
+  struct NodeTask {
+    int node_index;
+    size_t depth;
+    std::vector<size_t> rows;
+    double sum_grad;
+    double sum_hess;
+  };
+
+  std::vector<TreeNode> nodes;
+  nodes.emplace_back();
+
+  double root_g = 0.0;
+  double root_h = 0.0;
+  for (size_t r : rows) {
+    root_g += grad[r];
+    root_h += hess[r];
+  }
+
+  std::vector<NodeTask> stack;
+  stack.push_back(NodeTask{0, 0, rows, root_g, root_h});
+
+  const double lambda = params_->reg_lambda;
+  const double lr = params_->learning_rate;
+
+  while (!stack.empty()) {
+    NodeTask task = std::move(stack.back());
+    stack.pop_back();
+
+    auto make_leaf = [&]() {
+      nodes[static_cast<size_t>(task.node_index)].value =
+          -lr * task.sum_grad / (task.sum_hess + lambda);
+    };
+
+    if (task.depth >= params_->max_depth || task.rows.size() < 2) {
+      make_leaf();
+      continue;
+    }
+    SplitCandidate split = FindBestSplit(grad, hess, task.rows, features,
+                                         task.sum_grad, task.sum_hess);
+    if (!split.valid() || split.gain <= 0.0) {
+      make_leaf();
+      continue;
+    }
+
+    const size_t f = static_cast<size_t>(split.feature);
+    const auto& bins = matrix_->bins[f];
+    const size_t missing_bin = matrix_->edges[f].missing_bin();
+
+    std::vector<size_t> left_rows;
+    std::vector<size_t> right_rows;
+    double left_g = 0.0;
+    double left_h = 0.0;
+    for (size_t r : task.rows) {
+      const size_t b = bins[r];
+      const bool go_left =
+          (b == missing_bin) ? split.missing_left : (b <= split.bin);
+      if (go_left) {
+        left_rows.push_back(r);
+        left_g += grad[r];
+        left_h += hess[r];
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    if (left_rows.empty() || right_rows.empty()) {
+      // Degenerate split (can happen when all mass is in the missing bin).
+      make_leaf();
+      continue;
+    }
+
+    const int left_index = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    const int right_index = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+
+    TreeNode& node = nodes[static_cast<size_t>(task.node_index)];
+    node.left = left_index;
+    node.right = right_index;
+    node.feature = split.feature;
+    // An empty edge list marks the missing-vs-present split: +inf sends
+    // every non-missing value left, the default direction routes NaN.
+    node.threshold = matrix_->edges[f].edges.empty()
+                         ? std::numeric_limits<double>::infinity()
+                         : matrix_->edges[f].edges[split.bin];
+    node.gain = split.gain;
+    node.default_left = split.missing_left;
+
+    stack.push_back(NodeTask{right_index, task.depth + 1,
+                             std::move(right_rows), task.sum_grad - left_g,
+                             task.sum_hess - left_h});
+    stack.push_back(NodeTask{left_index, task.depth + 1,
+                             std::move(left_rows), left_g, left_h});
+  }
+  return RegressionTree(std::move(nodes));
+}
+
+}  // namespace gbdt
+}  // namespace safe

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/gbdt/params.h"
+#include "src/gbdt/quantizer.h"
+#include "src/gbdt/tree.h"
+
+namespace safe {
+namespace gbdt {
+
+/// \brief Grows one regression tree on second-order gradients over a
+/// binned matrix (the `hist` algorithm: per-node gradient histograms, best
+/// split by scanning bins, missing values routed to the better side).
+class TreeTrainer {
+ public:
+  TreeTrainer(const BinnedMatrix* matrix, const GbdtParams* params)
+      : matrix_(matrix), params_(params) {}
+
+  /// \param grad,hess  per-row gradient statistics (full length).
+  /// \param rows       training rows for this tree (after subsampling).
+  /// \param features   candidate feature indices (after column sampling).
+  /// Leaf values already include the learning rate.
+  RegressionTree Train(const std::vector<double>& grad,
+                       const std::vector<double>& hess,
+                       const std::vector<size_t>& rows,
+                       const std::vector<int>& features) const;
+
+ private:
+  struct SplitCandidate {
+    double gain = 0.0;
+    int feature = -1;
+    size_t bin = 0;           // split sends bins <= bin to the left
+    bool missing_left = true;
+    bool valid() const { return feature >= 0; }
+  };
+
+  SplitCandidate FindBestSplit(const std::vector<double>& grad,
+                               const std::vector<double>& hess,
+                               const std::vector<size_t>& rows,
+                               const std::vector<int>& features,
+                               double sum_grad, double sum_hess) const;
+
+  const BinnedMatrix* matrix_;
+  const GbdtParams* params_;
+};
+
+}  // namespace gbdt
+}  // namespace safe

@@ -1,0 +1,197 @@
+#include "src/models/cart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace safe {
+namespace models {
+
+namespace {
+
+/// Weighted Gini impurity of a (pos, total) weight mass.
+double Gini(double pos, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = pos / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+struct BestSplit {
+  double score = -1.0;  // weighted impurity decrease
+  int feature = -1;
+  double threshold = 0.0;
+  bool valid() const { return feature >= 0; }
+};
+
+}  // namespace
+
+Status CartTree::Fit(const std::vector<const std::vector<double>*>& columns,
+                     const std::vector<double>& labels,
+                     const std::vector<double>& weights,
+                     const std::vector<size_t>& rows,
+                     const CartParams& params, Rng* rng) {
+  if (columns.empty() || rows.empty()) {
+    return Status::InvalidArgument("cart: empty input");
+  }
+  for (const auto* col : columns) {
+    if (col == nullptr || col->size() != labels.size() ||
+        labels.size() != weights.size()) {
+      return Status::InvalidArgument("cart: column/label/weight mismatch");
+    }
+  }
+  nodes_.clear();
+  nodes_.emplace_back();
+
+  struct Task {
+    int node;
+    size_t depth;
+    std::vector<size_t> rows;
+  };
+  std::vector<Task> stack;
+  stack.push_back(Task{0, 0, rows});
+
+  const size_t num_features = columns.size();
+  std::vector<size_t> feature_pool(num_features);
+  for (size_t f = 0; f < num_features; ++f) feature_pool[f] = f;
+
+  // Scratch for the exact scan.
+  std::vector<std::pair<double, size_t>> sorted;
+
+  while (!stack.empty()) {
+    Task task = std::move(stack.back());
+    stack.pop_back();
+
+    double pos_w = 0.0;
+    double total_w = 0.0;
+    for (size_t r : task.rows) {
+      total_w += weights[r];
+      if (labels[r] > 0.5) pos_w += weights[r];
+    }
+    CartNode& node_ref = nodes_[static_cast<size_t>(task.node)];
+    node_ref.proba = total_w > 0.0 ? pos_w / total_w : 0.5;
+
+    const bool pure = pos_w <= 0.0 || pos_w >= total_w;
+    if (pure || task.depth >= params.max_depth ||
+        task.rows.size() < params.min_samples_split) {
+      continue;  // stays a leaf
+    }
+
+    // Candidate features for this node.
+    std::vector<size_t> candidates;
+    if (params.max_features == 0 || params.max_features >= num_features) {
+      candidates = feature_pool;
+    } else {
+      candidates =
+          rng->SampleWithoutReplacement(num_features, params.max_features);
+    }
+
+    const double parent_impurity = Gini(pos_w, total_w) * total_w;
+    BestSplit best;
+
+    for (size_t f : candidates) {
+      const auto& col = *columns[f];
+      if (params.random_thresholds) {
+        // Extra-Trees: a single uniform threshold in the node's range.
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -std::numeric_limits<double>::infinity();
+        for (size_t r : task.rows) {
+          lo = std::min(lo, col[r]);
+          hi = std::max(hi, col[r]);
+        }
+        if (!(hi > lo)) continue;
+        const double threshold = rng->NextUniform(lo, hi);
+        double lp = 0.0;
+        double lt = 0.0;
+        size_t left_n = 0;
+        for (size_t r : task.rows) {
+          if (col[r] <= threshold) {
+            lt += weights[r];
+            if (labels[r] > 0.5) lp += weights[r];
+            ++left_n;
+          }
+        }
+        const size_t right_n = task.rows.size() - left_n;
+        if (left_n < params.min_samples_leaf ||
+            right_n < params.min_samples_leaf) {
+          continue;
+        }
+        const double score = parent_impurity - Gini(lp, lt) * lt -
+                             Gini(pos_w - lp, total_w - lt) * (total_w - lt);
+        if (score > best.score) {
+          best = BestSplit{score, static_cast<int>(f), threshold};
+        }
+      } else {
+        // Exact scan over sorted values; thresholds at value midpoints.
+        sorted.clear();
+        sorted.reserve(task.rows.size());
+        for (size_t r : task.rows) sorted.emplace_back(col[r], r);
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first < b.first;
+                  });
+        double lp = 0.0;
+        double lt = 0.0;
+        for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+          const size_t r = sorted[i].second;
+          lt += weights[r];
+          if (labels[r] > 0.5) lp += weights[r];
+          if (sorted[i].first == sorted[i + 1].first) continue;  // tie block
+          const size_t left_n = i + 1;
+          const size_t right_n = sorted.size() - left_n;
+          if (left_n < params.min_samples_leaf ||
+              right_n < params.min_samples_leaf) {
+            continue;
+          }
+          const double score =
+              parent_impurity - Gini(lp, lt) * lt -
+              Gini(pos_w - lp, total_w - lt) * (total_w - lt);
+          if (score > best.score) {
+            const double threshold =
+                0.5 * (sorted[i].first + sorted[i + 1].first);
+            best = BestSplit{score, static_cast<int>(f), threshold};
+          }
+        }
+      }
+    }
+
+    if (!best.valid() || best.score <= 1e-12) continue;
+
+    std::vector<size_t> left_rows;
+    std::vector<size_t> right_rows;
+    const auto& col = *columns[static_cast<size_t>(best.feature)];
+    for (size_t r : task.rows) {
+      (col[r] <= best.threshold ? left_rows : right_rows).push_back(r);
+    }
+    if (left_rows.empty() || right_rows.empty()) continue;
+
+    const int left_index = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    const int right_index = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    CartNode& node = nodes_[static_cast<size_t>(task.node)];
+    node.left = left_index;
+    node.right = right_index;
+    node.feature = best.feature;
+    node.threshold = best.threshold;
+    node.gain = best.score;
+
+    stack.push_back(Task{right_index, task.depth + 1, std::move(right_rows)});
+    stack.push_back(Task{left_index, task.depth + 1, std::move(left_rows)});
+  }
+  return Status::OK();
+}
+
+double CartTree::PredictRowProba(const double* row) const {
+  if (nodes_.empty()) return 0.5;
+  int idx = 0;
+  while (!nodes_[static_cast<size_t>(idx)].is_leaf()) {
+    const CartNode& node = nodes_[static_cast<size_t>(idx)];
+    idx = (row[node.feature] <= node.threshold) ? node.left : node.right;
+  }
+  return nodes_[static_cast<size_t>(idx)].proba;
+}
+
+}  // namespace models
+}  // namespace safe

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+
+namespace safe {
+namespace models {
+
+/// \brief Hyper-parameters of the weighted Gini CART used by DT / RF /
+/// ET / AdaBoost.
+struct CartParams {
+  size_t max_depth = 30;
+  size_t min_samples_leaf = 1;
+  size_t min_samples_split = 2;
+  /// Per-node feature-subset size; 0 means all features (plain CART),
+  /// sqrt(M) is the forest convention.
+  size_t max_features = 0;
+  /// Extra-Trees mode: one uniform-random threshold per candidate feature
+  /// instead of an exhaustive scan.
+  bool random_thresholds = false;
+};
+
+/// \brief A classification tree node; leaves carry P(y=1).
+struct CartNode {
+  int left = -1;
+  int right = -1;
+  int feature = -1;
+  double threshold = 0.0;
+  double proba = 0.5;
+  /// Weighted Gini impurity decrease of this split (0 on leaves); the
+  /// mean-decrease-in-impurity feature importance sums these.
+  double gain = 0.0;
+
+  bool is_leaf() const { return left < 0; }
+};
+
+/// \brief Weighted binary-classification CART with exact or randomized
+/// split search. Inputs are imputed feature columns (no NaN) — forest
+/// wrappers impute once and share columns across trees.
+class CartTree {
+ public:
+  /// \param columns  column pointers, all of equal length.
+  /// \param labels   binary labels per row.
+  /// \param weights  per-row sample weights (AdaBoost reweighting).
+  /// \param rows     rows to train on (bootstrap sample for RF).
+  /// \param rng      used for feature subsets / random thresholds.
+  Status Fit(const std::vector<const std::vector<double>*>& columns,
+             const std::vector<double>& labels,
+             const std::vector<double>& weights,
+             const std::vector<size_t>& rows, const CartParams& params,
+             Rng* rng);
+
+  /// P(y=1) for one dense row.
+  double PredictRowProba(const double* row) const;
+
+  const std::vector<CartNode>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<CartNode> nodes_;
+};
+
+}  // namespace models
+}  // namespace safe

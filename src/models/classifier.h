@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dataframe/dataframe.h"
+
+namespace safe {
+namespace models {
+
+/// \brief Common interface of the nine evaluation classifiers
+/// (paper Table III). Scores are ranking scores: any monotone transform of
+/// P(y=1|x), which is all AUC evaluation needs.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset (binary labels). Implementations must be
+  /// re-fittable: a second Fit discards the first model.
+  virtual Status Fit(const Dataset& train) = 0;
+
+  /// Per-row ranking scores; requires a prior successful Fit and the same
+  /// column count as training.
+  virtual Result<std::vector<double>> PredictScores(
+      const DataFrame& x) const = 0;
+
+  /// Human-readable name ("Random Forest").
+  virtual std::string name() const = 0;
+};
+
+/// The paper's nine classifiers, in Table III row order.
+enum class ClassifierKind {
+  kAdaBoost,            // AB
+  kDecisionTree,        // DT
+  kExtraTrees,          // ET
+  kKnn,                 // kNN
+  kLogisticRegression,  // LR
+  kMlp,                 // MLP
+  kRandomForest,        // RF
+  kLinearSvm,           // SVM
+  kXgboost,             // XGB
+};
+
+/// All nine kinds, Table III order.
+const std::vector<ClassifierKind>& AllClassifierKinds();
+
+/// Paper abbreviation ("AB", "DT", ..., "XGB").
+const char* ClassifierShortName(ClassifierKind kind);
+
+/// Constructs a classifier with its library-default hyper-parameters
+/// (chosen to mirror the scikit-learn / XGBoost defaults the paper uses,
+/// scaled where noted in DESIGN.md).
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind,
+                                           uint64_t seed);
+
+}  // namespace models
+}  // namespace safe

@@ -1,0 +1,63 @@
+#include "src/models/dense.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/stats/descriptive.h"
+
+namespace safe {
+namespace models {
+
+namespace {
+// Standardized values are winsorized at +/-kClip: constructed features
+// (ratios especially) are heavy-tailed, and a single extreme row would
+// otherwise dominate gradient steps in the fixed-step linear/NN trainers.
+constexpr double kClip = 10.0;
+}  // namespace
+
+StandardScaler StandardScaler::Fit(const DataFrame& frame) {
+  StandardScaler scaler;
+  scaler.means_.resize(frame.num_columns());
+  scaler.inv_stds_.resize(frame.num_columns());
+  for (size_t c = 0; c < frame.num_columns(); ++c) {
+    const auto& values = frame.column(c).values();
+    scaler.means_[c] = Mean(values);
+    const double sd = StdDev(values);
+    scaler.inv_stds_[c] = sd > 1e-12 ? 1.0 / sd : 0.0;
+  }
+  return scaler;
+}
+
+DenseMatrix StandardScaler::Transform(const DataFrame& frame) const {
+  SAFE_CHECK(frame.num_columns() == means_.size());
+  DenseMatrix out;
+  out.rows = frame.num_rows();
+  out.cols = frame.num_columns();
+  out.values.resize(out.rows * out.cols);
+  for (size_t c = 0; c < out.cols; ++c) {
+    const auto& values = frame.column(c).values();
+    for (size_t r = 0; r < out.rows; ++r) {
+      const double v = values[r];
+      out.values[r * out.cols + c] =
+          std::isnan(v)
+              ? 0.0
+              : std::clamp((v - means_[c]) * inv_stds_[c], -kClip, kClip);
+    }
+  }
+  return out;
+}
+
+void StandardScaler::TransformRow(std::vector<double>* row) const {
+  SAFE_CHECK(row->size() == means_.size());
+  for (size_t c = 0; c < row->size(); ++c) {
+    const double v = (*row)[c];
+    (*row)[c] = std::isnan(v)
+                    ? 0.0
+                    : std::clamp((v - means_[c]) * inv_stds_[c], -kClip,
+                                 kClip);
+  }
+}
+
+}  // namespace models
+}  // namespace safe

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/dataframe/dataframe.h"
+
+namespace safe {
+namespace models {
+
+/// \brief Row-major dense matrix used by the distance/linear/neural
+/// models, which want contiguous rows rather than the DataFrame's
+/// contiguous columns.
+struct DenseMatrix {
+  std::vector<double> values;  // rows * cols
+  size_t rows = 0;
+  size_t cols = 0;
+
+  double at(size_t r, size_t c) const { return values[r * cols + c]; }
+  double* row(size_t r) { return values.data() + r * cols; }
+  const double* row(size_t r) const { return values.data() + r * cols; }
+};
+
+/// \brief Standardizer with mean imputation.
+///
+/// Learns per-column mean/std on the training frame; Transform maps each
+/// cell to (v - mean)/std with NaN imputed to the mean (i.e., 0 after
+/// scaling). Constant columns scale to 0. This mirrors what a
+/// scikit-learn pipeline (SimpleImputer + StandardScaler) does in front
+/// of kNN / LR / MLP / SVM.
+class StandardScaler {
+ public:
+  /// Learns means and stds from `frame`.
+  static StandardScaler Fit(const DataFrame& frame);
+
+  /// Applies the learned scaling; column count must match Fit.
+  DenseMatrix Transform(const DataFrame& frame) const;
+
+  /// Scales a single dense row in place (NaN -> 0 post-scaling).
+  void TransformRow(std::vector<double>* row) const;
+
+  size_t num_columns() const { return means_.size(); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> inv_stds_;
+};
+
+}  // namespace models
+}  // namespace safe

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/models/classifier.h"
+#include "src/models/dense.h"
+
+namespace safe {
+namespace models {
+
+/// \brief k-nearest-neighbours on standardized features with brute-force
+/// Euclidean search (paper's kNN; scikit-learn default k = 5). The score
+/// is the positive fraction among the k neighbours, distance ties broken
+/// by training order.
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(uint64_t seed, size_t k = 5)
+      : seed_(seed), k_(k) {}
+  Status Fit(const Dataset& train) override;
+  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  std::string name() const override { return "kNN"; }
+
+ private:
+  uint64_t seed_;
+  size_t k_;
+  StandardScaler scaler_;
+  DenseMatrix train_x_;
+  std::vector<double> train_y_;
+  bool fitted_ = false;
+};
+
+}  // namespace models
+}  // namespace safe

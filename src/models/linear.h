@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/models/classifier.h"
+#include "src/models/dense.h"
+
+namespace safe {
+namespace models {
+
+/// \brief L2-regularized logistic regression trained with full-batch
+/// gradient descent + momentum on standardized features (paper's LR;
+/// scikit-learn LogisticRegression analogue with C = 1).
+class LogisticRegressionClassifier : public Classifier {
+ public:
+  explicit LogisticRegressionClassifier(uint64_t seed, size_t max_iters = 300,
+                                        double l2 = 1.0)
+      : seed_(seed), max_iters_(max_iters), l2_(l2) {}
+  Status Fit(const Dataset& train) override;
+  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  std::string name() const override { return "Logistic Regression"; }
+
+ private:
+  uint64_t seed_;
+  size_t max_iters_;
+  double l2_;  // total L2 strength (sklearn C=1 -> lambda = 1)
+  StandardScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// \brief Linear SVM trained with Pegasos-style sub-gradient descent on
+/// the hinge loss (paper's SVM). Scores are raw margins — a monotone
+/// ranking, which is all the AUC evaluation needs.
+class LinearSvmClassifier : public Classifier {
+ public:
+  explicit LinearSvmClassifier(uint64_t seed, size_t epochs = 20,
+                               double reg_lambda = 1e-4)
+      : seed_(seed), epochs_(epochs), reg_lambda_(reg_lambda) {}
+  Status Fit(const Dataset& train) override;
+  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  std::string name() const override { return "Linear SVM"; }
+
+ private:
+  uint64_t seed_;
+  size_t epochs_;
+  double reg_lambda_;
+  StandardScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace models
+}  // namespace safe

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/models/classifier.h"
+#include "src/models/dense.h"
+
+namespace safe {
+namespace models {
+
+/// \brief One-hidden-layer ReLU MLP with a sigmoid output, trained with
+/// mini-batch Adam on log-loss over standardized features (paper's MLP;
+/// scikit-learn MLPClassifier analogue, hidden size 100 scaled down to 64
+/// for the single-core harness — see DESIGN.md Substitution 3).
+class MlpClassifier : public Classifier {
+ public:
+  explicit MlpClassifier(uint64_t seed, size_t hidden = 64,
+                         size_t epochs = 30, size_t batch_size = 64,
+                         double learning_rate = 1e-3)
+      : seed_(seed),
+        hidden_(hidden),
+        epochs_(epochs),
+        batch_size_(batch_size),
+        learning_rate_(learning_rate) {}
+  Status Fit(const Dataset& train) override;
+  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  std::string name() const override { return "MLP"; }
+
+ private:
+  std::vector<double> Forward(const double* row) const;
+
+  uint64_t seed_;
+  size_t hidden_;
+  size_t epochs_;
+  size_t batch_size_;
+  double learning_rate_;
+  StandardScaler scaler_;
+  // Parameters: w1 [hidden x in], b1 [hidden], w2 [hidden], b2.
+  std::vector<double> w1_;
+  std::vector<double> b1_;
+  std::vector<double> w2_;
+  double b2_ = 0.0;
+  size_t inputs_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace models
+}  // namespace safe

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/models/cart.h"
+#include "src/models/classifier.h"
+
+namespace safe {
+namespace models {
+
+/// \brief Shared mean-imputed column store for the CART family.
+///
+/// CART has no native missing handling (unlike the GBDT engine), so the
+/// wrappers impute with training means, once, and share columns across
+/// all trees of a forest.
+class ImputedColumns {
+ public:
+  /// Learns means from `frame` and stores imputed copies of its columns.
+  void Fit(const DataFrame& frame);
+
+  /// Imputes a new frame with the *training* means.
+  std::vector<std::vector<double>> Transform(const DataFrame& frame) const;
+
+  /// Column pointers into the stored training columns.
+  std::vector<const std::vector<double>*> TrainColumnPtrs() const;
+
+  size_t num_columns() const { return means_.size(); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<std::vector<double>> train_columns_;
+};
+
+/// \brief CART decision tree (paper's DT; scikit-learn
+/// DecisionTreeClassifier analogue: unbounded depth, Gini).
+class DecisionTreeClassifier : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(uint64_t seed) : seed_(seed) {}
+  Status Fit(const Dataset& train) override;
+  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  std::string name() const override { return "Decision Tree"; }
+
+ private:
+  uint64_t seed_;
+  ImputedColumns imputer_;
+  CartTree tree_;
+  bool fitted_ = false;
+};
+
+/// \brief Bagged forest base for RF and ET.
+class ForestClassifier : public Classifier {
+ public:
+  ForestClassifier(uint64_t seed, size_t num_trees, bool bootstrap,
+                   bool random_thresholds)
+      : seed_(seed),
+        num_trees_(num_trees),
+        bootstrap_(bootstrap),
+        random_thresholds_(random_thresholds) {}
+
+  Status Fit(const Dataset& train) override;
+  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+
+  /// Mean-decrease-in-impurity importances, normalized to sum to 1
+  /// (the importance score used for the paper's Fig. 3).
+  std::vector<double> FeatureImportances() const;
+
+ protected:
+  uint64_t seed_;
+  size_t num_trees_;
+  bool bootstrap_;
+  bool random_thresholds_;
+  ImputedColumns imputer_;
+  std::vector<CartTree> trees_;
+  bool fitted_ = false;
+};
+
+/// \brief Random Forest (paper's RF): bootstrap + sqrt(M) feature subsets.
+class RandomForestClassifier : public ForestClassifier {
+ public:
+  explicit RandomForestClassifier(uint64_t seed, size_t num_trees = 100)
+      : ForestClassifier(seed, num_trees, /*bootstrap=*/true,
+                         /*random_thresholds=*/false) {}
+  std::string name() const override { return "Random Forest"; }
+};
+
+/// \brief Extremely randomized trees (paper's ET): full sample + random
+/// thresholds.
+class ExtraTreesClassifier : public ForestClassifier {
+ public:
+  explicit ExtraTreesClassifier(uint64_t seed, size_t num_trees = 100)
+      : ForestClassifier(seed, num_trees, /*bootstrap=*/false,
+                         /*random_thresholds=*/true) {}
+  std::string name() const override { return "Extra Trees"; }
+};
+
+/// \brief AdaBoost (paper's AB): SAMME with depth-1 stumps.
+class AdaBoostClassifier : public Classifier {
+ public:
+  explicit AdaBoostClassifier(uint64_t seed, size_t num_rounds = 50)
+      : seed_(seed), num_rounds_(num_rounds) {}
+  Status Fit(const Dataset& train) override;
+  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  std::string name() const override { return "AdaBoost"; }
+
+ private:
+  uint64_t seed_;
+  size_t num_rounds_;
+  ImputedColumns imputer_;
+  std::vector<CartTree> stumps_;
+  std::vector<double> alphas_;
+  bool fitted_ = false;
+};
+
+}  // namespace models
+}  // namespace safe

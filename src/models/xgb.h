@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/gbdt/booster.h"
+#include "src/models/classifier.h"
+
+namespace safe {
+namespace models {
+
+/// \brief Classifier adapter over the library's own GBDT engine
+/// (paper's XGB).
+class XgbClassifier : public Classifier {
+ public:
+  explicit XgbClassifier(uint64_t seed) {
+    params_.seed = seed;
+    params_.num_trees = 100;
+    params_.max_depth = 4;
+    params_.learning_rate = 0.3;
+  }
+  explicit XgbClassifier(gbdt::GbdtParams params)
+      : params_(std::move(params)) {}
+
+  Status Fit(const Dataset& train) override;
+  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  std::string name() const override { return "XGBoost"; }
+
+  /// The trained ensemble (valid after Fit).
+  const gbdt::Booster& booster() const { return *booster_; }
+
+ private:
+  gbdt::GbdtParams params_;
+  std::optional<gbdt::Booster> booster_;
+};
+
+}  // namespace models
+}  // namespace safe

@@ -1,0 +1,50 @@
+#include "src/stats/auc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace safe {
+
+Result<double> Auc(const std::vector<double>& scores,
+                   const std::vector<double>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("AUC: score/label size mismatch");
+  }
+  if (scores.empty()) {
+    return Status::InvalidArgument("AUC: empty input");
+  }
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  double rank_sum_pos = 0.0;
+  size_t n_pos = 0;
+  size_t i = 0;
+  const size_t n = order.size();
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    // Midrank of the tie group [i, j) with 1-based ranks.
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j);
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5) {
+        rank_sum_pos += midrank;
+        ++n_pos;
+      }
+    }
+    i = j;
+  }
+  const size_t n_neg = n - n_pos;
+  if (n_pos == 0 || n_neg == 0) {
+    return Status::InvalidArgument("AUC: labels are single-class");
+  }
+  const double u = rank_sum_pos -
+                   static_cast<double>(n_pos) *
+                       (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+}  // namespace safe

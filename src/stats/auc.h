@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace safe {
+
+/// \brief Area under the ROC curve of scores against binary labels.
+///
+/// Computed via the rank statistic (Mann–Whitney U) with midrank tie
+/// handling, equivalent to trapezoidal ROC integration. Returns
+/// InvalidArgument when sizes mismatch, inputs are empty, or labels are
+/// single-class (AUC undefined).
+Result<double> Auc(const std::vector<double>& scores,
+                   const std::vector<double>& labels);
+
+}  // namespace safe

@@ -1,0 +1,121 @@
+#include "src/stats/chimerge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace safe {
+
+double ChiSquare(size_t pos_a, size_t total_a, size_t pos_b,
+                 size_t total_b) {
+  const double neg_a = static_cast<double>(total_a - pos_a);
+  const double neg_b = static_cast<double>(total_b - pos_b);
+  const double pa = static_cast<double>(pos_a);
+  const double pb = static_cast<double>(pos_b);
+  const double n = static_cast<double>(total_a + total_b);
+  if (n == 0.0) return 0.0;
+  const double pos_rate = (pa + pb) / n;
+  const double neg_rate = (neg_a + neg_b) / n;
+  double chi2 = 0.0;
+  const double observed[2][2] = {{pa, neg_a}, {pb, neg_b}};
+  const double row_totals[2] = {static_cast<double>(total_a),
+                                static_cast<double>(total_b)};
+  const double col_rates[2] = {pos_rate, neg_rate};
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      // Continuity pseudo-count keeps empty expectations finite.
+      const double expected = std::max(row_totals[r] * col_rates[c], 0.5);
+      const double diff = observed[r][c] - expected;
+      chi2 += diff * diff / expected;
+    }
+  }
+  return chi2;
+}
+
+Result<BinEdges> ChiMergeEdges(const std::vector<double>& values,
+                               const std::vector<double>& labels,
+                               const ChiMergeOptions& options) {
+  if (values.size() != labels.size() || values.empty()) {
+    return Status::InvalidArgument("chimerge: size mismatch or empty");
+  }
+  if (options.max_bins < 2) {
+    return Status::InvalidArgument("chimerge: max_bins must be >= 2");
+  }
+  SAFE_ASSIGN_OR_RETURN(BinEdges initial,
+                        EqualFrequencyEdges(values, options.initial_bins));
+
+  struct Interval {
+    double upper_edge;  // +inf for the last interval
+    size_t positives = 0;
+    size_t total = 0;
+  };
+  std::vector<Interval> intervals(initial.edges.size() + 1);
+  for (size_t b = 0; b < initial.edges.size(); ++b) {
+    intervals[b].upper_edge = initial.edges[b];
+  }
+  intervals.back().upper_edge = std::numeric_limits<double>::infinity();
+
+  for (size_t r = 0; r < values.size(); ++r) {
+    if (std::isnan(values[r])) continue;  // missing has its own bin later
+    const size_t b = initial.BinIndex(values[r]);
+    intervals[b].total += 1;
+    if (labels[r] > 0.5) intervals[b].positives += 1;
+  }
+  // Drop empty intervals up front (duplicated quantiles).
+  intervals.erase(std::remove_if(intervals.begin(), intervals.end() - 1,
+                                 [](const Interval& interval) {
+                                   return interval.total == 0;
+                                 }),
+                  intervals.end() - 1);
+
+  while (intervals.size() > options.max_bins) {
+    double best_chi2 = std::numeric_limits<double>::infinity();
+    size_t best = 0;
+    for (size_t i = 0; i + 1 < intervals.size(); ++i) {
+      const double chi2 =
+          ChiSquare(intervals[i].positives, intervals[i].total,
+                    intervals[i + 1].positives, intervals[i + 1].total);
+      if (chi2 < best_chi2) {
+        best_chi2 = chi2;
+        best = i;
+      }
+    }
+    if (best_chi2 > options.chi_threshold &&
+        intervals.size() <= options.initial_bins) {
+      // All adjacent pairs differ significantly — stop early, but only
+      // once below the bin cap is impossible; the cap is a hard limit.
+      if (intervals.size() <= options.max_bins) break;
+    }
+    intervals[best].positives += intervals[best + 1].positives;
+    intervals[best].total += intervals[best + 1].total;
+    intervals[best].upper_edge = intervals[best + 1].upper_edge;
+    intervals.erase(intervals.begin() + static_cast<long>(best) + 1);
+  }
+  // Keep merging below the cap while pairs stay statistically similar.
+  while (intervals.size() > 2) {
+    double best_chi2 = std::numeric_limits<double>::infinity();
+    size_t best = 0;
+    for (size_t i = 0; i + 1 < intervals.size(); ++i) {
+      const double chi2 =
+          ChiSquare(intervals[i].positives, intervals[i].total,
+                    intervals[i + 1].positives, intervals[i + 1].total);
+      if (chi2 < best_chi2) {
+        best_chi2 = chi2;
+        best = i;
+      }
+    }
+    if (best_chi2 > options.chi_threshold) break;
+    intervals[best].positives += intervals[best + 1].positives;
+    intervals[best].total += intervals[best + 1].total;
+    intervals[best].upper_edge = intervals[best + 1].upper_edge;
+    intervals.erase(intervals.begin() + static_cast<long>(best) + 1);
+  }
+
+  BinEdges out;
+  for (size_t i = 0; i + 1 < intervals.size(); ++i) {
+    out.edges.push_back(intervals[i].upper_edge);
+  }
+  return out;
+}
+
+}  // namespace safe

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dataframe/binning.h"
+
+namespace safe {
+
+/// \brief Options for ChiMerge discretization.
+struct ChiMergeOptions {
+  /// Stop merging when this many bins remain.
+  size_t max_bins = 10;
+  /// Also stop when the smallest adjacent-pair chi-square exceeds this
+  /// threshold (3.841 = chi2 at 95% confidence, 1 dof, 2 classes).
+  double chi_threshold = 3.841;
+  /// Initial fine-grained quantile bins before merging.
+  size_t initial_bins = 64;
+};
+
+/// \brief ChiMerge [Kerber 1992]: bottom-up supervised discretization.
+///
+/// The paper's Section III lists ChiMerge as the canonical supervised
+/// discretization operator. Starting from fine equal-frequency bins, the
+/// adjacent pair with the lowest chi-square statistic (i.e., the most
+/// similar class distributions) is merged repeatedly until both stopping
+/// rules hold. Returns interior cut points compatible with BinEdges.
+Result<BinEdges> ChiMergeEdges(const std::vector<double>& values,
+                               const std::vector<double>& labels,
+                               const ChiMergeOptions& options = {});
+
+/// Chi-square statistic of a 2x2 contingency given two (pos,total) cells;
+/// 0.5 continuity pseudo-counts guard empty expectations.
+double ChiSquare(size_t pos_a, size_t total_a, size_t pos_b, size_t total_b);
+
+}  // namespace safe

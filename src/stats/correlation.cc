@@ -1,0 +1,85 @@
+#include "src/stats/correlation.h"
+
+#include <cmath>
+
+namespace safe {
+
+PearsonBand ClassifyPearson(double r) {
+  const double a = std::fabs(r);
+  if (a < 0.2) return PearsonBand::kVeryWeak;
+  if (a < 0.4) return PearsonBand::kWeak;
+  if (a < 0.6) return PearsonBand::kModerate;
+  if (a < 0.8) return PearsonBand::kStrong;
+  return PearsonBand::kExtremelyStrong;
+}
+
+const char* PearsonBandName(PearsonBand band) {
+  switch (band) {
+    case PearsonBand::kVeryWeak:
+      return "Very weak or no correlation";
+    case PearsonBand::kWeak:
+      return "Weak correlation";
+    case PearsonBand::kModerate:
+      return "Moderate correlation";
+    case PearsonBand::kStrong:
+      return "Strong correlation";
+    case PearsonBand::kExtremelyStrong:
+      return "Extremely strong correlation";
+  }
+  return "?";
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  SAFE_CHECK(a.size() == b.size());
+  // Two-pass: means over paired non-missing rows, then moments.
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
+    sum_a += a[i];
+    sum_b += b[i];
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double mu_a = sum_a / static_cast<double>(n);
+  const double mu_b = sum_b / static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
+    const double da = a[i] - mu_a;
+    const double db = b[i] - mu_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  double r = cov / std::sqrt(var_a * var_b);
+  // Clamp tiny floating-point excursions outside [-1, 1].
+  if (r > 1.0) r = 1.0;
+  if (r < -1.0) r = -1.0;
+  return r;
+}
+
+std::vector<std::vector<double>> PearsonMatrix(const DataFrame& frame,
+                                               ThreadPool* pool) {
+  const size_t m = frame.num_columns();
+  std::vector<std::vector<double>> mat(m, std::vector<double>(m, 0.0));
+  if (pool == nullptr) pool = ThreadPool::Global();
+  ParallelFor(pool, 0, m, [&](size_t i) {
+    mat[i][i] = 1.0;
+    for (size_t j = i + 1; j < m; ++j) {
+      mat[i][j] = PearsonCorrelation(frame.column(i).values(),
+                                     frame.column(j).values());
+    }
+  });
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < i; ++j) mat[i][j] = mat[j][i];
+  }
+  return mat;
+}
+
+}  // namespace safe

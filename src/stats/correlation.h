@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/dataframe/dataframe.h"
+
+namespace safe {
+
+/// Rule-of-thumb correlation-strength bands for |Pearson| (paper Table II).
+enum class PearsonBand {
+  kVeryWeak,         ///< [0, 0.2)
+  kWeak,             ///< [0.2, 0.4)
+  kModerate,         ///< [0.4, 0.6)
+  kStrong,           ///< [0.6, 0.8)
+  kExtremelyStrong,  ///< [0.8, 1]
+};
+
+/// Classifies |r| into its Table II band.
+PearsonBand ClassifyPearson(double r);
+
+/// Human-readable band name.
+const char* PearsonBandName(PearsonBand band);
+
+/// \brief Pearson correlation coefficient (Eq. 7) between two features.
+///
+/// Rows where either value is NaN are skipped. Returns 0 when either
+/// feature is constant over the paired rows (no linear relationship is
+/// measurable), matching the redundancy filter's "not redundant" default.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Dense symmetric correlation matrix of all frame columns, with the
+/// upper triangle computed in parallel on `pool` (nullptr = global pool).
+std::vector<std::vector<double>> PearsonMatrix(const DataFrame& frame,
+                                               ThreadPool* pool = nullptr);
+
+}  // namespace safe

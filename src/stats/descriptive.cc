@@ -1,0 +1,76 @@
+#include "src/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace safe {
+
+double Mean(const std::vector<double>& values) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double Variance(const std::vector<double>& values) {
+  const double mu = Mean(values);
+  double sum = 0.0;
+  size_t n = 0;
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    sum += (v - mu) * (v - mu);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](double v) { return std::isnan(v); }),
+               values.end());
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Min(const std::vector<double>& values) {
+  double best = std::numeric_limits<double>::quiet_NaN();
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    if (std::isnan(best) || v < best) best = v;
+  }
+  return best;
+}
+
+double Max(const std::vector<double>& values) {
+  double best = std::numeric_limits<double>::quiet_NaN();
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    if (std::isnan(best) || v > best) best = v;
+  }
+  return best;
+}
+
+size_t CountEqual(const std::vector<double>& values, double target) {
+  size_t n = 0;
+  for (double v : values) {
+    if (v == target) ++n;
+  }
+  return n;
+}
+
+}  // namespace safe

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace safe {
+
+/// Mean of the non-missing values (0 if all missing).
+double Mean(const std::vector<double>& values);
+
+/// Population variance of the non-missing values.
+double Variance(const std::vector<double>& values);
+
+/// Population standard deviation of the non-missing values.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolated quantile q in [0,1] of the non-missing values.
+/// Returns NaN when every value is missing.
+double Quantile(std::vector<double> values, double q);
+
+/// Minimum / maximum over non-missing values (NaN when all missing).
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// Count of values strictly equal to `target`.
+size_t CountEqual(const std::vector<double>& values, double target);
+
+}  // namespace safe

@@ -1,0 +1,89 @@
+#include "src/stats/divergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace safe {
+
+namespace {
+Status ValidateDistributions(const std::vector<double>& p,
+                             const std::vector<double>& q) {
+  if (p.size() != q.size()) {
+    return Status::InvalidArgument("divergence: size mismatch");
+  }
+  if (p.empty()) {
+    return Status::InvalidArgument("divergence: empty distributions");
+  }
+  double sp = 0.0;
+  double sq = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] < 0.0 || q[i] < 0.0) {
+      return Status::InvalidArgument("divergence: negative probability");
+    }
+    sp += p[i];
+    sq += q[i];
+  }
+  if (std::fabs(sp - 1.0) > 1e-6 || std::fabs(sq - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        "divergence: distributions must sum to 1");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<double> KlDivergence(const std::vector<double>& p,
+                            const std::vector<double>& q) {
+  SAFE_RETURN_NOT_OK(ValidateDistributions(p, q));
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == 0.0) continue;
+    if (q[i] == 0.0) return std::numeric_limits<double>::infinity();
+    kl += p[i] * std::log(p[i] / q[i]);
+  }
+  return kl;
+}
+
+Result<double> JsDivergence(const std::vector<double>& p,
+                            const std::vector<double>& q) {
+  SAFE_RETURN_NOT_OK(ValidateDistributions(p, q));
+  std::vector<double> r(p.size());
+  for (size_t i = 0; i < p.size(); ++i) r[i] = 0.5 * (p[i] + q[i]);
+  SAFE_ASSIGN_OR_RETURN(double kl_pr, KlDivergence(p, r));
+  SAFE_ASSIGN_OR_RETURN(double kl_qr, KlDivergence(q, r));
+  return 0.5 * (kl_pr + kl_qr);
+}
+
+Result<double> FeatureStabilityJsd(
+    const std::vector<size_t>& occurrence_counts, size_t num_runs,
+    size_t features_per_run) {
+  if (num_runs == 0 || features_per_run == 0) {
+    return Status::InvalidArgument("stability: zero runs or features");
+  }
+  if (occurrence_counts.empty()) {
+    return Status::InvalidArgument("stability: no features observed");
+  }
+  std::vector<size_t> sorted = occurrence_counts;
+  std::sort(sorted.begin(), sorted.end(), std::greater<size_t>());
+
+  double total = 0.0;
+  for (size_t c : sorted) total += static_cast<double>(c);
+  if (total <= 0.0) {
+    return Status::InvalidArgument("stability: all occurrence counts zero");
+  }
+
+  // Observed distribution vs the ideal where the same `features_per_run`
+  // features appear in every run, over the union support.
+  const size_t support = std::max(sorted.size(), features_per_run);
+  std::vector<double> observed(support, 0.0);
+  std::vector<double> ideal(support, 0.0);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    observed[i] = static_cast<double>(sorted[i]) / total;
+  }
+  for (size_t i = 0; i < features_per_run; ++i) {
+    ideal[i] = 1.0 / static_cast<double>(features_per_run);
+  }
+  return JsDivergence(observed, ideal);
+}
+
+}  // namespace safe

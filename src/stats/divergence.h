@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace safe {
+
+/// Kullback–Leibler divergence KLD(P‖Q) = Σ P(i) ln(P(i)/Q(i)) (Eq. 15).
+/// Inputs must be same-length distributions (non-negative, each summing
+/// to ~1). Terms with P(i)=0 contribute 0; P(i)>0 with Q(i)=0 makes the
+/// divergence infinite.
+Result<double> KlDivergence(const std::vector<double>& p,
+                            const std::vector<double>& q);
+
+/// Jensen–Shannon divergence (Eq. 14):
+/// ½·KLD(P‖R) + ½·KLD(Q‖R) with R = ½(P+Q). Always finite; bounded by
+/// ln 2. Supports distributions over a shared index space.
+Result<double> JsDivergence(const std::vector<double>& p,
+                            const std::vector<double>& q);
+
+/// \brief Feature-stability score of Section V-A5.
+///
+/// `occurrence_counts[i]` is the number of runs (out of `num_runs`) in
+/// which generated feature i appeared; each run emits `features_per_run`
+/// features. The score is the JSD between the observed occurrence
+/// distribution and the ideal one where the same `features_per_run`
+/// features appear in all runs. Lower is more stable.
+Result<double> FeatureStabilityJsd(const std::vector<size_t>& occurrence_counts,
+                                   size_t num_runs, size_t features_per_run);
+
+}  // namespace safe

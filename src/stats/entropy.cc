@@ -1,0 +1,82 @@
+#include "src/stats/entropy.h"
+
+#include <cmath>
+
+#include "src/dataframe/binning.h"
+
+namespace safe {
+
+double EntropyFromCounts(const std::vector<size_t>& counts) {
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double BinaryEntropy(size_t pos, size_t n) {
+  if (n == 0 || pos == 0 || pos == n) return 0.0;
+  const double p = static_cast<double>(pos) / static_cast<double>(n);
+  return -p * std::log(p) - (1.0 - p) * std::log(1.0 - p);
+}
+
+double InformationGain(const std::vector<PartitionCell>& cells) {
+  size_t total = 0;
+  size_t positives = 0;
+  for (const auto& c : cells) {
+    total += c.total;
+    positives += c.positives;
+  }
+  if (total == 0) return 0.0;
+  const double h_before = BinaryEntropy(positives, total);
+  double h_after = 0.0;
+  for (const auto& c : cells) {
+    if (c.total == 0) continue;
+    const double w =
+        static_cast<double>(c.total) / static_cast<double>(total);
+    h_after += w * BinaryEntropy(c.positives, c.total);
+  }
+  return h_before - h_after;
+}
+
+double SplitInformation(const std::vector<PartitionCell>& cells) {
+  size_t total = 0;
+  for (const auto& c : cells) total += c.total;
+  if (total == 0) return 0.0;
+  double si = 0.0;
+  for (const auto& c : cells) {
+    if (c.total == 0) continue;
+    const double w =
+        static_cast<double>(c.total) / static_cast<double>(total);
+    si -= w * std::log(w);
+  }
+  return si;
+}
+
+double InformationGainRatio(const std::vector<PartitionCell>& cells) {
+  const double si = SplitInformation(cells);
+  if (si <= 0.0) return 0.0;
+  return InformationGain(cells) / si;
+}
+
+double BinnedInformationGain(const std::vector<double>& feature,
+                             const std::vector<double>& labels,
+                             size_t num_bins) {
+  if (feature.size() != labels.size() || feature.empty()) return 0.0;
+  auto edges = EqualFrequencyEdges(feature, num_bins);
+  if (!edges.ok()) return 0.0;  // constant or all-missing column
+  std::vector<PartitionCell> cells(edges->missing_bin() + 1);
+  for (size_t r = 0; r < feature.size(); ++r) {
+    PartitionCell& cell = cells[edges->BinIndex(feature[r])];
+    cell.total += 1;
+    if (labels[r] > 0.5) cell.positives += 1;
+  }
+  return InformationGain(cells);
+}
+
+}  // namespace safe

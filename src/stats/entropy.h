@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace safe {
+
+/// Shannon entropy (nats) of a discrete distribution given as counts.
+/// Zero-count cells contribute zero.
+double EntropyFromCounts(const std::vector<size_t>& counts);
+
+/// Binary entropy (nats) of a class split with `pos` positives out of `n`.
+double BinaryEntropy(size_t pos, size_t n);
+
+/// \brief Label statistics of one cell of a partition of the records.
+struct PartitionCell {
+  size_t positives = 0;
+  size_t total = 0;
+};
+
+/// Information gain (nats) of partitioning binary-labelled records into
+/// `cells`: H(Y) − Σ (n_c/n) H(Y|cell c). Cells with total == 0 are
+/// ignored.
+double InformationGain(const std::vector<PartitionCell>& cells);
+
+/// Split information (intrinsic entropy, nats) of a partition:
+/// −Σ (n_c/n) ln(n_c/n).
+double SplitInformation(const std::vector<PartitionCell>& cells);
+
+/// Quinlan's gain ratio: InformationGain / SplitInformation; 0 when the
+/// partition is trivial (a single non-empty cell). This is the score
+/// Algorithm 2 of the paper assigns to each feature combination.
+double InformationGainRatio(const std::vector<PartitionCell>& cells);
+
+/// Information gain of a numeric feature against binary labels after
+/// equal-frequency binning into `num_bins` bins (missing values get a
+/// dedicated bin). Returns 0 when the feature is constant or all-missing.
+/// This is the selection score of the TFC and FCTree baselines.
+double BinnedInformationGain(const std::vector<double>& feature,
+                             const std::vector<double>& labels,
+                             size_t num_bins);
+
+}  // namespace safe

@@ -1,0 +1,77 @@
+#include "src/stats/iv.h"
+
+#include <cmath>
+
+namespace safe {
+
+IvBand ClassifyIv(double iv) {
+  if (iv < 0.02) return IvBand::kUseless;
+  if (iv < 0.1) return IvBand::kWeak;
+  if (iv < 0.3) return IvBand::kMedium;
+  if (iv <= 0.5) return IvBand::kStrong;
+  return IvBand::kExtremelyStrong;
+}
+
+const char* IvBandName(IvBand band) {
+  switch (band) {
+    case IvBand::kUseless:
+      return "Useless for prediction";
+    case IvBand::kWeak:
+      return "Weak predictor";
+    case IvBand::kMedium:
+      return "Medium predictor";
+    case IvBand::kStrong:
+      return "Strong predictor";
+    case IvBand::kExtremelyStrong:
+      return "Extremely strong predictor";
+  }
+  return "?";
+}
+
+Result<double> InformationValueWithEdges(const std::vector<double>& feature,
+                                         const std::vector<double>& labels,
+                                         const BinEdges& edges) {
+  if (feature.size() != labels.size()) {
+    return Status::InvalidArgument("IV: feature/label size mismatch");
+  }
+  if (feature.empty()) {
+    return Status::InvalidArgument("IV: empty input");
+  }
+  const size_t num_cells = edges.missing_bin() + 1;
+  std::vector<double> pos(num_cells, 0.0);
+  std::vector<double> neg(num_cells, 0.0);
+  double np = 0.0;
+  double nn = 0.0;
+  for (size_t i = 0; i < feature.size(); ++i) {
+    const size_t b = edges.BinIndex(feature[i]);
+    if (labels[i] > 0.5) {
+      pos[b] += 1.0;
+      np += 1.0;
+    } else {
+      neg[b] += 1.0;
+      nn += 1.0;
+    }
+  }
+  if (np == 0.0 || nn == 0.0) {
+    return Status::InvalidArgument("IV: labels are single-class");
+  }
+  double iv = 0.0;
+  for (size_t b = 0; b < num_cells; ++b) {
+    if (pos[b] == 0.0 && neg[b] == 0.0) continue;
+    // 0.5 pseudo-count keeps WoE finite when a bin is single-class.
+    const double p = (pos[b] > 0.0 ? pos[b] : 0.5) / np;
+    const double q = (neg[b] > 0.0 ? neg[b] : 0.5) / nn;
+    iv += (p - q) * std::log(p / q);
+  }
+  return iv;
+}
+
+Result<double> InformationValue(const std::vector<double>& feature,
+                                const std::vector<double>& labels,
+                                size_t num_bins) {
+  SAFE_ASSIGN_OR_RETURN(BinEdges edges,
+                        EqualFrequencyEdges(feature, num_bins));
+  return InformationValueWithEdges(feature, labels, edges);
+}
+
+}  // namespace safe

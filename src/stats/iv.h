@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dataframe/binning.h"
+
+namespace safe {
+
+/// Rule-of-thumb predictive-power bands for Information Value
+/// (paper Table I).
+enum class IvBand {
+  kUseless,          ///< IV in [0, 0.02)
+  kWeak,             ///< IV in [0.02, 0.1)
+  kMedium,           ///< IV in [0.1, 0.3)
+  kStrong,           ///< IV in [0.3, 0.5)
+  kExtremelyStrong,  ///< IV > 0.5
+};
+
+/// Classifies an IV into its Table I band.
+IvBand ClassifyIv(double iv);
+
+/// Human-readable band name ("Weak predictor", ...).
+const char* IvBandName(IvBand band);
+
+/// \brief Information Value of a feature against binary labels (Eq. 6):
+///   IV = Σ_i (n_p^i/n_p − n_n^i/n_n) · ln[(n_p^i/n_p)/(n_n^i/n_n)]
+/// over equal-frequency bins of the feature (paper Algorithm 3 packs the
+/// records into β same-frequency bins). Empty-side bins are smoothed with
+/// a 0.5 pseudo-count so the logarithm stays finite, the standard WoE
+/// adjustment in credit scoring.
+///
+/// Returns InvalidArgument when labels are single-class or sizes mismatch.
+Result<double> InformationValue(const std::vector<double>& feature,
+                                const std::vector<double>& labels,
+                                size_t num_bins);
+
+/// IV given precomputed bin edges (missing values get their own bin).
+Result<double> InformationValueWithEdges(const std::vector<double>& feature,
+                                         const std::vector<double>& labels,
+                                         const BinEdges& edges);
+
+}  // namespace safe

@@ -1,0 +1,102 @@
+#include "src/stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace safe {
+
+namespace {
+Status Validate(const std::vector<double>& scores,
+                const std::vector<double>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("metric: score/label size mismatch");
+  }
+  if (scores.empty()) {
+    return Status::InvalidArgument("metric: empty input");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<double> LogLoss(const std::vector<double>& probabilities,
+                       const std::vector<double>& labels) {
+  SAFE_RETURN_NOT_OK(Validate(probabilities, labels));
+  double total = 0.0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    const double p = std::clamp(probabilities[i], 1e-15, 1.0 - 1e-15);
+    total -= labels[i] * std::log(p) + (1.0 - labels[i]) * std::log(1.0 - p);
+  }
+  return total / static_cast<double>(probabilities.size());
+}
+
+Result<double> Accuracy(const std::vector<double>& scores,
+                        const std::vector<double>& labels,
+                        double threshold) {
+  SAFE_RETURN_NOT_OK(Validate(scores, labels));
+  size_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] > threshold;
+    if (predicted == (labels[i] > 0.5)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+Result<double> F1Score(const std::vector<double>& scores,
+                       const std::vector<double>& labels,
+                       double threshold) {
+  SAFE_RETURN_NOT_OK(Validate(scores, labels));
+  size_t true_pos = 0;
+  size_t false_pos = 0;
+  size_t false_neg = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] > threshold;
+    const bool actual = labels[i] > 0.5;
+    if (predicted && actual) ++true_pos;
+    if (predicted && !actual) ++false_pos;
+    if (!predicted && actual) ++false_neg;
+  }
+  const double denom =
+      2.0 * static_cast<double>(true_pos) + static_cast<double>(false_pos) +
+      static_cast<double>(false_neg);
+  if (denom == 0.0) return 0.0;
+  return 2.0 * static_cast<double>(true_pos) / denom;
+}
+
+Result<double> KsStatistic(const std::vector<double>& scores,
+                           const std::vector<double>& labels) {
+  SAFE_RETURN_NOT_OK(Validate(scores, labels));
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];  // descending scores
+  });
+  double n_pos = 0.0;
+  double n_neg = 0.0;
+  for (double y : labels) (y > 0.5 ? n_pos : n_neg) += 1.0;
+  if (n_pos == 0.0 || n_neg == 0.0) {
+    return Status::InvalidArgument("KS: labels are single-class");
+  }
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double ks = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    // Process a tie block so KS is evaluated between distinct scores.
+    size_t j = i;
+    while (j < order.size() &&
+           scores[order[j]] == scores[order[i]]) {
+      if (labels[order[j]] > 0.5) {
+        tpr += 1.0 / n_pos;
+      } else {
+        fpr += 1.0 / n_neg;
+      }
+      ++j;
+    }
+    ks = std::max(ks, std::fabs(tpr - fpr));
+    i = j;
+  }
+  return ks;
+}
+
+}  // namespace safe

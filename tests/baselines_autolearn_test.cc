@@ -1,0 +1,168 @@
+#include "src/baselines/autolearn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/linalg.h"
+#include "src/common/random.h"
+#include "src/data/synthetic.h"
+#include "src/models/classifier.h"
+#include "src/stats/auc.h"
+
+namespace safe {
+namespace baselines {
+namespace {
+
+TEST(LinalgTest, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1, 3].
+  auto x = SolveLinearSystem({2, 1, 1, 3}, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-9);
+}
+
+TEST(LinalgTest, PivotsForStability) {
+  // Leading zero forces a row swap.
+  auto x = SolveLinearSystem({0, 1, 1, 0}, {2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-9);
+}
+
+TEST(LinalgTest, RejectsSingularAndMalformed) {
+  EXPECT_FALSE(SolveLinearSystem({1, 2, 2, 4}, {1, 2}).ok());  // rank 1
+  EXPECT_FALSE(SolveLinearSystem({1, 2, 3}, {1, 2}).ok());     // not n*n
+  EXPECT_FALSE(SolveLinearSystem({}, {}).ok());
+}
+
+TEST(RidgeOperatorTest, ResidualRemovesLinearPart) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  auto op = registry.Find("ridge");
+  ASSERT_TRUE(op.ok());
+  Rng rng(1);
+  std::vector<double> a(2000);
+  std::vector<double> b(2000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextGaussian();
+    b[i] = 3.0 * a[i] + 1.0 + 0.1 * rng.NextGaussian();
+  }
+  auto params = (*op)->FitParams({&a, &b});
+  ASSERT_TRUE(params.ok());
+  EXPECT_NEAR((*params)[0], 3.0, 0.05);  // slope
+  EXPECT_NEAR((*params)[1], 1.0, 0.05);  // intercept
+  auto residual = ApplyOperator(**op, *params, {&a, &b});
+  ASSERT_TRUE(residual.ok());
+  // Residual is decorrelated from a.
+  double dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) dot += a[i] * (*residual)[i];
+  EXPECT_NEAR(dot / static_cast<double>(a.size()), 0.0, 0.02);
+}
+
+TEST(KernelRidgeOperatorTest, CapturesNonlinearRelation) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  auto op = registry.Find("krr");
+  ASSERT_TRUE(op.ok());
+  Rng rng(2);
+  std::vector<double> a(3000);
+  std::vector<double> b(3000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextUniform(-2.0, 2.0);
+    b[i] = std::sin(2.0 * a[i]) + 0.05 * rng.NextGaussian();
+  }
+  auto params = (*op)->FitParams({&a, &b});
+  ASSERT_TRUE(params.ok()) << params.status().ToString();
+  auto residual = ApplyOperator(**op, *params, {&a, &b});
+  ASSERT_TRUE(residual.ok());
+  // KRR explains most of the sin() structure: residual variance << b's.
+  double var_b = 0.0;
+  double var_r = 0.0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    var_b += b[i] * b[i];
+    var_r += (*residual)[i] * (*residual)[i];
+  }
+  EXPECT_LT(var_r, 0.3 * var_b);
+}
+
+TEST(AutoLearnTest, ProducesStableConstructedFeatures) {
+  data::SyntheticSpec spec;
+  spec.num_rows = 2500;
+  spec.num_features = 8;
+  spec.num_informative = 4;
+  spec.num_interactions = 3;
+  spec.num_redundant = 2;  // correlated pairs for ridge to chew on
+  spec.seed = 91;
+  auto split = data::MakeSyntheticSplit(spec, 1700, 0, 800);
+  ASSERT_TRUE(split.ok());
+  AutoLearnEngineer autolearn(AutoLearnParams{});
+  auto plan = autolearn.FitPlan(split->train, nullptr);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_LE(plan->selected().size(), 2 * split->train.x.num_columns());
+  // Replay on unseen data.
+  auto z = plan->Transform(split->test.x);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z->num_columns(), plan->selected().size());
+}
+
+TEST(AutoLearnTest, PlanSerializationRoundTrips) {
+  data::SyntheticSpec spec;
+  spec.num_rows = 1500;
+  spec.num_features = 6;
+  spec.num_informative = 3;
+  spec.num_interactions = 2;
+  spec.num_redundant = 1;
+  spec.seed = 92;
+  auto split = data::MakeSyntheticSplit(spec, 1000, 0, 500);
+  ASSERT_TRUE(split.ok());
+  AutoLearnEngineer autolearn(AutoLearnParams{});
+  auto plan = autolearn.FitPlan(split->train, nullptr);
+  ASSERT_TRUE(plan.ok());
+  auto back = FeaturePlan::Deserialize(plan->Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  auto a = plan->Transform(split->test.x);
+  auto b = back->Transform(split->test.x);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t r = 0; r < a->num_rows(); ++r) {
+    for (size_t c = 0; c < a->num_columns(); ++c) {
+      const double va = a->at(r, c);
+      const double vb = b->at(r, c);
+      if (std::isnan(va)) {
+        EXPECT_TRUE(std::isnan(vb));
+      } else {
+        EXPECT_NEAR(va, vb, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(AutoLearnTest, UncorrelatedDataFallsBackGracefully) {
+  // Pure-noise independent features: no pair clears the correlation
+  // screen, so the plan reduces to (a subset of) the originals.
+  Rng rng(3);
+  DataFrame x;
+  std::vector<double> labels;
+  for (int c = 0; c < 5; ++c) {
+    std::vector<double> col(500);
+    for (double& v : col) v = rng.NextGaussian();
+    ASSERT_TRUE(x.AddColumn(Column("f" + std::to_string(c), col)).ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    labels.push_back(rng.NextBernoulli(0.5) ? 1.0 : 0.0);
+  }
+  auto data = MakeDataset(x, labels);
+  ASSERT_TRUE(data.ok());
+  AutoLearnEngineer autolearn(AutoLearnParams{});
+  auto plan = autolearn.FitPlan(*data, nullptr);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->NumSelectedGenerated(), 0u);
+}
+
+TEST(AutoLearnTest, RejectsEmptyData) {
+  AutoLearnEngineer autolearn(AutoLearnParams{});
+  Dataset empty;
+  EXPECT_FALSE(autolearn.FitPlan(empty, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace safe

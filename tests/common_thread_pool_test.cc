@@ -1,0 +1,75 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace safe {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int value = 0;
+  pool.Submit([&value] { value = 7; }).wait();
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 0, hits.size(),
+              [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 5, 5, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(&pool, 7, 3, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SubrangeOffsets) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(20);
+  ParallelFor(&pool, 5, 15, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 5 && i < 15) ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelForTest, GlobalPoolWorks) {
+  std::atomic<long> sum{0};
+  ParallelFor(0, 1000, [&](size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor drains the queue before joining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace safe

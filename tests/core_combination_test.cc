@@ -1,0 +1,168 @@
+#include "src/core/combination.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace safe {
+namespace {
+
+gbdt::TreePath MakePath(std::initializer_list<std::pair<int, double>> steps) {
+  gbdt::TreePath path;
+  for (const auto& [feature, threshold] : steps) {
+    path.push_back(gbdt::PathStep{feature, threshold});
+  }
+  return path;
+}
+
+TEST(MineCombinationsTest, SinglePathEnumeratesSubsets) {
+  std::vector<gbdt::TreePath> paths{
+      MakePath({{0, 1.0}, {1, 2.0}, {2, 3.0}})};
+  CombinationMinerOptions options;
+  options.max_arity = 2;
+  auto combos = MineCombinations(paths, options);
+  // Subsets of {0,1,2} of size 1..2: 3 singles + 3 pairs.
+  EXPECT_EQ(combos.size(), 6u);
+}
+
+TEST(MineCombinationsTest, ArityThreeIncludesTriples) {
+  std::vector<gbdt::TreePath> paths{
+      MakePath({{0, 1.0}, {1, 2.0}, {2, 3.0}})};
+  CombinationMinerOptions options;
+  options.max_arity = 3;
+  auto combos = MineCombinations(paths, options);
+  EXPECT_EQ(combos.size(), 7u);  // + the full triple
+}
+
+TEST(MineCombinationsTest, RepeatedFeatureOnPathMergesValues) {
+  // Feature 0 splits twice on the same path.
+  std::vector<gbdt::TreePath> paths{
+      MakePath({{0, 1.0}, {0, 5.0}, {1, 2.0}})};
+  CombinationMinerOptions options;
+  auto combos = MineCombinations(paths, options);
+  // Distinct features {0,1}: 2 singles + 1 pair.
+  ASSERT_EQ(combos.size(), 3u);
+  for (const auto& combo : combos) {
+    if (combo.features == std::vector<int>{0}) {
+      EXPECT_EQ(combo.split_values[0].size(), 2u);  // both thresholds kept
+    }
+  }
+}
+
+TEST(MineCombinationsTest, DuplicateAcrossPathsMergesValueSets) {
+  std::vector<gbdt::TreePath> paths{
+      MakePath({{0, 1.0}, {1, 2.0}}),
+      MakePath({{0, 9.0}, {1, 2.0}}),
+  };
+  CombinationMinerOptions options;
+  auto combos = MineCombinations(paths, options);
+  ASSERT_EQ(combos.size(), 3u);  // {0}, {1}, {0,1} — deduped
+  for (const auto& combo : combos) {
+    if (combo.features == std::vector<int>{0, 1}) {
+      EXPECT_EQ(combo.split_values[0], (std::vector<double>{1.0, 9.0}));
+      EXPECT_EQ(combo.split_values[1], (std::vector<double>{2.0}));
+    }
+  }
+}
+
+TEST(MineCombinationsTest, CrossPathPairsNotGenerated) {
+  // Features 0 and 1 never share a path: no {0,1} combination.
+  std::vector<gbdt::TreePath> paths{
+      MakePath({{0, 1.0}}),
+      MakePath({{1, 2.0}}),
+  };
+  CombinationMinerOptions options;
+  auto combos = MineCombinations(paths, options);
+  for (const auto& combo : combos) {
+    EXPECT_EQ(combo.features.size(), 1u);
+  }
+}
+
+TEST(MineCombinationsTest, EmptyPathsYieldNothing) {
+  CombinationMinerOptions options;
+  EXPECT_TRUE(MineCombinations({}, options).empty());
+}
+
+TEST(MineCombinationsTest, CapRespected) {
+  std::vector<gbdt::TreePath> paths;
+  for (int f = 0; f < 50; ++f) {
+    paths.push_back(MakePath({{f, 1.0}, {f + 50, 2.0}}));
+  }
+  CombinationMinerOptions options;
+  options.max_combinations = 10;
+  auto combos = MineCombinations(paths, options);
+  EXPECT_LE(combos.size(), 10u);
+}
+
+TEST(RankCombinationsTest, InformativePairRanksFirst) {
+  // Label = XOR of (f0 > 0.5) and (f1 > 0.5): neither single feature is
+  // informative, the pair partition is perfectly informative.
+  Rng rng(1);
+  std::vector<double> f0(2000);
+  std::vector<double> f1(2000);
+  std::vector<double> noise(2000);
+  std::vector<double> labels(2000);
+  for (size_t i = 0; i < f0.size(); ++i) {
+    f0[i] = rng.NextDouble();
+    f1[i] = rng.NextDouble();
+    noise[i] = rng.NextDouble();
+    labels[i] = ((f0[i] > 0.5) != (f1[i] > 0.5)) ? 1.0 : 0.0;
+  }
+  DataFrame x;
+  ASSERT_TRUE(x.AddColumn(Column("f0", f0)).ok());
+  ASSERT_TRUE(x.AddColumn(Column("f1", f1)).ok());
+  ASSERT_TRUE(x.AddColumn(Column("noise", noise)).ok());
+
+  std::vector<FeatureCombination> combos(3);
+  combos[0].features = {0};
+  combos[0].split_values = {{0.5}};
+  combos[1].features = {0, 1};
+  combos[1].split_values = {{0.5}, {0.5}};
+  combos[2].features = {0, 2};
+  combos[2].split_values = {{0.5}, {0.5}};
+
+  auto ranked = RankCombinations(combos, x, labels, 0);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].features, (std::vector<int>{0, 1}));
+  EXPECT_GT(ranked[0].gain_ratio, 0.5);
+  EXPECT_LT(ranked[1].gain_ratio, 0.1);
+}
+
+TEST(RankCombinationsTest, GammaTruncates) {
+  Rng rng(2);
+  std::vector<double> values(500);
+  std::vector<double> labels(500);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = rng.NextDouble();
+    labels[i] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+  }
+  DataFrame x;
+  ASSERT_TRUE(x.AddColumn(Column("f0", values)).ok());
+  std::vector<FeatureCombination> combos;
+  for (double t : {0.2, 0.4, 0.6, 0.8}) {
+    FeatureCombination combo;
+    combo.features = {0};
+    combo.split_values = {{t}};
+    combos.push_back(combo);
+  }
+  auto ranked = RankCombinations(combos, x, labels, 2);
+  EXPECT_EQ(ranked.size(), 2u);
+  EXPECT_GE(ranked[0].gain_ratio, ranked[1].gain_ratio);
+}
+
+TEST(RankCombinationsTest, HandlesMissingValues) {
+  std::vector<double> values{1.0, 2.0, std::nan(""), 4.0, std::nan(""),
+                             6.0, 7.0, 8.0};
+  std::vector<double> labels{0, 0, 1, 0, 1, 1, 1, 1};
+  DataFrame x;
+  ASSERT_TRUE(x.AddColumn(Column("f0", values)).ok());
+  std::vector<FeatureCombination> combos(1);
+  combos[0].features = {0};
+  combos[0].split_values = {{4.0}};
+  auto ranked = RankCombinations(combos, x, labels, 0);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_GE(ranked[0].gain_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace safe

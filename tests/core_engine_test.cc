@@ -1,0 +1,251 @@
+#include "src/core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/synthetic.h"
+#include "src/models/classifier.h"
+#include "src/stats/auc.h"
+
+namespace safe {
+namespace {
+
+data::SyntheticSpec InteractionSpec() {
+  data::SyntheticSpec spec;
+  spec.num_rows = 3000;
+  spec.num_features = 10;
+  spec.num_informative = 4;
+  spec.num_interactions = 4;
+  spec.num_redundant = 1;
+  spec.linear_weight = 0.15;  // signal is mostly in the interactions
+  spec.noise = 0.2;
+  spec.seed = 777;
+  return spec;
+}
+
+SafeParams QuickParams() {
+  SafeParams params;
+  params.miner.num_trees = 15;
+  params.miner.max_depth = 3;
+  params.ranker.num_trees = 15;
+  params.ranker.max_depth = 3;
+  params.seed = 5;
+  return params;
+}
+
+TEST(SafeEngineTest, FitProducesPlanWithGeneratedFeatures) {
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 2000, 0, 1000);
+  ASSERT_TRUE(split.ok());
+  SafeEngine engine(QuickParams());
+  auto result = engine.Fit(split->train);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->plan.selected().empty());
+  EXPECT_LE(result->plan.selected().size(),
+            2 * split->train.x.num_columns());
+  ASSERT_EQ(result->iterations.size(), 1u);
+  const auto& diag = result->iterations[0];
+  EXPECT_GT(diag.num_paths, 0u);
+  EXPECT_GT(diag.num_combinations, 0u);
+  EXPECT_GT(diag.num_generated, 0u);
+  EXPECT_GE(diag.num_after_iv, diag.num_after_redundancy);
+  EXPECT_GE(diag.num_after_redundancy, diag.num_selected);
+}
+
+TEST(SafeEngineTest, TransformedFeaturesImproveLinearModel) {
+  // The headline claim: Ψ(X) beats X for a downstream learner on data
+  // whose signal lives in feature interactions.
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 2000, 0, 1000);
+  ASSERT_TRUE(split.ok());
+
+  SafeEngine engine(QuickParams());
+  auto result = engine.Fit(split->train);
+  ASSERT_TRUE(result.ok());
+
+  auto train_z = result->plan.Transform(split->train.x);
+  auto test_z = result->plan.Transform(split->test.x);
+  ASSERT_TRUE(train_z.ok() && test_z.ok());
+
+  auto eval = [&](const DataFrame& train_x, const DataFrame& test_x) {
+    auto clf = models::MakeClassifier(
+        models::ClassifierKind::kLogisticRegression, 3);
+    Dataset train{train_x, split->train.y};
+    EXPECT_TRUE(clf->Fit(train).ok());
+    auto scores = clf->PredictScores(test_x);
+    EXPECT_TRUE(scores.ok());
+    return *Auc(*scores, split->test.labels());
+  };
+
+  const double auc_orig = eval(split->train.x, split->test.x);
+  const double auc_safe = eval(*train_z, *test_z);
+  EXPECT_GT(auc_safe, auc_orig + 0.01)
+      << "orig=" << auc_orig << " safe=" << auc_safe;
+}
+
+TEST(SafeEngineTest, PlanRoundTripsThroughSerialization) {
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 1500, 0, 500);
+  ASSERT_TRUE(split.ok());
+  SafeEngine engine(QuickParams());
+  auto result = engine.Fit(split->train);
+  ASSERT_TRUE(result.ok());
+
+  auto back = FeaturePlan::Deserialize(result->plan.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  auto a = result->plan.Transform(split->test.x);
+  auto b = back->Transform(split->test.x);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_columns(), b->num_columns());
+  for (size_t r = 0; r < a->num_rows(); ++r) {
+    for (size_t c = 0; c < a->num_columns(); ++c) {
+      const double va = a->at(r, c);
+      const double vb = b->at(r, c);
+      if (std::isnan(va)) {
+        EXPECT_TRUE(std::isnan(vb));
+      } else {
+        EXPECT_DOUBLE_EQ(va, vb);
+      }
+    }
+  }
+}
+
+TEST(SafeEngineTest, RowTransformMatchesBatch) {
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 1500, 0, 500);
+  ASSERT_TRUE(split.ok());
+  SafeEngine engine(QuickParams());
+  auto result = engine.Fit(split->train);
+  ASSERT_TRUE(result.ok());
+  auto batch = result->plan.Transform(split->test.x);
+  ASSERT_TRUE(batch.ok());
+  for (size_t r = 0; r < 25; ++r) {
+    auto row = result->plan.TransformRow(split->test.x.Row(r));
+    ASSERT_TRUE(row.ok());
+    for (size_t c = 0; c < row->size(); ++c) {
+      const double expected = batch->at(r, c);
+      if (std::isnan(expected)) {
+        EXPECT_TRUE(std::isnan((*row)[c]));
+      } else {
+        EXPECT_DOUBLE_EQ((*row)[c], expected);
+      }
+    }
+  }
+}
+
+TEST(SafeEngineTest, DeterministicForSameSeed) {
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 1200, 0, 400);
+  ASSERT_TRUE(split.ok());
+  SafeEngine engine(QuickParams());
+  auto a = engine.Fit(split->train);
+  auto b = engine.Fit(split->train);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->plan.Serialize(), b->plan.Serialize());
+}
+
+TEST(SafeEngineTest, MultipleIterationsCompose) {
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 1500, 0, 500);
+  ASSERT_TRUE(split.ok());
+  SafeParams params = QuickParams();
+  params.num_iterations = 3;
+  SafeEngine engine(params);
+  auto result = engine.Fit(split->train);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->iterations.size(), 1u);
+  EXPECT_LE(result->iterations.size(), 3u);
+  // The plan still replays from the *original* schema.
+  auto z = result->plan.Transform(split->test.x);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z->num_columns(), result->plan.selected().size());
+}
+
+TEST(SafeEngineTest, TimeBudgetStopsIterating) {
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 1500, 0, 500);
+  ASSERT_TRUE(split.ok());
+  SafeParams params = QuickParams();
+  params.num_iterations = 50;
+  params.time_budget_seconds = 0.0;  // expire immediately after iter 1
+  SafeEngine engine(params);
+  auto result = engine.Fit(split->train);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations.size(), 1u);  // always runs at least one
+}
+
+TEST(SafeEngineTest, RandAndImpStrategiesRun) {
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 1500, 0, 500);
+  ASSERT_TRUE(split.ok());
+  for (auto strategy : {MiningStrategy::kRandomPairs,
+                        MiningStrategy::kSplitFeaturePairs,
+                        MiningStrategy::kNonSplitPairs}) {
+    SafeParams params = QuickParams();
+    params.strategy = strategy;
+    SafeEngine engine(params);
+    auto result = engine.Fit(split->train);
+    ASSERT_TRUE(result.ok()) << static_cast<int>(strategy);
+    EXPECT_FALSE(result->plan.selected().empty());
+  }
+}
+
+TEST(SafeEngineTest, ValidatesInput) {
+  Dataset empty;
+  SafeEngine engine(QuickParams());
+  EXPECT_FALSE(engine.Fit(empty).ok());
+
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 500, 0, 100);
+  ASSERT_TRUE(split.ok());
+  SafeParams params = QuickParams();
+  params.num_iterations = 0;
+  EXPECT_FALSE(SafeEngine(params).Fit(split->train).ok());
+  params = QuickParams();
+  params.operator_names = {"no_such_op"};
+  EXPECT_FALSE(SafeEngine(params).Fit(split->train).ok());
+  params = QuickParams();
+  params.max_arity = 9;
+  EXPECT_FALSE(SafeEngine(params).Fit(split->train).ok());
+  params = QuickParams();
+  params.iv_bins = 1;
+  EXPECT_FALSE(SafeEngine(params).Fit(split->train).ok());
+}
+
+TEST(SafeEngineTest, UnaryOperatorsGenerate) {
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 1200, 0, 400);
+  ASSERT_TRUE(split.ok());
+  SafeParams params = QuickParams();
+  params.operator_names = {"square", "log", "add", "mul"};
+  params.max_arity = 2;
+  SafeEngine engine(params);
+  auto result = engine.Fit(split->train);
+  ASSERT_TRUE(result.ok());
+  bool has_unary = false;
+  for (const auto& feature : result->plan.generated()) {
+    if (feature.parents.size() == 1) has_unary = true;
+  }
+  EXPECT_TRUE(has_unary);
+}
+
+TEST(SafeEngineTest, PlanPrunedToSelectedCone) {
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 1500, 0, 500);
+  ASSERT_TRUE(split.ok());
+  SafeEngine engine(QuickParams());
+  auto result = engine.Fit(split->train);
+  ASSERT_TRUE(result.ok());
+  // Every generated feature is an ancestor of some selected output.
+  std::set<std::string> needed(result->plan.selected().begin(),
+                               result->plan.selected().end());
+  for (auto it = result->plan.generated().rbegin();
+       it != result->plan.generated().rend(); ++it) {
+    EXPECT_TRUE(needed.count(it->name)) << it->name;
+    if (needed.count(it->name)) {
+      for (const auto& parent : it->parents) needed.insert(parent);
+    }
+  }
+}
+
+TEST(SafeEngineTest, WorksWithValidationSet) {
+  auto split = data::MakeSyntheticSplit(InteractionSpec(), 1500, 500, 500);
+  ASSERT_TRUE(split.ok());
+  SafeEngine engine(QuickParams());
+  auto result = engine.Fit(split->train, &split->valid);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->plan.selected().empty());
+}
+
+}  // namespace
+}  // namespace safe

@@ -1,0 +1,191 @@
+#include "src/core/feature_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safe {
+namespace {
+
+FeaturePlan MakeSimplePlan() {
+  // Inputs a, b; generated (a+b) and log((a+b)); select b and the log.
+  GeneratedFeature sum;
+  sum.name = "(a+b)";
+  sum.op = "add";
+  sum.parents = {"a", "b"};
+  GeneratedFeature log_sum;
+  log_sum.name = "log((a+b))";
+  log_sum.op = "log";
+  log_sum.parents = {"(a+b)"};
+  auto plan = FeaturePlan::Create({"a", "b"}, {sum, log_sum},
+                                  {"b", "log((a+b))"});
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+DataFrame MakeInput() {
+  DataFrame x;
+  EXPECT_TRUE(x.AddColumn(Column("a", {1.0, 2.0, -5.0})).ok());
+  EXPECT_TRUE(x.AddColumn(Column("b", {3.0, 4.0, 1.0})).ok());
+  return x;
+}
+
+TEST(FeaturePlanTest, TransformComputesChain) {
+  FeaturePlan plan = MakeSimplePlan();
+  auto out = plan.Transform(MakeInput());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->num_columns(), 2u);
+  EXPECT_EQ(out->column(0).name(), "b");
+  EXPECT_EQ(out->column(1).name(), "log((a+b))");
+  EXPECT_DOUBLE_EQ(out->at(0, 1), std::log(4.0));
+  EXPECT_DOUBLE_EQ(out->at(1, 1), std::log(6.0));
+  EXPECT_TRUE(std::isnan(out->at(2, 1)));  // log(-4)
+}
+
+TEST(FeaturePlanTest, TransformRowMatchesBatch) {
+  FeaturePlan plan = MakeSimplePlan();
+  DataFrame x = MakeInput();
+  auto batch = plan.Transform(x);
+  ASSERT_TRUE(batch.ok());
+  for (size_t r = 0; r < x.num_rows(); ++r) {
+    auto row = plan.TransformRow(x.Row(r));
+    ASSERT_TRUE(row.ok());
+    ASSERT_EQ(row->size(), batch->num_columns());
+    for (size_t c = 0; c < row->size(); ++c) {
+      const double expected = batch->at(r, c);
+      if (std::isnan(expected)) {
+        EXPECT_TRUE(std::isnan((*row)[c]));
+      } else {
+        EXPECT_DOUBLE_EQ((*row)[c], expected);
+      }
+    }
+  }
+}
+
+TEST(FeaturePlanTest, SerializeRoundTrips) {
+  FeaturePlan plan = MakeSimplePlan();
+  const std::string text = plan.Serialize();
+  auto back = FeaturePlan::Deserialize(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->input_columns(), plan.input_columns());
+  EXPECT_EQ(back->selected(), plan.selected());
+  ASSERT_EQ(back->generated().size(), plan.generated().size());
+  // Behavioural equality.
+  DataFrame x = MakeInput();
+  auto a = plan.Transform(x);
+  auto b = back->Transform(x);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t r = 0; r < x.num_rows(); ++r) {
+    for (size_t c = 0; c < a->num_columns(); ++c) {
+      const double va = a->at(r, c);
+      const double vb = b->at(r, c);
+      if (std::isnan(va)) {
+        EXPECT_TRUE(std::isnan(vb));
+      } else {
+        EXPECT_DOUBLE_EQ(va, vb);
+      }
+    }
+  }
+}
+
+TEST(FeaturePlanTest, SerializeKeepsFittedParams) {
+  GeneratedFeature z;
+  z.name = "zscore(a)";
+  z.op = "zscore";
+  z.parents = {"a"};
+  z.params = {5.0, 2.0};
+  auto plan = FeaturePlan::Create({"a"}, {z}, {"zscore(a)"});
+  ASSERT_TRUE(plan.ok());
+  auto back = FeaturePlan::Deserialize(plan->Serialize());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->generated()[0].params.size(), 2u);
+  EXPECT_DOUBLE_EQ(back->generated()[0].params[0], 5.0);
+  auto row = back->TransformRow({9.0});
+  ASSERT_TRUE(row.ok());
+  EXPECT_DOUBLE_EQ((*row)[0], 2.0);
+}
+
+TEST(FeaturePlanTest, CreateValidatesReferences) {
+  GeneratedFeature feature;
+  feature.name = "g";
+  feature.op = "add";
+  feature.parents = {"a", "zzz"};
+  EXPECT_FALSE(FeaturePlan::Create({"a"}, {feature}, {"g"}).ok());
+
+  feature.parents = {"a", "a"};
+  EXPECT_FALSE(FeaturePlan::Create({"a"}, {feature}, {"nope"}).ok());
+
+  // Duplicate input names rejected.
+  EXPECT_FALSE(FeaturePlan::Create({"a", "a"}, {}, {"a"}).ok());
+
+  // Generated feature shadowing an input rejected.
+  GeneratedFeature shadow;
+  shadow.name = "a";
+  shadow.op = "log";
+  shadow.parents = {"a"};
+  EXPECT_FALSE(FeaturePlan::Create({"a"}, {shadow}, {"a"}).ok());
+}
+
+TEST(FeaturePlanTest, ForwardReferenceRejected) {
+  // g1 depends on g2 which is declared later: invalid order.
+  GeneratedFeature g1;
+  g1.name = "g1";
+  g1.op = "log";
+  g1.parents = {"g2"};
+  GeneratedFeature g2;
+  g2.name = "g2";
+  g2.op = "log";
+  g2.parents = {"a"};
+  EXPECT_FALSE(FeaturePlan::Create({"a"}, {g1, g2}, {"g1"}).ok());
+}
+
+TEST(FeaturePlanTest, TransformValidatesSchema) {
+  FeaturePlan plan = MakeSimplePlan();
+  DataFrame wrong_width;
+  ASSERT_TRUE(wrong_width.AddColumn(Column("a", {1.0})).ok());
+  EXPECT_FALSE(plan.Transform(wrong_width).ok());
+
+  DataFrame wrong_names;
+  ASSERT_TRUE(wrong_names.AddColumn(Column("x", {1.0})).ok());
+  ASSERT_TRUE(wrong_names.AddColumn(Column("y", {2.0})).ok());
+  EXPECT_FALSE(plan.Transform(wrong_names).ok());
+
+  EXPECT_FALSE(plan.TransformRow({1.0}).ok());
+}
+
+TEST(FeaturePlanTest, UnknownOperatorFailsAtTransform) {
+  GeneratedFeature feature;
+  feature.name = "g";
+  feature.op = "not_an_op";
+  feature.parents = {"a"};
+  auto plan = FeaturePlan::Create({"a"}, {feature}, {"g"});
+  ASSERT_TRUE(plan.ok());  // structure is fine; operator resolved lazily
+  DataFrame x;
+  ASSERT_TRUE(x.AddColumn(Column("a", {1.0})).ok());
+  EXPECT_FALSE(plan->Transform(x).ok());
+}
+
+TEST(FeaturePlanTest, EmptyPlanIsIdentityOnSelection) {
+  auto plan = FeaturePlan::Create({"a", "b"}, {}, {"a"});
+  ASSERT_TRUE(plan.ok());
+  auto out = plan->Transform(MakeInput());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_columns(), 1u);
+  EXPECT_DOUBLE_EQ(out->at(1, 0), 2.0);
+  EXPECT_EQ(plan->NumSelectedGenerated(), 0u);
+}
+
+TEST(FeaturePlanTest, NumSelectedGeneratedCounts) {
+  FeaturePlan plan = MakeSimplePlan();
+  EXPECT_EQ(plan.NumSelectedGenerated(), 1u);  // log((a+b)) but not b
+}
+
+TEST(FeaturePlanTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(FeaturePlan::Deserialize("").ok());
+  EXPECT_FALSE(FeaturePlan::Deserialize("feature_plan v9\n").ok());
+  EXPECT_FALSE(
+      FeaturePlan::Deserialize("feature_plan v1\ninputs 2\nonly_one\n").ok());
+}
+
+}  // namespace
+}  // namespace safe

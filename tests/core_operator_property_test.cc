@@ -1,0 +1,126 @@
+// Property sweep over every registered operator: contracts that any
+// operator (built-in or user-supplied) must honour for the engine and
+// FeaturePlan to be correct.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/core/operators.h"
+
+namespace safe {
+namespace {
+
+class OperatorContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    registry_ = OperatorRegistry::Default();
+    auto op = registry_.Find(GetParam());
+    ASSERT_TRUE(op.ok());
+    op_ = *op;
+
+    Rng rng(7);
+    parents_storage_.resize(op_->arity());
+    for (auto& col : parents_storage_) {
+      col.resize(kRows);
+      for (double& v : col) v = rng.NextUniform(0.1, 5.0);  // log/sqrt-safe
+    }
+    for (auto& col : parents_storage_) parents_.push_back(&col);
+    auto params = op_->FitParams(parents_);
+    ASSERT_TRUE(params.ok()) << GetParam();
+    params_ = *params;
+  }
+
+  static constexpr size_t kRows = 200;
+  OperatorRegistry registry_ = OperatorRegistry::Empty();
+  std::shared_ptr<const Operator> op_;
+  std::vector<std::vector<double>> parents_storage_;
+  std::vector<const std::vector<double>*> parents_;
+  std::vector<double> params_;
+};
+
+TEST_P(OperatorContractTest, NameMatchesRegistryKey) {
+  EXPECT_EQ(op_->name(), GetParam());
+  EXPECT_GE(op_->arity(), 1u);
+  EXPECT_LE(op_->arity(), 3u);
+}
+
+TEST_P(OperatorContractTest, BatchEqualsElementwise) {
+  auto batch = ApplyOperator(*op_, params_, parents_);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), kRows);
+  std::vector<double> inputs(op_->arity());
+  for (size_t r = 0; r < kRows; ++r) {
+    for (size_t p = 0; p < op_->arity(); ++p) {
+      inputs[p] = parents_storage_[p][r];
+    }
+    const double direct = op_->Apply(inputs.data(), params_);
+    if (std::isnan(direct)) {
+      EXPECT_TRUE(std::isnan((*batch)[r])) << GetParam() << " row " << r;
+    } else {
+      EXPECT_DOUBLE_EQ((*batch)[r], direct) << GetParam() << " row " << r;
+    }
+  }
+}
+
+TEST_P(OperatorContractTest, Deterministic) {
+  auto a = ApplyOperator(*op_, params_, parents_);
+  auto b = ApplyOperator(*op_, params_, parents_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t r = 0; r < kRows; ++r) {
+    if (std::isnan((*a)[r])) {
+      EXPECT_TRUE(std::isnan((*b)[r]));
+    } else {
+      EXPECT_DOUBLE_EQ((*a)[r], (*b)[r]);
+    }
+  }
+}
+
+TEST_P(OperatorContractTest, MissingInputYieldsMissingUnlessHandled) {
+  // Poke a NaN into every parent position in turn.
+  for (size_t p = 0; p < op_->arity(); ++p) {
+    auto poked = parents_storage_;
+    poked[p][0] = std::nan("");
+    std::vector<const std::vector<double>*> ptrs;
+    for (auto& col : poked) ptrs.push_back(&col);
+    auto out = ApplyOperator(*op_, params_, ptrs);
+    ASSERT_TRUE(out.ok());
+    if (!op_->handles_missing()) {
+      EXPECT_TRUE(std::isnan((*out)[0]))
+          << GetParam() << " parent " << p;
+    } else {
+      // Group-by must still return a *finite or NaN* value, not crash.
+      SUCCEED();
+    }
+  }
+}
+
+TEST_P(OperatorContractTest, RefitOnSameDataGivesSameParams) {
+  auto again = op_->FitParams(parents_);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (std::isnan(params_[i])) {
+      EXPECT_TRUE(std::isnan((*again)[i]));  // e.g. empty group-by bins
+    } else {
+      EXPECT_DOUBLE_EQ((*again)[i], params_[i]);
+    }
+  }
+}
+
+TEST_P(OperatorContractTest, WrongParentCountRejected) {
+  std::vector<const std::vector<double>*> too_many = parents_;
+  too_many.push_back(&parents_storage_[0]);
+  EXPECT_FALSE(ApplyOperator(*op_, params_, too_many).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, OperatorContractTest,
+    ::testing::ValuesIn(OperatorRegistry::Default().Names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace safe

@@ -1,0 +1,213 @@
+#include "src/core/operators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safe {
+namespace {
+
+class OperatorFixture : public ::testing::Test {
+ protected:
+  OperatorRegistry registry_ = OperatorRegistry::Default();
+
+  double Apply1(const std::string& name, double a,
+                const std::vector<double>& params = {}) {
+    auto op = registry_.Find(name);
+    EXPECT_TRUE(op.ok()) << name;
+    double in[1] = {a};
+    return (*op)->Apply(in, params);
+  }
+  double Apply2(const std::string& name, double a, double b,
+                const std::vector<double>& params = {}) {
+    auto op = registry_.Find(name);
+    EXPECT_TRUE(op.ok()) << name;
+    double in[2] = {a, b};
+    return (*op)->Apply(in, params);
+  }
+};
+
+TEST_F(OperatorFixture, ArithmeticBasics) {
+  EXPECT_DOUBLE_EQ(Apply2("add", 2, 3), 5.0);
+  EXPECT_DOUBLE_EQ(Apply2("sub", 2, 3), -1.0);
+  EXPECT_DOUBLE_EQ(Apply2("mul", 2, 3), 6.0);
+  EXPECT_DOUBLE_EQ(Apply2("div", 6, 3), 2.0);
+}
+
+TEST_F(OperatorFixture, DivisionByZeroIsNaN) {
+  EXPECT_TRUE(std::isnan(Apply2("div", 1, 0)));
+}
+
+TEST_F(OperatorFixture, DivIsNonCommutative) {
+  auto op = registry_.Find("div");
+  ASSERT_TRUE(op.ok());
+  EXPECT_FALSE((*op)->commutative());
+  auto add = registry_.Find("add");
+  ASSERT_TRUE(add.ok());
+  EXPECT_TRUE((*add)->commutative());
+}
+
+TEST_F(OperatorFixture, UnaryMathGuards) {
+  EXPECT_DOUBLE_EQ(Apply1("log", std::exp(2.0)), 2.0);
+  EXPECT_TRUE(std::isnan(Apply1("log", -1.0)));
+  EXPECT_TRUE(std::isnan(Apply1("log", 0.0)));
+  EXPECT_DOUBLE_EQ(Apply1("sqrt", 9.0), 3.0);
+  EXPECT_TRUE(std::isnan(Apply1("sqrt", -4.0)));
+  EXPECT_DOUBLE_EQ(Apply1("square", -3.0), 9.0);
+  EXPECT_DOUBLE_EQ(Apply1("abs", -2.5), 2.5);
+  EXPECT_DOUBLE_EQ(Apply1("round", 2.6), 3.0);
+  EXPECT_DOUBLE_EQ(Apply1("sigmoid", 0.0), 0.5);
+  EXPECT_NEAR(Apply1("tanh", 100.0), 1.0, 1e-9);
+}
+
+TEST_F(OperatorFixture, LogicalOps) {
+  EXPECT_DOUBLE_EQ(Apply2("and", 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(Apply2("and", 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Apply2("or", 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(Apply2("xor", 1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(Apply2("xor", 1, 0), 1.0);
+}
+
+TEST_F(OperatorFixture, ZscoreFitsAndApplies) {
+  auto op = registry_.Find("zscore");
+  ASSERT_TRUE(op.ok());
+  std::vector<double> col{2, 4, 6, 8};
+  auto params = (*op)->FitParams({&col});
+  ASSERT_TRUE(params.ok());
+  EXPECT_DOUBLE_EQ(Apply1("zscore", 5.0, *params), 0.0);
+  // Symmetric around the mean.
+  EXPECT_DOUBLE_EQ(Apply1("zscore", 8.0, *params),
+                   -Apply1("zscore", 2.0, *params));
+}
+
+TEST_F(OperatorFixture, MinMaxFitsAndApplies) {
+  auto op = registry_.Find("minmax");
+  ASSERT_TRUE(op.ok());
+  std::vector<double> col{10, 20, 30};
+  auto params = (*op)->FitParams({&col});
+  ASSERT_TRUE(params.ok());
+  EXPECT_DOUBLE_EQ(Apply1("minmax", 10.0, *params), 0.0);
+  EXPECT_DOUBLE_EQ(Apply1("minmax", 30.0, *params), 1.0);
+  EXPECT_DOUBLE_EQ(Apply1("minmax", 20.0, *params), 0.5);
+}
+
+TEST_F(OperatorFixture, DiscretizeBinsValues) {
+  auto op = registry_.Find("discretize");
+  ASSERT_TRUE(op.ok());
+  std::vector<double> col;
+  for (int i = 0; i < 100; ++i) col.push_back(static_cast<double>(i));
+  auto params = (*op)->FitParams({&col});
+  ASSERT_TRUE(params.ok());
+  const double low_bin = Apply1("discretize", 0.0, *params);
+  const double high_bin = Apply1("discretize", 99.0, *params);
+  EXPECT_LT(low_bin, high_bin);
+  EXPECT_DOUBLE_EQ(low_bin, 0.0);
+}
+
+TEST_F(OperatorFixture, GroupByMeanAggregates) {
+  auto op = registry_.Find("gbmean");
+  ASSERT_TRUE(op.ok());
+  // Key 0 -> values near 10, key 100 -> values near 20.
+  std::vector<double> keys;
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) {
+    keys.push_back(0.0);
+    values.push_back(10.0);
+    keys.push_back(100.0);
+    values.push_back(20.0);
+  }
+  auto params = (*op)->FitParams({&keys, &values});
+  ASSERT_TRUE(params.ok());
+  double in_low[2] = {0.0, 0.0};
+  double in_high[2] = {100.0, 0.0};
+  EXPECT_DOUBLE_EQ((*op)->Apply(in_low, *params), 10.0);
+  EXPECT_DOUBLE_EQ((*op)->Apply(in_high, *params), 20.0);
+}
+
+TEST_F(OperatorFixture, GroupByCountCounts) {
+  auto op = registry_.Find("gbcount");
+  ASSERT_TRUE(op.ok());
+  std::vector<double> keys(100, 1.0);
+  std::vector<double> values(100, 0.0);
+  auto params = (*op)->FitParams({&keys, &values});
+  ASSERT_TRUE(params.ok());
+  double in[2] = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ((*op)->Apply(in, *params), 100.0);
+}
+
+TEST_F(OperatorFixture, ConditionalSelects) {
+  auto op = registry_.Find("cond");
+  ASSERT_TRUE(op.ok());
+  double pos[3] = {1.0, 10.0, 20.0};
+  double neg[3] = {-1.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ((*op)->Apply(pos, {}), 10.0);
+  EXPECT_DOUBLE_EQ((*op)->Apply(neg, {}), 20.0);
+}
+
+TEST(ApplyOperatorTest, PropagatesNaNForNonGroupOps) {
+  OperatorRegistry registry = OperatorRegistry::Arithmetic();
+  auto op = registry.Find("add");
+  ASSERT_TRUE(op.ok());
+  std::vector<double> a{1.0, std::nan(""), 3.0};
+  std::vector<double> b{2.0, 2.0, std::nan("")};
+  auto out = ApplyOperator(**op, {}, {&a, &b});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0], 3.0);
+  EXPECT_TRUE(std::isnan((*out)[1]));
+  EXPECT_TRUE(std::isnan((*out)[2]));
+}
+
+TEST(ApplyOperatorTest, ValidatesArityAndLength) {
+  OperatorRegistry registry = OperatorRegistry::Arithmetic();
+  auto op = registry.Find("add");
+  ASSERT_TRUE(op.ok());
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> short_b{1.0};
+  EXPECT_FALSE(ApplyOperator(**op, {}, {&a}).ok());
+  EXPECT_FALSE(ApplyOperator(**op, {}, {&a, &short_b}).ok());
+}
+
+TEST(RegistryTest, DefaultHasAllFamilies) {
+  OperatorRegistry registry = OperatorRegistry::Default();
+  for (const char* name :
+       {"add", "sub", "mul", "div", "and", "or", "xor", "log", "sqrt",
+        "square", "sigmoid", "tanh", "round", "abs", "zscore", "minmax",
+        "discretize", "gbmean", "gbmax", "gbmin", "gbstd", "gbcount",
+        "cond"}) {
+    EXPECT_TRUE(registry.Find(name).ok()) << name;
+  }
+  EXPECT_EQ(registry.OfArity(3).size(), 1u);
+  EXPECT_FALSE(registry.Find("nope").ok());
+}
+
+TEST(RegistryTest, ArithmeticHasExactlyFour) {
+  OperatorRegistry registry = OperatorRegistry::Arithmetic();
+  EXPECT_EQ(registry.size(), 4u);
+  EXPECT_EQ(registry.OfArity(2).size(), 4u);
+  EXPECT_TRUE(registry.OfArity(1).empty());
+}
+
+class DoubleOp : public Operator {
+ public:
+  std::string name() const override { return "double"; }
+  size_t arity() const override { return 1; }
+  double Apply(const double* in, const std::vector<double>&) const override {
+    return 2.0 * in[0];
+  }
+};
+
+TEST(RegistryTest, CustomOperatorRegisters) {
+  OperatorRegistry registry = OperatorRegistry::Arithmetic();
+  ASSERT_TRUE(registry.Register(std::make_shared<DoubleOp>()).ok());
+  auto op = registry.Find("double");
+  ASSERT_TRUE(op.ok());
+  double in[1] = {21.0};
+  EXPECT_DOUBLE_EQ((*op)->Apply(in, {}), 42.0);
+  // Duplicate registration fails.
+  EXPECT_EQ(registry.Register(std::make_shared<DoubleOp>()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(registry.Register(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace safe

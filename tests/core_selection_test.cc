@@ -1,0 +1,153 @@
+#include "src/core/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/stats/correlation.h"
+
+namespace safe {
+namespace {
+
+/// Frame with: strong signal, weak signal, copy-of-strong (redundant),
+/// pure noise. Labels driven by the strong column.
+struct SelectionFixture {
+  Dataset data;
+  std::vector<double> ivs;
+
+  SelectionFixture() {
+    Rng rng(11);
+    const size_t n = 3000;
+    std::vector<double> strong(n);
+    std::vector<double> weak(n);
+    std::vector<double> copy(n);
+    std::vector<double> noise(n);
+    std::vector<double> labels(n);
+    for (size_t i = 0; i < n; ++i) {
+      labels[i] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+      strong[i] = rng.NextGaussian() + (labels[i] > 0.5 ? 2.0 : 0.0);
+      weak[i] = rng.NextGaussian() + (labels[i] > 0.5 ? 0.4 : 0.0);
+      copy[i] = 3.0 * strong[i] + 1.0 + 0.01 * rng.NextGaussian();
+      noise[i] = rng.NextGaussian();
+    }
+    DataFrame x;
+    EXPECT_TRUE(x.AddColumn(Column("strong", strong)).ok());
+    EXPECT_TRUE(x.AddColumn(Column("weak", weak)).ok());
+    EXPECT_TRUE(x.AddColumn(Column("copy", copy)).ok());
+    EXPECT_TRUE(x.AddColumn(Column("noise", noise)).ok());
+    data = *MakeDataset(std::move(x), std::move(labels));
+    ivs = ComputeIvs(data.x, data.labels(), 10);
+  }
+};
+
+TEST(ComputeIvsTest, OrdersBySignalStrength) {
+  SelectionFixture fx;
+  EXPECT_GT(fx.ivs[0], fx.ivs[1]);  // strong > weak
+  EXPECT_GT(fx.ivs[1], fx.ivs[3]);  // weak > noise
+  EXPECT_NEAR(fx.ivs[0], fx.ivs[2], 0.25);  // copy ~ strong
+}
+
+TEST(ComputeIvsTest, ConstantColumnScoresZero) {
+  DataFrame x;
+  ASSERT_TRUE(
+      x.AddColumn(Column("const", std::vector<double>(100, 1.0))).ok());
+  std::vector<double> labels(100);
+  for (size_t i = 0; i < 100; ++i) labels[i] = (i % 2) ? 1.0 : 0.0;
+  auto ivs = ComputeIvs(x, labels, 10);
+  EXPECT_DOUBLE_EQ(ivs[0], 0.0);
+}
+
+TEST(IvFilterTest, ThresholdApplied) {
+  SelectionFixture fx;
+  auto kept = IvFilterIndices(fx.ivs, 0.1);
+  // strong, weak and copy clear alpha; noise does not.
+  EXPECT_TRUE(std::find(kept.begin(), kept.end(), 0u) != kept.end());
+  EXPECT_TRUE(std::find(kept.begin(), kept.end(), 2u) != kept.end());
+  EXPECT_TRUE(std::find(kept.begin(), kept.end(), 3u) == kept.end());
+}
+
+TEST(IvFilterTest, HugeThresholdKeepsNothing) {
+  SelectionFixture fx;
+  EXPECT_TRUE(IvFilterIndices(fx.ivs, 1e9).empty());
+}
+
+TEST(RedundancyFilterTest, DropsCorrelatedKeepingHigherIv) {
+  SelectionFixture fx;
+  std::vector<size_t> candidates{0, 1, 2, 3};
+  auto kept =
+      RedundancyFilterIndices(fx.data.x, fx.ivs, candidates, 0.8);
+  // copy correlates ~1.0 with strong: exactly one of {0, 2} survives,
+  // and it is the one with the larger IV.
+  const bool has_strong =
+      std::find(kept.begin(), kept.end(), 0u) != kept.end();
+  const bool has_copy =
+      std::find(kept.begin(), kept.end(), 2u) != kept.end();
+  EXPECT_NE(has_strong, has_copy);
+  const size_t survivor = has_strong ? 0u : 2u;
+  const size_t dropped = has_strong ? 2u : 0u;
+  EXPECT_GE(fx.ivs[survivor], fx.ivs[dropped]);
+  // Uncorrelated columns survive.
+  EXPECT_TRUE(std::find(kept.begin(), kept.end(), 1u) != kept.end());
+  EXPECT_TRUE(std::find(kept.begin(), kept.end(), 3u) != kept.end());
+}
+
+TEST(RedundancyFilterTest, LowThresholdPrunesAggressively) {
+  SelectionFixture fx;
+  std::vector<size_t> candidates{0, 1, 2, 3};
+  auto strict =
+      RedundancyFilterIndices(fx.data.x, fx.ivs, candidates, 0.01);
+  auto loose =
+      RedundancyFilterIndices(fx.data.x, fx.ivs, candidates, 0.99);
+  EXPECT_LE(strict.size(), loose.size());
+  EXPECT_GE(strict.size(), 1u);
+}
+
+TEST(RedundancyFilterTest, EmptyCandidates) {
+  SelectionFixture fx;
+  EXPECT_TRUE(
+      RedundancyFilterIndices(fx.data.x, fx.ivs, {}, 0.8).empty());
+}
+
+TEST(ImportanceRankTest, StrongFeatureRanksFirst) {
+  SelectionFixture fx;
+  gbdt::GbdtParams params;
+  params.num_trees = 20;
+  params.max_depth = 3;
+  auto ranked = ImportanceRankIndices(fx.data, {0, 1, 3}, fx.ivs, params, 0);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_FALSE(ranked->empty());
+  EXPECT_EQ((*ranked)[0], 0u);
+}
+
+TEST(ImportanceRankTest, MaxOutputTruncates) {
+  SelectionFixture fx;
+  gbdt::GbdtParams params;
+  params.num_trees = 10;
+  auto ranked =
+      ImportanceRankIndices(fx.data, {0, 1, 2, 3}, fx.ivs, params, 2);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->size(), 2u);
+}
+
+TEST(ImportanceRankTest, UnsplitCandidatesStillReturned) {
+  SelectionFixture fx;
+  gbdt::GbdtParams params;
+  params.num_trees = 1;
+  params.max_depth = 1;  // a stump splits on at most one feature
+  auto ranked =
+      ImportanceRankIndices(fx.data, {0, 1, 2, 3}, fx.ivs, params, 0);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->size(), 4u);  // every candidate comes back ordered
+}
+
+TEST(ImportanceRankTest, EmptyCandidatesOk) {
+  SelectionFixture fx;
+  gbdt::GbdtParams params;
+  auto ranked = ImportanceRankIndices(fx.data, {}, fx.ivs, params, 0);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_TRUE(ranked->empty());
+}
+
+}  // namespace
+}  // namespace safe

@@ -1,0 +1,188 @@
+#include "src/data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/benchmark_suite.h"
+#include "src/data/business.h"
+#include "src/stats/correlation.h"
+#include "src/stats/descriptive.h"
+
+namespace safe {
+namespace data {
+namespace {
+
+TEST(SyntheticTest, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.num_rows = 500;
+  spec.num_features = 12;
+  spec.num_informative = 4;
+  spec.num_interactions = 2;
+  auto data = MakeSyntheticDataset(spec);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->num_rows(), 500u);
+  EXPECT_EQ(data->x.num_columns(), 12u);
+  EXPECT_EQ(data->labels().size(), 500u);
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SyntheticSpec spec;
+  spec.seed = 5;
+  auto a = MakeSyntheticDataset(spec);
+  auto b = MakeSyntheticDataset(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t r = 0; r < a->num_rows(); ++r) {
+    for (size_t c = 0; c < a->x.num_columns(); ++c) {
+      EXPECT_DOUBLE_EQ(a->x.at(r, c), b->x.at(r, c));
+    }
+    EXPECT_DOUBLE_EQ(a->labels()[r], b->labels()[r]);
+  }
+  spec.seed = 6;
+  auto c = MakeSyntheticDataset(spec);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t r = 0; r < a->num_rows() && !any_diff; ++r) {
+    if (a->x.at(r, 0) != c->x.at(r, 0)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, PositiveRateApproximatelyRespected) {
+  SyntheticSpec spec;
+  spec.num_rows = 5000;
+  spec.positive_rate = 0.2;
+  spec.label_flip = 0.0;
+  auto data = MakeSyntheticDataset(spec);
+  ASSERT_TRUE(data.ok());
+  const double rate =
+      static_cast<double>(CountEqual(data->labels(), 1.0)) / 5000.0;
+  EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+TEST(SyntheticTest, BothClassesAlwaysPresent) {
+  SyntheticSpec spec;
+  spec.num_rows = 20;
+  spec.positive_rate = 0.05;  // tiny data, extreme rate
+  auto data = MakeSyntheticDataset(spec);
+  ASSERT_TRUE(data.ok());
+  EXPECT_GT(CountEqual(data->labels(), 1.0), 0u);
+  EXPECT_GT(CountEqual(data->labels(), 0.0), 0u);
+}
+
+TEST(SyntheticTest, RedundantColumnsAreHighlyCorrelated) {
+  SyntheticSpec spec;
+  spec.num_rows = 2000;
+  spec.num_features = 10;
+  spec.num_informative = 4;
+  spec.num_redundant = 2;
+  spec.seed = 12;
+  auto data = MakeSyntheticDataset(spec);
+  ASSERT_TRUE(data.ok());
+  auto mat = PearsonMatrix(data->x);
+  int strong_pairs = 0;
+  for (size_t i = 0; i < mat.size(); ++i) {
+    for (size_t j = i + 1; j < mat.size(); ++j) {
+      if (std::fabs(mat[i][j]) > 0.95) ++strong_pairs;
+    }
+  }
+  EXPECT_GE(strong_pairs, 2);
+}
+
+TEST(SyntheticTest, MissingRateApplied) {
+  SyntheticSpec spec;
+  spec.num_rows = 2000;
+  spec.num_features = 5;
+  spec.num_informative = 3;
+  spec.missing_rate = 0.2;
+  auto data = MakeSyntheticDataset(spec);
+  ASSERT_TRUE(data.ok());
+  size_t missing = 0;
+  for (size_t c = 0; c < data->x.num_columns(); ++c) {
+    missing += data->x.column(c).CountMissing();
+  }
+  const double rate = static_cast<double>(missing) / (2000.0 * 5.0);
+  EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+TEST(SyntheticTest, SpecValidation) {
+  SyntheticSpec spec;
+  spec.num_rows = 5;
+  EXPECT_FALSE(MakeSyntheticDataset(spec).ok());
+  spec = SyntheticSpec();
+  spec.num_informative = 0;
+  EXPECT_FALSE(MakeSyntheticDataset(spec).ok());
+  spec = SyntheticSpec();
+  spec.num_informative = 20;
+  spec.num_features = 10;
+  EXPECT_FALSE(MakeSyntheticDataset(spec).ok());
+  spec = SyntheticSpec();
+  spec.positive_rate = 0.0;
+  EXPECT_FALSE(MakeSyntheticDataset(spec).ok());
+  spec = SyntheticSpec();
+  spec.num_informative = 1;
+  spec.num_interactions = 2;
+  EXPECT_FALSE(MakeSyntheticDataset(spec).ok());
+}
+
+TEST(SyntheticTest, SplitSizes) {
+  SyntheticSpec spec;
+  auto split = MakeSyntheticSplit(spec, 300, 100, 100);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_rows(), 300u);
+  EXPECT_EQ(split->valid.num_rows(), 100u);
+  EXPECT_EQ(split->test.num_rows(), 100u);
+}
+
+TEST(BenchmarkSuiteTest, TwelveDatasetsMatchTableIV) {
+  const auto& suite = BenchmarkSuite();
+  ASSERT_EQ(suite.size(), 12u);
+  EXPECT_EQ(suite[0].name, "valley");
+  EXPECT_EQ(suite[0].n_train, 900u);
+  EXPECT_EQ(suite[0].num_features, 100u);
+  EXPECT_EQ(suite[2].name, "gina");
+  EXPECT_EQ(suite[2].num_features, 970u);
+  EXPECT_EQ(suite[11].name, "vehicle");
+  EXPECT_EQ(suite[11].n_valid, 18528u);
+}
+
+TEST(BenchmarkSuiteTest, FindByName) {
+  auto info = FindBenchmarkDataset("magic");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->n_train, 13000u);
+  EXPECT_FALSE(FindBenchmarkDataset("nope").ok());
+}
+
+TEST(BenchmarkSuiteTest, ScaledSplitGenerates) {
+  auto info = FindBenchmarkDataset("banknote");
+  ASSERT_TRUE(info.ok());
+  auto split = MakeBenchmarkSplit(*info, 0.5);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->train.num_rows(), 500u);
+  EXPECT_EQ(split->test.num_rows(), 186u);
+  EXPECT_EQ(split->train.x.num_columns(), 4u);
+  EXPECT_FALSE(MakeBenchmarkSplit(*info, 0.0).ok());
+  EXPECT_FALSE(MakeBenchmarkSplit(*info, 1.5).ok());
+}
+
+TEST(BusinessSuiteTest, ShapesMatchTableVII) {
+  const auto& suite = BusinessSuite();
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].n_train, 2502617u);
+  EXPECT_EQ(suite[0].num_features, 81u);
+  EXPECT_EQ(suite[2].n_train, 8000000u);
+}
+
+TEST(BusinessSuiteTest, ScaledGenerationIsImbalanced) {
+  auto split = MakeBusinessSplit(BusinessSuite()[0], 0.002);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  const double rate =
+      static_cast<double>(CountEqual(split->train.labels(), 1.0)) /
+      static_cast<double>(split->train.num_rows());
+  EXPECT_LT(rate, 0.1);
+  EXPECT_GT(rate, 0.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace safe

@@ -1,0 +1,126 @@
+#include "src/dataframe/binning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace safe {
+namespace {
+
+TEST(BinEdgesTest, BinIndexBoundaries) {
+  BinEdges edges{{1.0, 2.0, 3.0}};
+  EXPECT_EQ(edges.num_bins(), 4u);
+  EXPECT_EQ(edges.BinIndex(0.5), 0u);
+  EXPECT_EQ(edges.BinIndex(1.0), 0u);   // inclusive upper edge
+  EXPECT_EQ(edges.BinIndex(1.5), 1u);
+  EXPECT_EQ(edges.BinIndex(3.0), 2u);
+  EXPECT_EQ(edges.BinIndex(99.0), 3u);
+  EXPECT_EQ(edges.BinIndex(std::nan("")), edges.missing_bin());
+}
+
+TEST(EqualFrequencyTest, BalancedBins) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<double>(i));
+  auto edges = EqualFrequencyEdges(values, 10);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->edges.size(), 9u);
+  // Each bin should hold ~100 values.
+  std::vector<int> counts(edges->num_bins(), 0);
+  for (double v : values) ++counts[edges->BinIndex(v)];
+  for (int c : counts) EXPECT_NEAR(c, 100, 1);
+}
+
+TEST(EqualFrequencyTest, HeavyTiesCollapseBins) {
+  std::vector<double> values(100, 5.0);
+  values.push_back(6.0);
+  auto edges = EqualFrequencyEdges(values, 10);
+  ASSERT_TRUE(edges.ok());
+  // All mass at 5.0: at most one usable cut.
+  EXPECT_LE(edges->edges.size(), 1u);
+}
+
+TEST(EqualFrequencyTest, ConstantColumnYieldsSingleBin) {
+  std::vector<double> values(50, 3.14);
+  auto edges = EqualFrequencyEdges(values, 8);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_TRUE(edges->edges.empty());
+  EXPECT_EQ(edges->BinIndex(3.14), 0u);
+}
+
+TEST(EqualFrequencyTest, IgnoresMissing) {
+  std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8};
+  values.push_back(std::nan(""));
+  auto edges = EqualFrequencyEdges(values, 4);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_FALSE(edges->edges.empty());
+  EXPECT_EQ(edges->BinIndex(std::nan("")), edges->missing_bin());
+}
+
+TEST(EqualFrequencyTest, RejectsAllMissingAndBadBins) {
+  std::vector<double> all_nan(5, std::nan(""));
+  EXPECT_FALSE(EqualFrequencyEdges(all_nan, 4).ok());
+  EXPECT_FALSE(EqualFrequencyEdges({1.0, 2.0}, 1).ok());
+}
+
+TEST(EqualFrequencyTest, NoEmptyLastBin) {
+  // Max value repeated: trailing edges equal to max must be dropped.
+  std::vector<double> values{1, 2, 3, 9, 9, 9, 9, 9};
+  auto edges = EqualFrequencyEdges(values, 4);
+  ASSERT_TRUE(edges.ok());
+  for (double e : edges->edges) EXPECT_LT(e, 9.0);
+  // The max value lands in the last bin, which is nonempty.
+  EXPECT_EQ(edges->BinIndex(9.0), edges->edges.size());
+}
+
+TEST(EqualWidthTest, UniformWidths) {
+  std::vector<double> values{0.0, 10.0};
+  auto edges = EqualWidthEdges(values, 5);
+  ASSERT_TRUE(edges.ok());
+  ASSERT_EQ(edges->edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(edges->edges[0], 2.0);
+  EXPECT_DOUBLE_EQ(edges->edges[3], 8.0);
+}
+
+TEST(EqualWidthTest, ConstantColumn) {
+  std::vector<double> values(10, 1.0);
+  auto edges = EqualWidthEdges(values, 5);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_TRUE(edges->edges.empty());
+}
+
+TEST(ApplyBinsTest, MapsValuesToIndices) {
+  BinEdges edges{{0.0, 1.0}};
+  auto binned = ApplyBins(edges, {-1.0, 0.5, 2.0, std::nan("")});
+  EXPECT_EQ(binned[0], 0.0);
+  EXPECT_EQ(binned[1], 1.0);
+  EXPECT_EQ(binned[2], 2.0);
+  EXPECT_EQ(binned[3], static_cast<double>(edges.missing_bin()));
+}
+
+// Property sweep: bin counts from equal-frequency edges are within a
+// factor-2 balance for continuous data, for many bin widths.
+class EqualFrequencyPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EqualFrequencyPropertyTest, RoughBalanceOnContinuousData) {
+  const size_t num_bins = GetParam();
+  Rng rng(num_bins * 977);
+  std::vector<double> values(5000);
+  for (double& v : values) v = rng.NextGaussian();
+  auto edges = EqualFrequencyEdges(values, num_bins);
+  ASSERT_TRUE(edges.ok());
+  std::vector<size_t> counts(edges->num_bins(), 0);
+  for (double v : values) ++counts[edges->BinIndex(v)];
+  const double expected =
+      static_cast<double>(values.size()) / static_cast<double>(num_bins);
+  for (size_t b = 0; b < edges->num_bins(); ++b) {
+    EXPECT_LT(counts[b], expected * 2.0) << "bin " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EqualFrequencyPropertyTest,
+                         ::testing::Values(2, 3, 5, 10, 20, 64));
+
+}  // namespace
+}  // namespace safe

@@ -1,0 +1,108 @@
+#include "src/dataframe/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/stats/descriptive.h"
+
+namespace safe {
+namespace {
+
+Dataset MakeData(size_t n, double positive_rate = 0.5) {
+  DataFrame f;
+  std::vector<double> ids(n);
+  std::vector<double> labels(n);
+  const size_t positives = static_cast<size_t>(positive_rate * n);
+  for (size_t i = 0; i < n; ++i) {
+    ids[i] = static_cast<double>(i);
+    labels[i] = i < positives ? 1.0 : 0.0;
+  }
+  EXPECT_TRUE(f.AddColumn(Column("id", std::move(ids))).ok());
+  return *MakeDataset(std::move(f), std::move(labels));
+}
+
+TEST(KFoldTest, FoldsPartitionTheData) {
+  Dataset data = MakeData(103);
+  auto folds = KFoldSplit(data, 5, 1);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 5u);
+  std::multiset<double> holdout_ids;
+  for (const auto& fold : *folds) {
+    EXPECT_EQ(fold.train.num_rows() + fold.holdout.num_rows(), 103u);
+    for (size_t r = 0; r < fold.holdout.num_rows(); ++r) {
+      holdout_ids.insert(fold.holdout.x.at(r, 0));
+    }
+    // Fold sizes within 1 of each other.
+    EXPECT_GE(fold.holdout.num_rows(), 103u / 5);
+    EXPECT_LE(fold.holdout.num_rows(), 103u / 5 + 1);
+  }
+  EXPECT_EQ(holdout_ids.size(), 103u);
+  EXPECT_EQ(std::set<double>(holdout_ids.begin(), holdout_ids.end()).size(),
+            103u);
+}
+
+TEST(KFoldTest, TrainAndHoldoutDisjoint) {
+  Dataset data = MakeData(50);
+  auto folds = KFoldSplit(data, 4, 2);
+  ASSERT_TRUE(folds.ok());
+  for (const auto& fold : *folds) {
+    std::set<double> train_ids;
+    for (size_t r = 0; r < fold.train.num_rows(); ++r) {
+      train_ids.insert(fold.train.x.at(r, 0));
+    }
+    for (size_t r = 0; r < fold.holdout.num_rows(); ++r) {
+      EXPECT_FALSE(train_ids.count(fold.holdout.x.at(r, 0)));
+    }
+  }
+}
+
+TEST(KFoldTest, DeterministicInSeed) {
+  Dataset data = MakeData(40);
+  auto a = KFoldSplit(data, 4, 7);
+  auto b = KFoldSplit(data, 4, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t f = 0; f < a->size(); ++f) {
+    for (size_t r = 0; r < (*a)[f].holdout.num_rows(); ++r) {
+      EXPECT_DOUBLE_EQ((*a)[f].holdout.x.at(r, 0),
+                       (*b)[f].holdout.x.at(r, 0));
+    }
+  }
+}
+
+TEST(KFoldTest, Validation) {
+  Dataset data = MakeData(10);
+  EXPECT_FALSE(KFoldSplit(data, 1, 0).ok());
+  EXPECT_FALSE(KFoldSplit(data, 11, 0).ok());
+}
+
+TEST(StratifiedKFoldTest, PreservesClassRatio) {
+  Dataset data = MakeData(1000, 0.1);  // 10% positives
+  auto folds = StratifiedKFoldSplit(data, 5, 3);
+  ASSERT_TRUE(folds.ok());
+  for (const auto& fold : *folds) {
+    const double rate =
+        static_cast<double>(CountEqual(fold.holdout.labels(), 1.0)) /
+        static_cast<double>(fold.holdout.num_rows());
+    EXPECT_NEAR(rate, 0.1, 0.02);
+  }
+}
+
+TEST(StratifiedKFoldTest, StillPartitions) {
+  Dataset data = MakeData(97, 0.3);
+  auto folds = StratifiedKFoldSplit(data, 4, 5);
+  ASSERT_TRUE(folds.ok());
+  std::set<double> seen;
+  size_t total = 0;
+  for (const auto& fold : *folds) {
+    total += fold.holdout.num_rows();
+    for (size_t r = 0; r < fold.holdout.num_rows(); ++r) {
+      seen.insert(fold.holdout.x.at(r, 0));
+    }
+  }
+  EXPECT_EQ(total, 97u);
+  EXPECT_EQ(seen.size(), 97u);
+}
+
+}  // namespace
+}  // namespace safe

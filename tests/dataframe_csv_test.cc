@@ -1,0 +1,121 @@
+#include "src/dataframe/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace safe {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "safe_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, ReadsHeaderAndValues) {
+  WriteFile("a,b\n1,2\n3,4\n");
+  auto frame = ReadCsv(path_);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->num_columns(), 2u);
+  EXPECT_EQ(frame->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(frame->at(1, 1), 4.0);
+}
+
+TEST_F(CsvTest, HeaderlessGetsSyntheticNames) {
+  WriteFile("1,2\n3,4\n");
+  CsvReadOptions opts;
+  opts.has_header = false;
+  auto frame = ReadCsv(path_, opts);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->column(0).name(), "c0");
+  EXPECT_EQ(frame->num_rows(), 2u);
+}
+
+TEST_F(CsvTest, MissingTokensBecomeNaN) {
+  WriteFile("a,b\n1,\nNA,4\n?,nan\n");
+  auto frame = ReadCsv(path_);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(std::isnan(frame->at(0, 1)));
+  EXPECT_TRUE(std::isnan(frame->at(1, 0)));
+  EXPECT_TRUE(std::isnan(frame->at(2, 0)));
+  EXPECT_TRUE(std::isnan(frame->at(2, 1)));
+}
+
+TEST_F(CsvTest, RejectsRaggedRows) {
+  WriteFile("a,b\n1,2,3\n");
+  auto frame = ReadCsv(path_);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find(":2"), std::string::npos);
+}
+
+TEST_F(CsvTest, RejectsGarbageField) {
+  WriteFile("a,b\n1,hello\n");
+  EXPECT_FALSE(ReadCsv(path_).ok());
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  auto frame = ReadCsv("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, EmptyFileFails) {
+  WriteFile("");
+  EXPECT_FALSE(ReadCsv(path_).ok());
+}
+
+TEST_F(CsvTest, SkipsBlankLinesAndCrLf) {
+  WriteFile("a,b\r\n1,2\r\n\r\n3,4\r\n");
+  auto frame = ReadCsv(path_);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->num_rows(), 2u);
+}
+
+TEST_F(CsvTest, RoundTripsThroughWrite) {
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn(Column("x", {1.5, std::nan(""), -3.25})).ok());
+  ASSERT_TRUE(f.AddColumn(Column("y", {0.0, 1.0, 1.0})).ok());
+  ASSERT_TRUE(WriteCsv(f, path_).ok());
+
+  auto back = ReadCsv(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(back->at(0, 0), 1.5);
+  EXPECT_TRUE(std::isnan(back->at(1, 0)));
+  EXPECT_DOUBLE_EQ(back->at(2, 0), -3.25);
+}
+
+TEST_F(CsvTest, ReadCsvDatasetPopsLabel) {
+  WriteFile("f1,f2,label\n0.5,1.5,1\n0.2,2.5,0\n");
+  auto ds = ReadCsvDataset(path_, "label");
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->x.num_columns(), 2u);
+  EXPECT_EQ(ds->labels(), (std::vector<double>{1.0, 0.0}));
+}
+
+TEST_F(CsvTest, ReadCsvDatasetRejectsNonBinaryLabel) {
+  WriteFile("f1,label\n0.5,2\n0.2,0\n");
+  EXPECT_FALSE(ReadCsvDataset(path_, "label").ok());
+}
+
+TEST_F(CsvTest, ReadCsvDatasetMissingLabelColumn) {
+  WriteFile("f1,f2\n0.5,1\n");
+  auto ds = ReadCsvDataset(path_, "label");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace safe

@@ -1,0 +1,91 @@
+#include "src/dataframe/binning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace safe {
+namespace {
+
+TEST(KMeansEdgesTest, SeparatesWellSeparatedClusters) {
+  // Three tight clusters at -10, 0, +10: edges fall between them.
+  Rng rng(1);
+  std::vector<double> values;
+  for (double center : {-10.0, 0.0, 10.0}) {
+    for (int i = 0; i < 200; ++i) {
+      values.push_back(center + 0.3 * rng.NextGaussian());
+    }
+  }
+  auto edges = KMeansEdges(values, 3);
+  ASSERT_TRUE(edges.ok());
+  ASSERT_EQ(edges->edges.size(), 2u);
+  EXPECT_NEAR(edges->edges[0], -5.0, 1.5);
+  EXPECT_NEAR(edges->edges[1], 5.0, 1.5);
+  // Every point maps to its own cluster's bin.
+  EXPECT_EQ(edges->BinIndex(-10.0), 0u);
+  EXPECT_EQ(edges->BinIndex(0.0), 1u);
+  EXPECT_EQ(edges->BinIndex(10.0), 2u);
+}
+
+TEST(KMeansEdgesTest, CollapsesOnConstantData) {
+  std::vector<double> values(100, 7.0);
+  auto edges = KMeansEdges(values, 5);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_TRUE(edges->edges.empty());
+}
+
+TEST(KMeansEdgesTest, AtMostRequestedBins) {
+  Rng rng(2);
+  std::vector<double> values(1000);
+  for (double& v : values) v = rng.NextGaussian();
+  for (size_t k : {2u, 4u, 8u, 16u}) {
+    auto edges = KMeansEdges(values, k);
+    ASSERT_TRUE(edges.ok());
+    EXPECT_LE(edges->edges.size(), k - 1);
+    EXPECT_GE(edges->edges.size(), 1u);
+  }
+}
+
+TEST(KMeansEdgesTest, EdgesSortedAscending) {
+  Rng rng(3);
+  std::vector<double> values(500);
+  for (double& v : values) v = rng.NextUniform(-5, 5);
+  auto edges = KMeansEdges(values, 6);
+  ASSERT_TRUE(edges.ok());
+  for (size_t i = 1; i < edges->edges.size(); ++i) {
+    EXPECT_LT(edges->edges[i - 1], edges->edges[i]);
+  }
+}
+
+TEST(KMeansEdgesTest, IgnoresMissing) {
+  std::vector<double> values{-10, -10, -10, 10, 10, 10, std::nan("")};
+  auto edges = KMeansEdges(values, 2);
+  ASSERT_TRUE(edges.ok());
+  ASSERT_EQ(edges->edges.size(), 1u);
+  EXPECT_NEAR(edges->edges[0], 0.0, 1e-9);
+  EXPECT_EQ(edges->BinIndex(std::nan("")), edges->missing_bin());
+}
+
+TEST(KMeansEdgesTest, Validation) {
+  EXPECT_FALSE(KMeansEdges({1.0, 2.0}, 1).ok());
+  std::vector<double> all_nan(5, std::nan(""));
+  EXPECT_FALSE(KMeansEdges(all_nan, 3).ok());
+}
+
+TEST(KMeansEdgesTest, DeterministicAcrossCalls) {
+  Rng rng(4);
+  std::vector<double> values(800);
+  for (double& v : values) v = rng.NextGaussian();
+  auto a = KMeansEdges(values, 5);
+  auto b = KMeansEdges(values, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->edges.size(), b->edges.size());
+  for (size_t i = 0; i < a->edges.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->edges[i], b->edges[i]);
+  }
+}
+
+}  // namespace
+}  // namespace safe

@@ -1,0 +1,111 @@
+#include "src/dataframe/split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace safe {
+namespace {
+
+Dataset MakeData(size_t n) {
+  DataFrame f;
+  std::vector<double> ids(n);
+  std::vector<double> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    ids[i] = static_cast<double>(i);
+    labels[i] = static_cast<double>(i % 2);
+  }
+  EXPECT_TRUE(f.AddColumn(Column("id", std::move(ids))).ok());
+  return *MakeDataset(std::move(f), std::move(labels));
+}
+
+TEST(SplitTest, SizesRespected) {
+  Dataset data = MakeData(100);
+  auto split = SplitDataset(data, 60, 20, 20, 1);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_rows(), 60u);
+  EXPECT_EQ(split->valid.num_rows(), 20u);
+  EXPECT_EQ(split->test.num_rows(), 20u);
+}
+
+TEST(SplitTest, PartitionsAreDisjointAndCover) {
+  Dataset data = MakeData(50);
+  auto split = SplitDataset(data, 30, 10, 10, 2);
+  ASSERT_TRUE(split.ok());
+  std::multiset<double> ids;
+  for (const auto* part : {&split->train, &split->valid, &split->test}) {
+    for (size_t r = 0; r < part->num_rows(); ++r) {
+      ids.insert(part->x.at(r, 0));
+    }
+  }
+  EXPECT_EQ(ids.size(), 50u);
+  std::set<double> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 50u);  // no duplicates across splits
+}
+
+TEST(SplitTest, ZeroValidAliasesTrain) {
+  Dataset data = MakeData(40);
+  auto split = SplitDataset(data, 30, 0, 10, 3);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->valid.num_rows(), split->train.num_rows());
+  EXPECT_DOUBLE_EQ(split->valid.x.at(0, 0), split->train.x.at(0, 0));
+}
+
+TEST(SplitTest, LabelsTravelWithRows) {
+  Dataset data = MakeData(30);
+  auto split = SplitDataset(data, 20, 0, 10, 4);
+  ASSERT_TRUE(split.ok());
+  for (size_t r = 0; r < split->test.num_rows(); ++r) {
+    const double id = split->test.x.at(r, 0);
+    EXPECT_DOUBLE_EQ(split->test.labels()[r],
+                     static_cast<double>(static_cast<int>(id) % 2));
+  }
+}
+
+TEST(SplitTest, DeterministicInSeed) {
+  Dataset data = MakeData(30);
+  auto a = SplitDataset(data, 20, 0, 10, 9);
+  auto b = SplitDataset(data, 20, 0, 10, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t r = 0; r < a->train.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(a->train.x.at(r, 0), b->train.x.at(r, 0));
+  }
+}
+
+TEST(SplitTest, RejectsOversizedRequest) {
+  Dataset data = MakeData(10);
+  EXPECT_FALSE(SplitDataset(data, 8, 2, 2, 0).ok());
+}
+
+TEST(SplitTest, RejectsEmptyTrainOrTest) {
+  Dataset data = MakeData(10);
+  EXPECT_FALSE(SplitDataset(data, 0, 0, 5, 0).ok());
+  EXPECT_FALSE(SplitDataset(data, 5, 0, 0, 0).ok());
+}
+
+TEST(SplitTest, FractionSplitUsesAllRows) {
+  Dataset data = MakeData(100);
+  auto split = SplitDatasetByFraction(data, 0.6, 0.2, 0.2, 5);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_rows() + split->valid.num_rows() +
+                split->test.num_rows(),
+            100u);
+}
+
+TEST(SplitTest, FractionValidation) {
+  Dataset data = MakeData(10);
+  EXPECT_FALSE(SplitDatasetByFraction(data, 0.9, 0.2, 0.2, 0).ok());
+  EXPECT_FALSE(SplitDatasetByFraction(data, -0.1, 0.5, 0.5, 0).ok());
+}
+
+TEST(TakeDatasetRowsTest, GathersFeaturesAndLabels) {
+  Dataset data = MakeData(10);
+  Dataset taken = TakeDatasetRows(data, {9, 0});
+  EXPECT_EQ(taken.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(taken.x.at(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(taken.labels()[0], 1.0);
+  EXPECT_DOUBLE_EQ(taken.labels()[1], 0.0);
+}
+
+}  // namespace
+}  // namespace safe

@@ -1,0 +1,192 @@
+// Focused tests of the histogram tree trainer's split mechanics,
+// regularization knobs, and missing-value routing.
+
+#include "src/gbdt/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/gbdt/quantizer.h"
+
+namespace safe {
+namespace gbdt {
+namespace {
+
+struct TrainerFixture {
+  DataFrame frame;
+  BinnedMatrix matrix;
+  std::vector<double> grad;
+  std::vector<double> hess;
+  std::vector<size_t> rows;
+  std::vector<int> features;
+
+  /// Builds gradients as if fitting residuals of y with constant 0.5
+  /// predictions: grad = 0.5 - y, hess = 0.25 (logistic at margin 0).
+  static TrainerFixture FromXy(DataFrame frame_in,
+                               const std::vector<double>& y,
+                               size_t max_bins = 32) {
+    TrainerFixture fx;
+    fx.frame = std::move(frame_in);
+    auto quantizer = FeatureQuantizer::Fit(fx.frame, max_bins);
+    EXPECT_TRUE(quantizer.ok());
+    auto matrix = quantizer->Transform(fx.frame);
+    EXPECT_TRUE(matrix.ok());
+    fx.matrix = std::move(*matrix);
+    for (size_t i = 0; i < y.size(); ++i) {
+      fx.grad.push_back(0.5 - y[i]);
+      fx.hess.push_back(0.25);
+      fx.rows.push_back(i);
+    }
+    for (size_t f = 0; f < fx.frame.num_columns(); ++f) {
+      fx.features.push_back(static_cast<int>(f));
+    }
+    return fx;
+  }
+};
+
+TrainerFixture StepFunction(size_t n) {
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = i < n / 2 ? 0.0 : 1.0;
+  }
+  DataFrame f;
+  EXPECT_TRUE(f.AddColumn(Column("x", x)).ok());
+  return TrainerFixture::FromXy(std::move(f), y);
+}
+
+TEST(TrainerTest, FindsTheStepBoundary) {
+  TrainerFixture fx = StepFunction(200);
+  GbdtParams params;
+  params.max_depth = 1;
+  TreeTrainer trainer(&fx.matrix, &params);
+  RegressionTree tree =
+      trainer.Train(fx.grad, fx.hess, fx.rows, fx.features);
+  ASSERT_EQ(tree.nodes().size(), 3u);
+  EXPECT_EQ(tree.nodes()[0].feature, 0);
+  EXPECT_NEAR(tree.nodes()[0].threshold, 99.5, 7.0);  // bin granularity
+  // Left leaf pushes toward class 0 (negative), right toward class 1.
+  EXPECT_LT(tree.nodes()[1].value, 0.0);
+  EXPECT_GT(tree.nodes()[2].value, 0.0);
+  EXPECT_GT(tree.nodes()[0].gain, 0.0);
+}
+
+TEST(TrainerTest, MinChildWeightBlocksTinyChildren) {
+  TrainerFixture fx = StepFunction(40);  // hessian mass = 40 * 0.25 = 10
+  GbdtParams params;
+  params.max_depth = 3;
+  params.min_child_weight = 6.0;  // each child needs >= 24 rows
+  TreeTrainer trainer(&fx.matrix, &params);
+  RegressionTree tree =
+      trainer.Train(fx.grad, fx.hess, fx.rows, fx.features);
+  // Splitting 40 rows into two children of >= 24 rows is impossible.
+  EXPECT_EQ(tree.nodes().size(), 1u);
+}
+
+TEST(TrainerTest, MinSplitGainPrunes) {
+  // Pure-noise gradients: any split gain is tiny, so a gamma floor keeps
+  // the tree a stump.
+  Rng rng(5);
+  std::vector<double> x(300);
+  std::vector<double> y(300);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextGaussian();
+    y[i] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+  }
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn(Column("x", x)).ok());
+  TrainerFixture fx = TrainerFixture::FromXy(std::move(f), y);
+  GbdtParams params;
+  params.min_split_gain = 5.0;
+  TreeTrainer trainer(&fx.matrix, &params);
+  RegressionTree tree =
+      trainer.Train(fx.grad, fx.hess, fx.rows, fx.features);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+}
+
+TEST(TrainerTest, DepthLimitRespected) {
+  TrainerFixture fx = StepFunction(400);
+  GbdtParams params;
+  params.max_depth = 2;
+  TreeTrainer trainer(&fx.matrix, &params);
+  RegressionTree tree =
+      trainer.Train(fx.grad, fx.hess, fx.rows, fx.features);
+  // Depth-2 tree has at most 7 nodes.
+  EXPECT_LE(tree.nodes().size(), 7u);
+  for (const auto& path : tree.ExtractPaths()) {
+    EXPECT_LE(path.size(), 2u);
+  }
+}
+
+TEST(TrainerTest, MissingRowsRoutedToBetterSide) {
+  // Feature: NaN for all positives, value 1.0 for all negatives. The
+  // only signal is the missing-ness itself.
+  const size_t n = 100;
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = (i % 2 == 0) ? 1.0 : 0.0;
+    x[i] = y[i] > 0.5 ? std::nan("") : 1.0;
+  }
+  // Add a second, noisy feature so there is a real edge to split on.
+  std::vector<double> noise(n);
+  Rng rng(6);
+  for (auto& v : noise) v = rng.NextGaussian();
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn(Column("x", x)).ok());
+  ASSERT_TRUE(f.AddColumn(Column("noise", noise)).ok());
+  TrainerFixture fx = TrainerFixture::FromXy(std::move(f), y);
+  GbdtParams params;
+  params.max_depth = 2;
+  TreeTrainer trainer(&fx.matrix, &params);
+  RegressionTree tree =
+      trainer.Train(fx.grad, fx.hess, fx.rows, fx.features);
+  ASSERT_GT(tree.nodes().size(), 1u);
+  // Prediction must separate the classes using the missing channel.
+  const double nan_pred = tree.PredictRow({std::nan(""), 0.0});
+  const double val_pred = tree.PredictRow({1.0, 0.0});
+  EXPECT_GT(nan_pred, val_pred);
+}
+
+TEST(TrainerTest, SubsetOfRowsOnlyUsesThoseRows) {
+  TrainerFixture fx = StepFunction(100);
+  // Train on the first half only: all labels 0 there -> no split, and
+  // the leaf pulls negative.
+  std::vector<size_t> first_half;
+  for (size_t i = 0; i < 50; ++i) first_half.push_back(i);
+  GbdtParams params;
+  TreeTrainer trainer(&fx.matrix, &params);
+  RegressionTree tree =
+      trainer.Train(fx.grad, fx.hess, first_half, fx.features);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  EXPECT_LT(tree.nodes()[0].value, 0.0);
+}
+
+TEST(TrainerTest, FeatureSubsetRestrictsSplits) {
+  TrainerFixture fx = StepFunction(200);
+  // Add a pure-noise second column and allow ONLY it.
+  Rng rng(7);
+  std::vector<double> noise(200);
+  for (auto& v : noise) v = rng.NextGaussian();
+  DataFrame f = fx.frame;
+  ASSERT_TRUE(f.AddColumn(Column("noise", noise)).ok());
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) y[i] = i < 100 ? 0.0 : 1.0;
+  TrainerFixture fx2 = TrainerFixture::FromXy(std::move(f), y);
+  GbdtParams params;
+  TreeTrainer trainer(&fx2.matrix, &params);
+  RegressionTree tree =
+      trainer.Train(fx2.grad, fx2.hess, fx2.rows, {1});
+  for (const auto& node : tree.nodes()) {
+    if (!node.is_leaf()) {
+      EXPECT_EQ(node.feature, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gbdt
+}  // namespace safe

@@ -1,0 +1,222 @@
+// End-to-end integration: CSV in -> split -> SAFE -> plan serialization ->
+// downstream model -> scoring, plus failure injection across module
+// boundaries.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "src/baselines/fctree.h"
+#include "src/baselines/feature_engineer.h"
+#include "src/baselines/tfc.h"
+#include "src/core/engine.h"
+#include "src/data/synthetic.h"
+#include "src/dataframe/csv.h"
+#include "src/dataframe/split.h"
+#include "src/gbdt/booster.h"
+#include "src/models/classifier.h"
+#include "src/stats/auc.h"
+
+namespace safe {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csv_path_ = ::testing::TempDir() + "safe_integration.csv";
+  }
+  void TearDown() override { std::remove(csv_path_.c_str()); }
+  std::string csv_path_;
+};
+
+TEST_F(IntegrationTest, CsvToSafeToScoredPredictions) {
+  // 1. Materialize a synthetic dataset as CSV — the on-disk entry point a
+  //    downstream user starts from.
+  data::SyntheticSpec spec;
+  spec.num_rows = 1500;
+  spec.num_features = 8;
+  spec.num_informative = 4;
+  spec.num_interactions = 3;
+  spec.seed = 61;
+  auto data = data::MakeSyntheticDataset(spec);
+  ASSERT_TRUE(data.ok());
+  DataFrame with_label = data->x;
+  ASSERT_TRUE(
+      with_label.AddColumn(Column("label", data->labels())).ok());
+  ASSERT_TRUE(WriteCsv(with_label, csv_path_).ok());
+
+  // 2. Read back, split, engineer, model, score.
+  auto dataset = ReadCsvDataset(csv_path_, "label");
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  auto split = SplitDataset(*dataset, 1000, 0, 500, 3);
+  ASSERT_TRUE(split.ok());
+
+  SafeParams params;
+  params.seed = 9;
+  SafeEngine engine(params);
+  auto fit = engine.Fit(split->train);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+
+  auto train_z = fit->plan.Transform(split->train.x);
+  auto test_z = fit->plan.Transform(split->test.x);
+  ASSERT_TRUE(train_z.ok() && test_z.ok());
+
+  gbdt::GbdtParams model_params;
+  model_params.num_trees = 40;
+  Dataset train{*train_z, split->train.y};
+  auto model = gbdt::Booster::Fit(train, nullptr, model_params);
+  ASSERT_TRUE(model.ok());
+  auto proba = model->PredictProba(*test_z);
+  ASSERT_TRUE(proba.ok());
+  auto auc = Auc(*proba, split->test.labels());
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(*auc, 0.8);
+}
+
+TEST_F(IntegrationTest, ServingArtifactsRoundTripThroughDisk) {
+  data::SyntheticSpec spec;
+  spec.num_rows = 1200;
+  spec.num_features = 6;
+  spec.num_informative = 3;
+  spec.num_interactions = 2;
+  spec.seed = 62;
+  auto split = data::MakeSyntheticSplit(spec, 800, 0, 400);
+  ASSERT_TRUE(split.ok());
+
+  SafeEngine engine(SafeParams{});
+  auto fit = engine.Fit(split->train);
+  ASSERT_TRUE(fit.ok());
+  auto train_z = fit->plan.Transform(split->train.x);
+  ASSERT_TRUE(train_z.ok());
+  gbdt::GbdtParams mp;
+  mp.num_trees = 20;
+  Dataset train{*train_z, split->train.y};
+  auto model = gbdt::Booster::Fit(train, nullptr, mp);
+  ASSERT_TRUE(model.ok());
+
+  // Persist both artifacts and reload them as a fresh process would.
+  const std::string plan_path = ::testing::TempDir() + "plan.txt";
+  const std::string model_path = ::testing::TempDir() + "model.txt";
+  {
+    std::ofstream(plan_path) << fit->plan.Serialize();
+    std::ofstream(model_path) << model->Serialize();
+  }
+  std::ifstream plan_in(plan_path);
+  std::ifstream model_in(model_path);
+  std::string plan_text((std::istreambuf_iterator<char>(plan_in)),
+                        std::istreambuf_iterator<char>());
+  std::string model_text((std::istreambuf_iterator<char>(model_in)),
+                         std::istreambuf_iterator<char>());
+  auto plan = FeaturePlan::Deserialize(plan_text);
+  auto scorer = gbdt::Booster::Deserialize(model_text);
+  ASSERT_TRUE(plan.ok() && scorer.ok());
+
+  // Row-at-a-time serving equals batch scoring.
+  auto batch_z = fit->plan.Transform(split->test.x);
+  auto batch_scores = model->PredictProba(*batch_z);
+  ASSERT_TRUE(batch_scores.ok());
+  for (size_t r = 0; r < 50; ++r) {
+    auto features = plan->TransformRow(split->test.x.Row(r));
+    ASSERT_TRUE(features.ok());
+    EXPECT_NEAR(scorer->PredictRowProba(*features), (*batch_scores)[r],
+                1e-9);
+  }
+  std::remove(plan_path.c_str());
+  std::remove(model_path.c_str());
+}
+
+TEST_F(IntegrationTest, AllMethodsProduceConsumablePlans) {
+  data::SyntheticSpec spec;
+  spec.num_rows = 900;
+  spec.num_features = 6;
+  spec.num_informative = 3;
+  spec.num_interactions = 2;
+  spec.seed = 63;
+  auto split = data::MakeSyntheticSplit(spec, 600, 0, 300);
+  ASSERT_TRUE(split.ok());
+
+  SafeParams params;
+  params.miner.num_trees = 10;
+  params.ranker.num_trees = 10;
+  std::vector<std::unique_ptr<baselines::FeatureEngineer>> methods;
+  methods.push_back(std::make_unique<baselines::OrigEngineer>());
+  methods.push_back(baselines::MakeSafe(params));
+  methods.push_back(baselines::MakeRand(params));
+  methods.push_back(baselines::MakeImp(params));
+  methods.push_back(
+      std::make_unique<baselines::TfcEngineer>(baselines::TfcParams{}));
+  methods.push_back(
+      std::make_unique<baselines::FcTreeEngineer>(baselines::FcTreeParams{}));
+
+  for (auto& method : methods) {
+    auto plan = method->FitPlan(split->train, nullptr);
+    ASSERT_TRUE(plan.ok()) << method->name() << ": "
+                           << plan.status().ToString();
+    auto test_z = plan->Transform(split->test.x);
+    ASSERT_TRUE(test_z.ok()) << method->name();
+    auto clf = models::MakeClassifier(models::ClassifierKind::kXgboost, 5);
+    Dataset train{*plan->Transform(split->train.x), split->train.y};
+    ASSERT_TRUE(clf->Fit(train).ok()) << method->name();
+    auto scores = clf->PredictScores(*test_z);
+    ASSERT_TRUE(scores.ok()) << method->name();
+    auto auc = Auc(*scores, split->test.labels());
+    ASSERT_TRUE(auc.ok()) << method->name();
+    EXPECT_GT(*auc, 0.55) << method->name();
+  }
+}
+
+TEST_F(IntegrationTest, MalformedCsvFailsCleanly) {
+  {
+    std::ofstream out(csv_path_);
+    out << "a,b,label\n1,2,1\n3,oops,0\n";
+  }
+  auto dataset = ReadCsvDataset(csv_path_, "label");
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_EQ(dataset.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IntegrationTest, SingleClassLabelsFailAtEngineNotCrash) {
+  DataFrame x;
+  std::vector<double> col(50);
+  for (size_t i = 0; i < col.size(); ++i) col[i] = static_cast<double>(i);
+  ASSERT_TRUE(x.AddColumn(Column("f", col)).ok());
+  auto data = MakeDataset(x, std::vector<double>(50, 1.0));
+  ASSERT_TRUE(data.ok());
+  SafeEngine engine(SafeParams{});
+  auto fit = engine.Fit(*data);
+  // GBDT trains (loss degenerates to base score); the pipeline must not
+  // crash. Whether it errors or returns a trivial plan, the status tells.
+  if (fit.ok()) {
+    EXPECT_FALSE(fit->plan.selected().empty());
+  } else {
+    EXPECT_FALSE(fit.status().message().empty());
+  }
+}
+
+TEST_F(IntegrationTest, AllNaNColumnSurvivesPipeline) {
+  data::SyntheticSpec spec;
+  spec.num_rows = 600;
+  spec.num_features = 5;
+  spec.num_informative = 3;
+  spec.num_interactions = 2;
+  spec.seed = 64;
+  auto data = data::MakeSyntheticDataset(spec);
+  ASSERT_TRUE(data.ok());
+  DataFrame x = data->x;
+  ASSERT_TRUE(
+      x.AddColumn(Column("dead", std::vector<double>(
+                                     x.num_rows(),
+                                     std::nan("")))).ok());
+  auto with_dead = MakeDataset(x, data->labels());
+  ASSERT_TRUE(with_dead.ok());
+  SafeEngine engine(SafeParams{});
+  auto fit = engine.Fit(*with_dead);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  auto z = fit->plan.Transform(with_dead->x);
+  ASSERT_TRUE(z.ok());
+}
+
+}  // namespace
+}  // namespace safe

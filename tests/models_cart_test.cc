@@ -1,0 +1,227 @@
+#include "src/models/cart.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/models/dense.h"
+
+namespace safe {
+namespace models {
+namespace {
+
+struct CartFixture {
+  std::vector<std::vector<double>> columns;
+  std::vector<double> labels;
+  std::vector<double> weights;
+  std::vector<size_t> rows;
+
+  std::vector<const std::vector<double>*> ptrs() const {
+    std::vector<const std::vector<double>*> out;
+    for (const auto& col : columns) out.push_back(&col);
+    return out;
+  }
+};
+
+/// y = 1 iff x0 > 0.5 — a single split solves it.
+CartFixture AxisAligned(size_t n) {
+  CartFixture fx;
+  Rng rng(1);
+  fx.columns.resize(2);
+  for (size_t i = 0; i < n; ++i) {
+    const double x0 = rng.NextDouble();
+    fx.columns[0].push_back(x0);
+    fx.columns[1].push_back(rng.NextGaussian());
+    fx.labels.push_back(x0 > 0.5 ? 1.0 : 0.0);
+    fx.weights.push_back(1.0);
+    fx.rows.push_back(i);
+  }
+  return fx;
+}
+
+TEST(CartTest, LearnsAxisAlignedSplit) {
+  CartFixture fx = AxisAligned(500);
+  CartTree tree;
+  CartParams params;
+  Rng rng(2);
+  ASSERT_TRUE(
+      tree.Fit(fx.ptrs(), fx.labels, fx.weights, fx.rows, params, &rng).ok());
+  ASSERT_FALSE(tree.nodes().empty());
+  EXPECT_EQ(tree.nodes()[0].feature, 0);
+  EXPECT_NEAR(tree.nodes()[0].threshold, 0.5, 0.05);
+  double row_low[2] = {0.1, 0.0};
+  double row_high[2] = {0.9, 0.0};
+  EXPECT_LT(tree.PredictRowProba(row_low), 0.5);
+  EXPECT_GT(tree.PredictRowProba(row_high), 0.5);
+}
+
+TEST(CartTest, PureNodeStaysLeaf) {
+  CartFixture fx = AxisAligned(100);
+  for (auto& y : fx.labels) y = 1.0;  // single class
+  CartTree tree;
+  CartParams params;
+  Rng rng(3);
+  ASSERT_TRUE(
+      tree.Fit(fx.ptrs(), fx.labels, fx.weights, fx.rows, params, &rng).ok());
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  double row[2] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(tree.PredictRowProba(row), 1.0);
+}
+
+TEST(CartTest, MaxDepthZeroIsAStumplessPrior) {
+  CartFixture fx = AxisAligned(100);
+  CartTree tree;
+  CartParams params;
+  params.max_depth = 0;
+  Rng rng(4);
+  ASSERT_TRUE(
+      tree.Fit(fx.ptrs(), fx.labels, fx.weights, fx.rows, params, &rng).ok());
+  EXPECT_EQ(tree.nodes().size(), 1u);
+}
+
+TEST(CartTest, WeightsShiftTheLeafProbability) {
+  // Equal counts of each class, but positive rows weigh 3x.
+  CartFixture fx;
+  fx.columns.resize(1);
+  for (size_t i = 0; i < 10; ++i) {
+    fx.columns[0].push_back(1.0);  // constant: no split possible
+    fx.labels.push_back(i < 5 ? 1.0 : 0.0);
+    fx.weights.push_back(i < 5 ? 3.0 : 1.0);
+    fx.rows.push_back(i);
+  }
+  CartTree tree;
+  CartParams params;
+  Rng rng(5);
+  ASSERT_TRUE(
+      tree.Fit(fx.ptrs(), fx.labels, fx.weights, fx.rows, params, &rng).ok());
+  double row[1] = {1.0};
+  EXPECT_DOUBLE_EQ(tree.PredictRowProba(row), 0.75);
+}
+
+TEST(CartTest, MinSamplesLeafRespected) {
+  CartFixture fx = AxisAligned(100);
+  CartTree tree;
+  CartParams params;
+  params.min_samples_leaf = 60;  // no split can satisfy both sides
+  Rng rng(6);
+  ASSERT_TRUE(
+      tree.Fit(fx.ptrs(), fx.labels, fx.weights, fx.rows, params, &rng).ok());
+  EXPECT_EQ(tree.nodes().size(), 1u);
+}
+
+TEST(CartTest, RandomThresholdModeStillLearns) {
+  CartFixture fx = AxisAligned(800);
+  CartTree tree;
+  CartParams params;
+  params.random_thresholds = true;
+  params.max_depth = 6;
+  Rng rng(7);
+  ASSERT_TRUE(
+      tree.Fit(fx.ptrs(), fx.labels, fx.weights, fx.rows, params, &rng).ok());
+  // Deep-ish randomized tree still separates the classes.
+  double correct = 0;
+  for (size_t i = 0; i < fx.rows.size(); ++i) {
+    double row[2] = {fx.columns[0][i], fx.columns[1][i]};
+    const bool predicted = tree.PredictRowProba(row) > 0.5;
+    if (predicted == (fx.labels[i] > 0.5)) correct += 1;
+  }
+  EXPECT_GT(correct / static_cast<double>(fx.rows.size()), 0.9);
+}
+
+TEST(CartTest, FeatureSubsettingUsesOnlySampledFeatures) {
+  CartFixture fx = AxisAligned(300);
+  CartTree tree;
+  CartParams params;
+  params.max_features = 1;
+  Rng rng(8);
+  ASSERT_TRUE(
+      tree.Fit(fx.ptrs(), fx.labels, fx.weights, fx.rows, params, &rng).ok());
+  // Tree is valid regardless of which feature was sampled per node.
+  for (const auto& node : tree.nodes()) {
+    if (!node.is_leaf()) {
+      EXPECT_GE(node.feature, 0);
+      EXPECT_LT(node.feature, 2);
+      EXPECT_GT(node.gain, 0.0);
+    }
+  }
+}
+
+TEST(CartTest, ValidatesInput) {
+  CartTree tree;
+  CartParams params;
+  Rng rng(9);
+  EXPECT_FALSE(tree.Fit({}, {}, {}, {}, params, &rng).ok());
+  std::vector<double> col{1.0, 2.0};
+  std::vector<double> bad_labels{1.0};
+  std::vector<double> weights{1.0, 1.0};
+  EXPECT_FALSE(
+      tree.Fit({&col}, bad_labels, weights, {0, 1}, params, &rng).ok());
+}
+
+TEST(CartTest, EmptyTreePredictsHalf) {
+  CartTree tree;
+  double row[1] = {0.0};
+  EXPECT_DOUBLE_EQ(tree.PredictRowProba(row), 0.5);
+}
+
+TEST(StandardScalerTest, ZeroMeanUnitVariance) {
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn(Column("x", {2.0, 4.0, 6.0, 8.0})).ok());
+  StandardScaler scaler = StandardScaler::Fit(f);
+  DenseMatrix z = scaler.Transform(f);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (size_t r = 0; r < z.rows; ++r) {
+    sum += z.at(r, 0);
+    sum2 += z.at(r, 0) * z.at(r, 0);
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_NEAR(sum2 / z.rows, 1.0, 1e-12);
+}
+
+TEST(StandardScalerTest, MissingImputesToZero) {
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn(Column("x", {1.0, std::nan(""), 3.0})).ok());
+  StandardScaler scaler = StandardScaler::Fit(f);
+  DenseMatrix z = scaler.Transform(f);
+  EXPECT_DOUBLE_EQ(z.at(1, 0), 0.0);
+}
+
+TEST(StandardScalerTest, ConstantColumnScalesToZero) {
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn(Column("x", {5.0, 5.0, 5.0})).ok());
+  StandardScaler scaler = StandardScaler::Fit(f);
+  DenseMatrix z = scaler.Transform(f);
+  for (size_t r = 0; r < z.rows; ++r) EXPECT_DOUBLE_EQ(z.at(r, 0), 0.0);
+}
+
+TEST(StandardScalerTest, ExtremeOutliersAreWinsorized) {
+  std::vector<double> values(100, 0.0);
+  for (size_t i = 0; i < 50; ++i) values[i] = 1.0;
+  values[99] = 1e9;  // single wild outlier
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn(Column("x", values)).ok());
+  StandardScaler scaler = StandardScaler::Fit(f);
+  DenseMatrix z = scaler.Transform(f);
+  for (size_t r = 0; r < z.rows; ++r) {
+    EXPECT_LE(std::fabs(z.at(r, 0)), 10.0);
+  }
+}
+
+TEST(StandardScalerTest, RowTransformMatchesBatch) {
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn(Column("x", {1.0, 2.0, 3.0})).ok());
+  ASSERT_TRUE(f.AddColumn(Column("y", {-1.0, 0.0, 5.0})).ok());
+  StandardScaler scaler = StandardScaler::Fit(f);
+  DenseMatrix z = scaler.Transform(f);
+  for (size_t r = 0; r < f.num_rows(); ++r) {
+    std::vector<double> row = f.Row(r);
+    scaler.TransformRow(&row);
+    for (size_t c = 0; c < f.num_columns(); ++c) {
+      EXPECT_DOUBLE_EQ(row[c], z.at(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace safe

@@ -1,0 +1,179 @@
+// Cross-module property suites (parameterized over seeds): invariants
+// that must hold for any data the generator can produce.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/core/engine.h"
+#include "src/core/selection.h"
+#include "src/data/synthetic.h"
+#include "src/gbdt/booster.h"
+#include "src/stats/auc.h"
+#include "src/stats/correlation.h"
+#include "src/stats/iv.h"
+
+namespace safe {
+namespace {
+
+data::SyntheticSpec SeededSpec(uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.num_rows = 800;
+  spec.num_features = 7;
+  spec.num_informative = 3;
+  spec.num_interactions = 2;
+  spec.num_redundant = 1;
+  spec.seed = seed;
+  return spec;
+}
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweepTest, RedundancyFilterPostcondition) {
+  // After the filter, no kept pair exceeds the threshold.
+  auto data = data::MakeSyntheticDataset(SeededSpec(GetParam()));
+  ASSERT_TRUE(data.ok());
+  const auto ivs = ComputeIvs(data->x, data->labels(), 10);
+  std::vector<size_t> all(data->x.num_columns());
+  for (size_t c = 0; c < all.size(); ++c) all[c] = c;
+  const double theta = 0.8;
+  auto kept = RedundancyFilterIndices(data->x, ivs, all, theta);
+  ASSERT_FALSE(kept.empty());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    for (size_t j = i + 1; j < kept.size(); ++j) {
+      const double r =
+          PearsonCorrelation(data->x.column(kept[i]).values(),
+                             data->x.column(kept[j]).values());
+      EXPECT_LE(std::fabs(r), theta + 1e-9)
+          << kept[i] << " vs " << kept[j];
+    }
+  }
+}
+
+TEST_P(SeedSweepTest, GbdtTrainAucAboveChance) {
+  auto data = data::MakeSyntheticDataset(SeededSpec(GetParam()));
+  ASSERT_TRUE(data.ok());
+  gbdt::GbdtParams params;
+  params.num_trees = 15;
+  auto model = gbdt::Booster::Fit(*data, nullptr, params);
+  ASSERT_TRUE(model.ok());
+  auto proba = model->PredictProba(data->x);
+  ASSERT_TRUE(proba.ok());
+  auto auc = Auc(*proba, data->labels());
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(*auc, 0.6);
+}
+
+TEST_P(SeedSweepTest, EngineFunnelMonotone) {
+  // Each selection stage can only shrink the candidate set, and the
+  // output respects the 2M cap.
+  auto data = data::MakeSyntheticDataset(SeededSpec(GetParam()));
+  ASSERT_TRUE(data.ok());
+  SafeParams params;
+  params.seed = GetParam();
+  params.miner.num_trees = 10;
+  params.ranker.num_trees = 10;
+  SafeEngine engine(params);
+  auto fit = engine.Fit(*data);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  for (const auto& diag : fit->iterations) {
+    EXPECT_GE(diag.num_candidates, diag.num_after_iv);
+    EXPECT_GE(diag.num_after_iv, diag.num_after_redundancy);
+    EXPECT_GE(diag.num_after_redundancy, diag.num_selected);
+    EXPECT_LE(diag.num_selected, 2 * data->x.num_columns());
+  }
+}
+
+TEST_P(SeedSweepTest, PlanReplayIsIdempotent) {
+  // Transform(x) twice gives identical output — Ψ is a pure function.
+  auto data = data::MakeSyntheticDataset(SeededSpec(GetParam()));
+  ASSERT_TRUE(data.ok());
+  SafeParams params;
+  params.seed = GetParam() * 3 + 1;
+  params.miner.num_trees = 10;
+  params.ranker.num_trees = 10;
+  SafeEngine engine(params);
+  auto fit = engine.Fit(*data);
+  ASSERT_TRUE(fit.ok());
+  auto a = fit->plan.Transform(data->x);
+  auto b = fit->plan.Transform(data->x);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t c = 0; c < a->num_columns(); ++c) {
+    const auto& va = a->column(c).values();
+    const auto& vb = b->column(c).values();
+    for (size_t r = 0; r < va.size(); ++r) {
+      if (std::isnan(va[r])) {
+        EXPECT_TRUE(std::isnan(vb[r]));
+      } else {
+        EXPECT_DOUBLE_EQ(va[r], vb[r]);
+      }
+    }
+  }
+}
+
+TEST_P(SeedSweepTest, SelectedNamesAreUniqueAndResolvable) {
+  auto data = data::MakeSyntheticDataset(SeededSpec(GetParam()));
+  ASSERT_TRUE(data.ok());
+  SafeParams params;
+  params.seed = GetParam() + 11;
+  params.miner.num_trees = 10;
+  params.ranker.num_trees = 10;
+  SafeEngine engine(params);
+  auto fit = engine.Fit(*data);
+  ASSERT_TRUE(fit.ok());
+  std::set<std::string> names(fit->plan.selected().begin(),
+                              fit->plan.selected().end());
+  EXPECT_EQ(names.size(), fit->plan.selected().size());
+  auto z = fit->plan.Transform(data->x);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z->num_columns(), fit->plan.selected().size());
+  for (const auto& name : fit->plan.selected()) {
+    EXPECT_TRUE(z->HasColumn(name));
+  }
+}
+
+TEST_P(SeedSweepTest, GbdtPathsConsistentWithTreeCount) {
+  auto data = data::MakeSyntheticDataset(SeededSpec(GetParam()));
+  ASSERT_TRUE(data.ok());
+  gbdt::GbdtParams params;
+  params.num_trees = 8;
+  params.max_depth = 3;
+  auto model = gbdt::Booster::Fit(*data, nullptr, params);
+  ASSERT_TRUE(model.ok());
+  const auto paths = model->ExtractAllPaths();
+  // Each depth-3 tree has at most 8 leaves; at least one path per
+  // splitting tree.
+  EXPECT_LE(paths.size(), 8u * 8u);
+  for (const auto& path : paths) {
+    EXPECT_GE(path.size(), 1u);
+    EXPECT_LE(path.size(), 3u);
+  }
+}
+
+TEST_P(SeedSweepTest, AucOfIvTopFeatureBeatsIvBottomFeature) {
+  // Agreement between two independent signal measures: the feature with
+  // the highest IV should (weakly) out-rank the lowest-IV feature as a
+  // raw AUC scorer.
+  auto data = data::MakeSyntheticDataset(SeededSpec(GetParam() + 100));
+  ASSERT_TRUE(data.ok());
+  const auto ivs = ComputeIvs(data->x, data->labels(), 10);
+  size_t best = 0;
+  size_t worst = 0;
+  for (size_t c = 1; c < ivs.size(); ++c) {
+    if (ivs[c] > ivs[best]) best = c;
+    if (ivs[c] < ivs[worst]) worst = c;
+  }
+  auto auc_of = [&](size_t c) {
+    auto auc = Auc(data->x.column(c).values(), data->labels());
+    if (!auc.ok()) return 0.5;
+    return std::max(*auc, 1.0 - *auc);  // direction-free separability
+  };
+  EXPECT_GE(auc_of(best) + 0.05, auc_of(worst));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace safe

@@ -1,0 +1,144 @@
+// Robustness of the text deserializers: mutated / truncated / garbled
+// inputs must produce a Status, never a crash or a silently-wrong model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/core/engine.h"
+#include "src/data/synthetic.h"
+#include "src/gbdt/booster.h"
+
+namespace safe {
+namespace {
+
+struct Artifacts {
+  std::string plan_text;
+  std::string booster_text;
+};
+
+const Artifacts& MakeArtifacts() {
+  static const Artifacts artifacts = [] {
+    data::SyntheticSpec spec;
+    spec.num_rows = 600;
+    spec.num_features = 6;
+    spec.num_informative = 3;
+    spec.num_interactions = 2;
+    spec.seed = 21;
+    auto data = data::MakeSyntheticDataset(spec);
+    SAFE_CHECK(data.ok());
+    SafeParams params;
+    params.miner.num_trees = 8;
+    params.ranker.num_trees = 8;
+    SafeEngine engine(params);
+    auto fit = engine.Fit(*data);
+    SAFE_CHECK(fit.ok());
+    gbdt::GbdtParams gb;
+    gb.num_trees = 5;
+    auto model = gbdt::Booster::Fit(*data, nullptr, gb);
+    SAFE_CHECK(model.ok());
+    return Artifacts{fit->plan.Serialize(), model->Serialize()};
+  }();
+  return artifacts;
+}
+
+TEST(SerializationRobustnessTest, TruncatedPlansFailCleanly) {
+  const std::string& text = MakeArtifacts().plan_text;
+  // Every truncation point either parses to a valid plan or errors.
+  for (size_t len = 0; len < text.size(); len += 7) {
+    auto result = FeaturePlan::Deserialize(text.substr(0, len));
+    if (len < text.size() - 1) {
+      // Truncations may accidentally remain valid only if they end at a
+      // section boundary; anything else must be an error, never a crash.
+      if (result.ok()) {
+        EXPECT_LE(result->selected().size(), 100u);
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(SerializationRobustnessTest, TruncatedBoostersFailCleanly) {
+  const std::string& text = MakeArtifacts().booster_text;
+  for (size_t len = 0; len < text.size(); len += 11) {
+    auto result = gbdt::Booster::Deserialize(text.substr(0, len));
+    (void)result;  // must not crash; ok-or-error both acceptable
+  }
+  SUCCEED();
+}
+
+TEST(SerializationRobustnessTest, ByteMutationsNeverCrashPlanParser) {
+  const std::string& text = MakeArtifacts().plan_text;
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = text;
+    const size_t pos = rng.NextUint64Below(mutated.size());
+    mutated[pos] = static_cast<char>('0' + rng.NextUint64Below(75));
+    auto result = FeaturePlan::Deserialize(mutated);
+    if (result.ok()) {
+      // A mutation that survives parsing must still define a coherent
+      // plan (names resolvable — Create() enforced it).
+      EXPECT_EQ(result->selected().size(),
+                result->selected().size());
+    }
+  }
+  SUCCEED();
+}
+
+TEST(SerializationRobustnessTest, ByteMutationsNeverCrashBoosterParser) {
+  const std::string& text = MakeArtifacts().booster_text;
+  Rng rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = text;
+    const size_t pos = rng.NextUint64Below(mutated.size());
+    mutated[pos] = static_cast<char>('0' + rng.NextUint64Below(75));
+    auto result = gbdt::Booster::Deserialize(mutated);
+    (void)result;
+  }
+  SUCCEED();
+}
+
+TEST(SerializationRobustnessTest, LineShuffleFailsOrStaysCoherent) {
+  // Swapping two random lines usually breaks section structure; the
+  // parser must reject rather than misread.
+  const std::string& text = MakeArtifacts().plan_text;
+  std::vector<std::string> lines;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      lines.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto shuffled = lines;
+    const size_t a = rng.NextUint64Below(shuffled.size());
+    const size_t b = rng.NextUint64Below(shuffled.size());
+    std::swap(shuffled[a], shuffled[b]);
+    std::string joined;
+    for (const auto& line : shuffled) {
+      joined += line;
+      joined += '\n';
+    }
+    auto result = FeaturePlan::Deserialize(joined);
+    (void)result;  // no crash is the contract
+  }
+  SUCCEED();
+}
+
+TEST(SerializationRobustnessTest, HugeCountsRejectedNotAllocated) {
+  // A forged header claiming 10^12 inputs must fail fast (the parser
+  // reads line-by-line and runs out of input), not try to allocate.
+  auto result = FeaturePlan::Deserialize(
+      "feature_plan v1\ninputs 1000000000000\nx\n");
+  EXPECT_FALSE(result.ok());
+  auto booster = gbdt::Booster::Deserialize(
+      "booster v1\nobjective logistic\nnum_features 3\nbase_score 0\n"
+      "num_trees 999999999\ntree 1\n-1 -1 -1 0 0 0 1\n");
+  EXPECT_FALSE(booster.ok());
+}
+
+}  // namespace
+}  // namespace safe

@@ -1,0 +1,100 @@
+#include "src/stats/auc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace safe {
+namespace {
+
+TEST(AucTest, PerfectRankingIsOne) {
+  std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  std::vector<double> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(*Auc(scores, labels), 1.0);
+}
+
+TEST(AucTest, InvertedRankingIsZero) {
+  std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  std::vector<double> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(*Auc(scores, labels), 0.0);
+}
+
+TEST(AucTest, ConstantScoresAreHalf) {
+  std::vector<double> scores(10, 0.5);
+  std::vector<double> labels{0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(*Auc(scores, labels), 0.5);
+}
+
+TEST(AucTest, TiesGetMidrankCredit) {
+  // One positive tied with one negative at the top: AUC = 0.75.
+  std::vector<double> scores{0.9, 0.9, 0.1, 0.1};
+  std::vector<double> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(*Auc(scores, labels), 0.5);
+  std::vector<double> scores2{0.9, 0.9, 0.1};
+  std::vector<double> labels2{1, 0, 0};
+  EXPECT_DOUBLE_EQ(*Auc(scores2, labels2), 0.75);
+}
+
+TEST(AucTest, ComplementAntisymmetry) {
+  // AUC(scores, y) + AUC(-scores, y) == 1.
+  Rng rng(1);
+  std::vector<double> scores(200);
+  std::vector<double> labels(200);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.NextGaussian();
+    labels[i] = rng.NextBernoulli(0.4) ? 1.0 : 0.0;
+  }
+  std::vector<double> negated(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) negated[i] = -scores[i];
+  EXPECT_NEAR(*Auc(scores, labels) + *Auc(negated, labels), 1.0, 1e-12);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  Rng rng(2);
+  std::vector<double> scores(300);
+  std::vector<double> labels(300);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.NextUniform(0.0, 1.0);
+    labels[i] = rng.NextBernoulli(scores[i]) ? 1.0 : 0.0;
+  }
+  std::vector<double> transformed(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    transformed[i] = scores[i] * scores[i] * scores[i] + 5.0;
+  }
+  EXPECT_NEAR(*Auc(scores, labels), *Auc(transformed, labels), 1e-12);
+}
+
+TEST(AucTest, MatchesBruteForcePairCount) {
+  Rng rng(3);
+  std::vector<double> scores(80);
+  std::vector<double> labels(80);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.NextInt(0, 9);  // plenty of ties
+    labels[i] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+  }
+  double wins = 0.0;
+  double pairs = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] < 0.5) continue;
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] > 0.5) continue;
+      pairs += 1.0;
+      if (scores[i] > scores[j]) {
+        wins += 1.0;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(*Auc(scores, labels), wins / pairs, 1e-12);
+}
+
+TEST(AucTest, ErrorCases) {
+  EXPECT_FALSE(Auc({}, {}).ok());
+  EXPECT_FALSE(Auc({0.1, 0.2}, {1.0}).ok());
+  EXPECT_FALSE(Auc({0.1, 0.2}, {1.0, 1.0}).ok());  // single class
+  EXPECT_FALSE(Auc({0.1, 0.2}, {0.0, 0.0}).ok());
+}
+
+}  // namespace
+}  // namespace safe

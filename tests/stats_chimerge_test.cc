@@ -1,0 +1,111 @@
+#include "src/stats/chimerge.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace safe {
+namespace {
+
+TEST(ChiSquareTest, IdenticalDistributionsScoreLow) {
+  EXPECT_LT(ChiSquare(50, 100, 50, 100), 0.1);
+}
+
+TEST(ChiSquareTest, OppositeDistributionsScoreHigh) {
+  EXPECT_GT(ChiSquare(95, 100, 5, 100), 50.0);
+}
+
+TEST(ChiSquareTest, SymmetricInCells) {
+  EXPECT_DOUBLE_EQ(ChiSquare(30, 100, 70, 100), ChiSquare(70, 100, 30, 100));
+}
+
+TEST(ChiSquareTest, EmptyCellsStayFinite) {
+  EXPECT_TRUE(std::isfinite(ChiSquare(0, 0, 5, 10)));
+  EXPECT_TRUE(std::isfinite(ChiSquare(0, 10, 10, 10)));
+}
+
+TEST(ChiMergeTest, FindsTheTrueBoundary) {
+  // Label flips exactly at value 0: ChiMerge should keep a cut near 0 and
+  // merge everything else.
+  Rng rng(1);
+  std::vector<double> values;
+  std::vector<double> labels;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = rng.NextUniform(-1.0, 1.0);
+    values.push_back(v);
+    labels.push_back(v > 0.0 ? 1.0 : 0.0);
+  }
+  ChiMergeOptions options;
+  options.max_bins = 8;
+  auto edges = ChiMergeEdges(values, labels, options);
+  ASSERT_TRUE(edges.ok()) << edges.status().ToString();
+  ASSERT_FALSE(edges->edges.empty());
+  // Some edge lies within a hair of the true boundary.
+  double closest = 1e9;
+  for (double e : edges->edges) closest = std::min(closest, std::fabs(e));
+  EXPECT_LT(closest, 0.05);
+}
+
+TEST(ChiMergeTest, MergesUninformativeFeatureAggressively) {
+  // Labels independent of the feature: every adjacent pair is similar, so
+  // ChiMerge merges down to very few bins.
+  Rng rng(2);
+  std::vector<double> values;
+  std::vector<double> labels;
+  for (int i = 0; i < 4000; ++i) {
+    values.push_back(rng.NextGaussian());
+    labels.push_back(rng.NextBernoulli(0.5) ? 1.0 : 0.0);
+  }
+  auto edges = ChiMergeEdges(values, labels);
+  ASSERT_TRUE(edges.ok());
+  // Far below both the 64 initial bins and the max_bins cap of 10.
+  EXPECT_LE(edges->num_bins(), 6u);
+}
+
+TEST(ChiMergeTest, RespectsMaxBins) {
+  Rng rng(3);
+  std::vector<double> values;
+  std::vector<double> labels;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.NextUniform(0.0, 10.0);
+    values.push_back(v);
+    // Step-function label: many genuine boundaries.
+    labels.push_back(static_cast<int>(v) % 2 == 0 ? 1.0 : 0.0);
+  }
+  ChiMergeOptions options;
+  options.max_bins = 6;
+  auto edges = ChiMergeEdges(values, labels, options);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_LE(edges->num_bins(), 6u);
+  EXPECT_GE(edges->num_bins(), 2u);
+}
+
+TEST(ChiMergeTest, Validation) {
+  EXPECT_FALSE(ChiMergeEdges({}, {}).ok());
+  EXPECT_FALSE(ChiMergeEdges({1.0, 2.0}, {1.0}).ok());
+  ChiMergeOptions options;
+  options.max_bins = 1;
+  EXPECT_FALSE(ChiMergeEdges({1.0, 2.0}, {1.0, 0.0}, options).ok());
+}
+
+TEST(ChiMergeTest, MissingValuesIgnoredInFitting) {
+  Rng rng(4);
+  std::vector<double> values;
+  std::vector<double> labels;
+  for (int i = 0; i < 2000; ++i) {
+    const bool missing = rng.NextBernoulli(0.2);
+    const double v = rng.NextUniform(-1.0, 1.0);
+    values.push_back(missing ? std::nan("") : v);
+    labels.push_back(v > 0.0 ? 1.0 : 0.0);
+  }
+  auto edges = ChiMergeEdges(values, labels);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_FALSE(edges->edges.empty());
+  // NaN still routes to the dedicated missing bin at apply time.
+  EXPECT_EQ(edges->BinIndex(std::nan("")), edges->missing_bin());
+}
+
+}  // namespace
+}  // namespace safe

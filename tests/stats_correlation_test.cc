@@ -1,0 +1,122 @@
+#include "src/stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace safe {
+namespace {
+
+TEST(PearsonBandTest, TableTwoBands) {
+  EXPECT_EQ(ClassifyPearson(0.1), PearsonBand::kVeryWeak);
+  EXPECT_EQ(ClassifyPearson(-0.3), PearsonBand::kWeak);
+  EXPECT_EQ(ClassifyPearson(0.5), PearsonBand::kModerate);
+  EXPECT_EQ(ClassifyPearson(-0.7), PearsonBand::kStrong);
+  EXPECT_EQ(ClassifyPearson(0.95), PearsonBand::kExtremelyStrong);
+  EXPECT_STREQ(PearsonBandName(PearsonBand::kExtremelyStrong),
+               "Extremely strong correlation");
+}
+
+TEST(PearsonTest, PerfectLinearRelations) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> pos{2, 4, 6, 8, 10};
+  std::vector<double> neg{5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(x, pos), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, AffineInvariance) {
+  Rng rng(1);
+  std::vector<double> x(500);
+  std::vector<double> y(500);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextGaussian();
+    y[i] = 0.7 * x[i] + 0.3 * rng.NextGaussian();
+  }
+  const double r = PearsonCorrelation(x, y);
+  std::vector<double> scaled(x.size());
+  for (size_t i = 0; i < x.size(); ++i) scaled[i] = 100.0 * y[i] - 3.0;
+  EXPECT_NEAR(PearsonCorrelation(x, scaled), r, 1e-12);
+}
+
+TEST(PearsonTest, SymmetricInArguments) {
+  Rng rng(2);
+  std::vector<double> x(100);
+  std::vector<double> y(100);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextGaussian();
+    y[i] = rng.NextGaussian() + 0.5 * x[i];
+  }
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), PearsonCorrelation(y, x));
+}
+
+TEST(PearsonTest, IndependentIsNearZero) {
+  Rng rng(3);
+  std::vector<double> x(20000);
+  std::vector<double> y(20000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextGaussian();
+    y[i] = rng.NextGaussian();
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.03);
+}
+
+TEST(PearsonTest, ConstantFeatureIsZero) {
+  std::vector<double> c(10, 5.0);
+  std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(c, x), 0.0);
+}
+
+TEST(PearsonTest, SkipsMissingPairs) {
+  std::vector<double> x{1, 2, std::nan(""), 4, 5};
+  std::vector<double> y{2, 4, 100.0, 8, std::nan("")};
+  // Paired non-missing rows are (1,2),(2,4),(4,8): perfectly linear.
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, TooFewPairedRowsIsZero) {
+  std::vector<double> x{1, std::nan("")};
+  std::vector<double> y{2, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonTest, BoundedInMinusOneOne) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(50);
+    std::vector<double> y(50);
+    for (size_t i = 0; i < x.size(); ++i) {
+      x[i] = rng.NextGaussian() * 1e6;
+      y[i] = x[i] + rng.NextGaussian() * 1e-6;  // near-perfect correlation
+    }
+    const double r = PearsonCorrelation(x, y);
+    EXPECT_LE(r, 1.0);
+    EXPECT_GE(r, -1.0);
+  }
+}
+
+TEST(PearsonMatrixTest, SymmetricWithUnitDiagonal) {
+  Rng rng(5);
+  DataFrame frame;
+  for (int c = 0; c < 5; ++c) {
+    std::vector<double> col(200);
+    for (double& v : col) v = rng.NextGaussian();
+    ASSERT_TRUE(frame.AddColumn(Column("f" + std::to_string(c), col)).ok());
+  }
+  auto mat = PearsonMatrix(frame);
+  ASSERT_EQ(mat.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(mat[i][i], 1.0);
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(mat[i][j], mat[j][i]);
+      EXPECT_DOUBLE_EQ(mat[i][j], PearsonCorrelation(
+                                      frame.column(i).values(),
+                                      frame.column(j).values()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace safe

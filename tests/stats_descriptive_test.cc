@@ -1,0 +1,62 @@
+#include "src/stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safe {
+namespace {
+
+TEST(MeanTest, BasicAndMissing) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1, std::nan(""), 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({std::nan("")}), 0.0);
+}
+
+TEST(VarianceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Variance({2, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1, 3}), 1.0);  // population variance
+  EXPECT_DOUBLE_EQ(StdDev({1, 3}), 1.0);
+}
+
+TEST(VarianceTest, IgnoresMissing) {
+  EXPECT_DOUBLE_EQ(Variance({1, std::nan(""), 3}), 1.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  std::vector<double> v{0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.125), 5.0);
+}
+
+TEST(QuantileTest, ClampsAndHandlesMissing) {
+  std::vector<double> v{5.0, std::nan(""), 1.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 2.0), 5.0);
+  EXPECT_TRUE(std::isnan(Quantile({std::nan("")}, 0.5)));
+}
+
+TEST(QuantileTest, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(MinMaxTest, SkipsMissing) {
+  std::vector<double> v{std::nan(""), -2.0, 7.0};
+  EXPECT_DOUBLE_EQ(Min(v), -2.0);
+  EXPECT_DOUBLE_EQ(Max(v), 7.0);
+  EXPECT_TRUE(std::isnan(Min({std::nan("")})));
+  EXPECT_TRUE(std::isnan(Max({})));
+}
+
+TEST(CountEqualTest, ExactMatches) {
+  std::vector<double> v{1.0, 1.0, 0.0, 2.0};
+  EXPECT_EQ(CountEqual(v, 1.0), 2u);
+  EXPECT_EQ(CountEqual(v, 3.0), 0u);
+  EXPECT_EQ(CountEqual({}, 1.0), 0u);
+}
+
+}  // namespace
+}  // namespace safe

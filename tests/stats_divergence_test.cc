@@ -1,0 +1,99 @@
+#include "src/stats/divergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safe {
+namespace {
+
+TEST(KldTest, IdenticalDistributionsAreZero) {
+  std::vector<double> p{0.25, 0.25, 0.5};
+  EXPECT_NEAR(*KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KldTest, KnownValue) {
+  std::vector<double> p{0.5, 0.5};
+  std::vector<double> q{0.25, 0.75};
+  const double expected =
+      0.5 * std::log(0.5 / 0.25) + 0.5 * std::log(0.5 / 0.75);
+  EXPECT_NEAR(*KlDivergence(p, q), expected, 1e-12);
+}
+
+TEST(KldTest, AsymmetricInGeneral) {
+  std::vector<double> p{0.9, 0.1};
+  std::vector<double> q{0.5, 0.5};
+  EXPECT_NE(*KlDivergence(p, q), *KlDivergence(q, p));
+}
+
+TEST(KldTest, InfiniteWhenSupportMismatch) {
+  std::vector<double> p{0.5, 0.5};
+  std::vector<double> q{1.0, 0.0};
+  EXPECT_TRUE(std::isinf(*KlDivergence(p, q)));
+}
+
+TEST(KldTest, ZeroPTermsContributeNothing) {
+  std::vector<double> p{1.0, 0.0};
+  std::vector<double> q{0.5, 0.5};
+  EXPECT_NEAR(*KlDivergence(p, q), std::log(2.0), 1e-12);
+}
+
+TEST(KldTest, Validation) {
+  EXPECT_FALSE(KlDivergence({0.5, 0.5}, {1.0}).ok());        // size
+  EXPECT_FALSE(KlDivergence({}, {}).ok());                   // empty
+  EXPECT_FALSE(KlDivergence({0.7, 0.7}, {0.5, 0.5}).ok());   // not normalized
+  EXPECT_FALSE(KlDivergence({-0.5, 1.5}, {0.5, 0.5}).ok());  // negative
+}
+
+TEST(JsdTest, SymmetricAndBounded) {
+  std::vector<double> p{0.9, 0.1, 0.0};
+  std::vector<double> q{0.0, 0.1, 0.9};
+  const double pq = *JsDivergence(p, q);
+  const double qp = *JsDivergence(q, p);
+  EXPECT_NEAR(pq, qp, 1e-12);
+  EXPECT_GE(pq, 0.0);
+  EXPECT_LE(pq, std::log(2.0) + 1e-12);
+}
+
+TEST(JsdTest, DisjointSupportsHitLogTwo) {
+  std::vector<double> p{1.0, 0.0};
+  std::vector<double> q{0.0, 1.0};
+  EXPECT_NEAR(*JsDivergence(p, q), std::log(2.0), 1e-12);
+}
+
+TEST(JsdTest, IdenticalIsZero) {
+  std::vector<double> p{0.3, 0.3, 0.4};
+  EXPECT_NEAR(*JsDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(StabilityTest, PerfectlyStableIsZero) {
+  // 4 features, each seen in all 10 runs of 4 features.
+  std::vector<size_t> counts{10, 10, 10, 10};
+  EXPECT_NEAR(*FeatureStabilityJsd(counts, 10, 4), 0.0, 1e-12);
+}
+
+TEST(StabilityTest, TotallyUnstableIsLarge) {
+  // 40 distinct features each seen once.
+  std::vector<size_t> counts(40, 1);
+  const double unstable = *FeatureStabilityJsd(counts, 10, 4);
+  EXPECT_GT(unstable, 0.3);
+}
+
+TEST(StabilityTest, MoreStableScoresLower) {
+  // Mostly-repeated features beat scattered ones.
+  std::vector<size_t> stable{10, 10, 9, 8, 1, 1, 1};
+  std::vector<size_t> scattered{5, 5, 5, 5, 5, 5, 5, 5};
+  const double s = *FeatureStabilityJsd(stable, 10, 4);
+  const double u = *FeatureStabilityJsd(scattered, 10, 4);
+  EXPECT_LT(s, u);
+}
+
+TEST(StabilityTest, Validation) {
+  EXPECT_FALSE(FeatureStabilityJsd({}, 10, 4).ok());
+  EXPECT_FALSE(FeatureStabilityJsd({1, 2}, 0, 4).ok());
+  EXPECT_FALSE(FeatureStabilityJsd({1, 2}, 10, 0).ok());
+  EXPECT_FALSE(FeatureStabilityJsd({0, 0}, 10, 4).ok());
+}
+
+}  // namespace
+}  // namespace safe

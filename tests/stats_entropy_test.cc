@@ -1,0 +1,114 @@
+#include "src/stats/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safe {
+namespace {
+
+TEST(EntropyTest, UniformIsLogK) {
+  EXPECT_NEAR(EntropyFromCounts({10, 10}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(EntropyFromCounts({5, 5, 5, 5}), std::log(4.0), 1e-12);
+}
+
+TEST(EntropyTest, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({42}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({42, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({}), 0.0);
+}
+
+TEST(BinaryEntropyTest, SymmetricAndBounded) {
+  for (size_t pos = 0; pos <= 20; ++pos) {
+    const double h = BinaryEntropy(pos, 20);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, std::log(2.0) + 1e-12);
+    EXPECT_NEAR(h, BinaryEntropy(20 - pos, 20), 1e-12);
+  }
+  EXPECT_NEAR(BinaryEntropy(10, 20), std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0, 20), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(5, 0), 0.0);
+}
+
+TEST(InformationGainTest, PerfectSplitRecoversFullEntropy) {
+  // Two cells, each pure, balanced classes overall.
+  std::vector<PartitionCell> cells{{50, 50}, {0, 50}};
+  EXPECT_NEAR(InformationGain(cells), std::log(2.0), 1e-12);
+}
+
+TEST(InformationGainTest, UninformativeSplitIsZero) {
+  std::vector<PartitionCell> cells{{25, 50}, {25, 50}};
+  EXPECT_NEAR(InformationGain(cells), 0.0, 1e-12);
+}
+
+TEST(InformationGainTest, EmptyCellsIgnored) {
+  std::vector<PartitionCell> cells{{50, 50}, {0, 0}, {0, 50}};
+  EXPECT_NEAR(InformationGain(cells), std::log(2.0), 1e-12);
+}
+
+TEST(InformationGainTest, NonNegative) {
+  // Any partition has IG >= 0.
+  std::vector<PartitionCell> cells{{3, 10}, {9, 12}, {1, 8}};
+  EXPECT_GE(InformationGain(cells), 0.0);
+}
+
+TEST(SplitInformationTest, UniformPartition) {
+  std::vector<PartitionCell> cells{{1, 25}, {2, 25}, {3, 25}, {4, 25}};
+  EXPECT_NEAR(SplitInformation(cells), std::log(4.0), 1e-12);
+}
+
+TEST(SplitInformationTest, SingleCellIsZero) {
+  std::vector<PartitionCell> cells{{10, 100}};
+  EXPECT_DOUBLE_EQ(SplitInformation(cells), 0.0);
+}
+
+TEST(GainRatioTest, NormalizesByIntrinsicEntropy) {
+  std::vector<PartitionCell> cells{{50, 50}, {0, 50}};
+  const double expected = InformationGain(cells) / SplitInformation(cells);
+  EXPECT_NEAR(InformationGainRatio(cells), expected, 1e-12);
+  EXPECT_GT(InformationGainRatio(cells), 0.0);
+}
+
+TEST(GainRatioTest, TrivialPartitionScoresZero) {
+  std::vector<PartitionCell> single{{10, 100}};
+  EXPECT_DOUBLE_EQ(InformationGainRatio(single), 0.0);
+  std::vector<PartitionCell> empty;
+  EXPECT_DOUBLE_EQ(InformationGainRatio(empty), 0.0);
+}
+
+TEST(GainRatioTest, PenalizesManyCellsVsPlainGain) {
+  // Same information gain but split across many tiny cells scores a
+  // lower *ratio* than the two-cell version.
+  std::vector<PartitionCell> two{{50, 50}, {0, 50}};
+  std::vector<PartitionCell> many;
+  for (int i = 0; i < 10; ++i) many.push_back({i < 5 ? 10u : 0u, 10});
+  EXPECT_NEAR(InformationGain(two), InformationGain(many), 1e-12);
+  EXPECT_GT(InformationGainRatio(two), InformationGainRatio(many));
+}
+
+// Property sweep: gain ratio stays within [0, 1] for random-ish cells.
+class GainRatioPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GainRatioPropertyTest, RatioBounded) {
+  const int seed = GetParam();
+  std::vector<PartitionCell> cells;
+  unsigned state = static_cast<unsigned>(seed) * 2654435761u + 1u;
+  auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 16) % 40;
+  };
+  for (int i = 0; i < 2 + seed % 6; ++i) {
+    const size_t total = next() + 1;
+    const size_t pos = next() % (total + 1);
+    cells.push_back({pos, total});
+  }
+  const double ratio = InformationGainRatio(cells);
+  EXPECT_GE(ratio, 0.0);
+  EXPECT_LE(ratio, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GainRatioPropertyTest,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace safe

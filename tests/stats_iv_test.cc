@@ -1,0 +1,152 @@
+#include "src/stats/iv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace safe {
+namespace {
+
+TEST(IvBandTest, TableOneBands) {
+  EXPECT_EQ(ClassifyIv(0.01), IvBand::kUseless);
+  EXPECT_EQ(ClassifyIv(0.05), IvBand::kWeak);
+  EXPECT_EQ(ClassifyIv(0.2), IvBand::kMedium);
+  EXPECT_EQ(ClassifyIv(0.4), IvBand::kStrong);
+  EXPECT_EQ(ClassifyIv(0.9), IvBand::kExtremelyStrong);
+  EXPECT_STREQ(IvBandName(IvBand::kMedium), "Medium predictor");
+}
+
+TEST(IvTest, UninformativeFeatureHasLowIv) {
+  Rng rng(1);
+  std::vector<double> feature(4000);
+  std::vector<double> labels(4000);
+  for (size_t i = 0; i < feature.size(); ++i) {
+    feature[i] = rng.NextGaussian();
+    labels[i] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+  }
+  auto iv = InformationValue(feature, labels, 10);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_LT(*iv, 0.05);
+}
+
+TEST(IvTest, InformativeFeatureHasHighIv) {
+  Rng rng(2);
+  std::vector<double> feature(4000);
+  std::vector<double> labels(4000);
+  for (size_t i = 0; i < feature.size(); ++i) {
+    labels[i] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+    feature[i] = rng.NextGaussian() + (labels[i] > 0.5 ? 1.5 : 0.0);
+  }
+  auto iv = InformationValue(feature, labels, 10);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_GT(*iv, 0.5);
+}
+
+TEST(IvTest, MonotoneInSignalStrength) {
+  Rng rng(3);
+  double prev = 0.0;
+  for (double shift : {0.0, 0.5, 1.0, 2.0}) {
+    Rng local(17);
+    std::vector<double> feature(3000);
+    std::vector<double> labels(3000);
+    for (size_t i = 0; i < feature.size(); ++i) {
+      labels[i] = local.NextBernoulli(0.5) ? 1.0 : 0.0;
+      feature[i] = local.NextGaussian() + (labels[i] > 0.5 ? shift : 0.0);
+    }
+    auto iv = InformationValue(feature, labels, 10);
+    ASSERT_TRUE(iv.ok());
+    EXPECT_GE(*iv + 1e-9, prev) << "shift " << shift;
+    prev = *iv;
+  }
+  (void)rng;
+}
+
+TEST(IvTest, NonNegativeInPractice) {
+  // IV is a sum of (p-q)ln(p/q) terms, each >= 0.
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> feature(500);
+    std::vector<double> labels(500);
+    for (size_t i = 0; i < feature.size(); ++i) {
+      feature[i] = rng.NextUniform(-1, 1);
+      labels[i] = rng.NextBernoulli(0.3) ? 1.0 : 0.0;
+    }
+    auto iv = InformationValue(feature, labels, 8);
+    ASSERT_TRUE(iv.ok());
+    EXPECT_GE(*iv, 0.0);
+  }
+}
+
+TEST(IvTest, SingleClassLabelsRejected) {
+  std::vector<double> feature{1, 2, 3, 4};
+  std::vector<double> labels{1, 1, 1, 1};
+  EXPECT_FALSE(InformationValue(feature, labels, 2).ok());
+}
+
+TEST(IvTest, SizeMismatchRejected) {
+  auto iv = InformationValueWithEdges({1, 2, 3}, {0, 1}, BinEdges{{1.5}});
+  EXPECT_FALSE(iv.ok());
+}
+
+TEST(IvTest, MissingValuesGetOwnBin) {
+  // Missingness itself is predictive here: NaN rows are all positive.
+  std::vector<double> feature;
+  std::vector<double> labels;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const bool missing = rng.NextBernoulli(0.3);
+    labels.push_back(missing ? 1.0 : (rng.NextBernoulli(0.5) ? 1.0 : 0.0));
+    feature.push_back(missing ? std::nan("") : rng.NextGaussian());
+  }
+  auto iv = InformationValue(feature, labels, 5);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_GT(*iv, 0.2);
+}
+
+TEST(IvTest, SmoothingKeepsIvFinite) {
+  // A bin containing only positives would blow up without pseudo-counts.
+  std::vector<double> feature;
+  std::vector<double> labels;
+  for (int i = 0; i < 100; ++i) {
+    feature.push_back(static_cast<double>(i));
+    labels.push_back(i < 50 ? 1.0 : 0.0);  // perfectly separable
+  }
+  auto iv = InformationValue(feature, labels, 4);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_TRUE(std::isfinite(*iv));
+  EXPECT_GT(*iv, 1.0);  // extremely strong
+}
+
+// Property: IV with a constant feature is ~0 (single bin, no separation).
+TEST(IvTest, ConstantFeatureScoresZero) {
+  std::vector<double> feature(200, 3.0);
+  std::vector<double> labels(200);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = (i % 2) ? 1.0 : 0.0;
+  auto iv = InformationValue(feature, labels, 10);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_NEAR(*iv, 0.0, 1e-12);
+}
+
+// Parameterized: IV is stable across bin counts for a strong feature.
+class IvBinSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IvBinSweepTest, StrongSignalDetectedAtAnyBinCount) {
+  Rng rng(6);
+  std::vector<double> feature(3000);
+  std::vector<double> labels(3000);
+  for (size_t i = 0; i < feature.size(); ++i) {
+    labels[i] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+    feature[i] = rng.NextGaussian() + (labels[i] > 0.5 ? 2.0 : 0.0);
+  }
+  auto iv = InformationValue(feature, labels, GetParam());
+  ASSERT_TRUE(iv.ok());
+  EXPECT_GT(*iv, 0.5) << "bins " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IvBinSweepTest,
+                         ::testing::Values(2, 4, 8, 10, 16, 32));
+
+}  // namespace
+}  // namespace safe

@@ -1,0 +1,94 @@
+#include "src/stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/stats/auc.h"
+
+namespace safe {
+namespace {
+
+TEST(LogLossTest, PerfectAndWorstCase) {
+  EXPECT_NEAR(*LogLoss({1.0, 0.0}, {1.0, 0.0}), 0.0, 1e-9);
+  // Confidently wrong costs ~34.5 nats at the clamp.
+  EXPECT_GT(*LogLoss({0.0, 1.0}, {1.0, 0.0}), 30.0);
+}
+
+TEST(LogLossTest, UninformedPredictionIsLn2) {
+  std::vector<double> p(10, 0.5);
+  std::vector<double> y{1, 0, 1, 0, 1, 0, 1, 0, 1, 0};
+  EXPECT_NEAR(*LogLoss(p, y), std::log(2.0), 1e-12);
+}
+
+TEST(AccuracyTest, CountsThresholdedMatches) {
+  std::vector<double> scores{0.9, 0.8, 0.3, 0.1};
+  std::vector<double> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(*Accuracy(scores, labels), 0.5);
+  EXPECT_DOUBLE_EQ(*Accuracy(scores, labels, 0.05), 0.5);
+  EXPECT_DOUBLE_EQ(*Accuracy(scores, labels, 0.95), 0.5);
+}
+
+TEST(F1Test, KnownConfusion) {
+  // TP=1 (0.9/1), FP=1 (0.8/0), FN=1 (0.3/1), TN=1.
+  std::vector<double> scores{0.9, 0.8, 0.3, 0.1};
+  std::vector<double> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(*F1Score(scores, labels), 0.5);
+}
+
+TEST(F1Test, NoPositivesAnywhereIsZero) {
+  std::vector<double> scores{0.1, 0.2};
+  std::vector<double> labels{0, 0};
+  EXPECT_DOUBLE_EQ(*F1Score(scores, labels), 0.0);
+}
+
+TEST(KsTest, PerfectSeparationIsOne) {
+  std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  std::vector<double> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(*KsStatistic(scores, labels), 1.0);
+}
+
+TEST(KsTest, UselessScoresNearZero) {
+  Rng rng(1);
+  std::vector<double> scores(20000);
+  std::vector<double> labels(20000);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.NextDouble();
+    labels[i] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+  }
+  EXPECT_LT(*KsStatistic(scores, labels), 0.05);
+}
+
+TEST(KsTest, TiesHandledAsBlocks) {
+  // All scores tied: TPR and FPR jump together -> KS = 0.
+  std::vector<double> scores(10, 0.5);
+  std::vector<double> labels{1, 0, 1, 0, 1, 0, 1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(*KsStatistic(scores, labels), 0.0);
+}
+
+TEST(KsTest, AgreesWithAucOrdering) {
+  // Stronger scores -> both AUC and KS increase.
+  Rng rng(2);
+  double prev_ks = -1.0;
+  for (double shift : {0.0, 1.0, 3.0}) {
+    std::vector<double> scores(4000);
+    std::vector<double> labels(4000);
+    for (size_t i = 0; i < scores.size(); ++i) {
+      labels[i] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+      scores[i] = rng.NextGaussian() + (labels[i] > 0.5 ? shift : 0.0);
+    }
+    const double ks = *KsStatistic(scores, labels);
+    EXPECT_GT(ks, prev_ks);
+    prev_ks = ks;
+  }
+}
+
+TEST(MetricsTest, Validation) {
+  EXPECT_FALSE(LogLoss({}, {}).ok());
+  EXPECT_FALSE(Accuracy({0.5}, {1.0, 0.0}).ok());
+  EXPECT_FALSE(KsStatistic({0.5, 0.6}, {1.0, 1.0}).ok());
+}
+
+}  // namespace
+}  // namespace safe

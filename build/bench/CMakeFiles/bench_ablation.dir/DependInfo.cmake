@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/safe_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/safe_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/safe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/safe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/safe_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/safe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/safe_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/safe_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/safe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

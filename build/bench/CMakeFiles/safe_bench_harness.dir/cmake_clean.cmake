@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/safe_bench_harness.dir/harness.cc.o.d"
+  "libsafe_bench_harness.a"
+  "libsafe_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

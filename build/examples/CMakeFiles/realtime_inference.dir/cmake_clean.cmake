@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_inference.dir/realtime_inference.cpp.o"
+  "CMakeFiles/realtime_inference.dir/realtime_inference.cpp.o.d"
+  "realtime_inference"
+  "realtime_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_baselines.dir/autolearn.cc.o"
+  "CMakeFiles/safe_baselines.dir/autolearn.cc.o.d"
+  "CMakeFiles/safe_baselines.dir/fctree.cc.o"
+  "CMakeFiles/safe_baselines.dir/fctree.cc.o.d"
+  "CMakeFiles/safe_baselines.dir/feature_engineer.cc.o"
+  "CMakeFiles/safe_baselines.dir/feature_engineer.cc.o.d"
+  "CMakeFiles/safe_baselines.dir/tfc.cc.o"
+  "CMakeFiles/safe_baselines.dir/tfc.cc.o.d"
+  "libsafe_baselines.a"
+  "libsafe_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_common.dir/linalg.cc.o"
+  "CMakeFiles/safe_common.dir/linalg.cc.o.d"
+  "CMakeFiles/safe_common.dir/logging.cc.o"
+  "CMakeFiles/safe_common.dir/logging.cc.o.d"
+  "CMakeFiles/safe_common.dir/random.cc.o"
+  "CMakeFiles/safe_common.dir/random.cc.o.d"
+  "CMakeFiles/safe_common.dir/status.cc.o"
+  "CMakeFiles/safe_common.dir/status.cc.o.d"
+  "CMakeFiles/safe_common.dir/string_util.cc.o"
+  "CMakeFiles/safe_common.dir/string_util.cc.o.d"
+  "CMakeFiles/safe_common.dir/thread_pool.cc.o"
+  "CMakeFiles/safe_common.dir/thread_pool.cc.o.d"
+  "libsafe_common.a"
+  "libsafe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

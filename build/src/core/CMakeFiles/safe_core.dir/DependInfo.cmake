@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combination.cc" "src/core/CMakeFiles/safe_core.dir/combination.cc.o" "gcc" "src/core/CMakeFiles/safe_core.dir/combination.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/safe_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/safe_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/feature_plan.cc" "src/core/CMakeFiles/safe_core.dir/feature_plan.cc.o" "gcc" "src/core/CMakeFiles/safe_core.dir/feature_plan.cc.o.d"
+  "/root/repo/src/core/operators.cc" "src/core/CMakeFiles/safe_core.dir/operators.cc.o" "gcc" "src/core/CMakeFiles/safe_core.dir/operators.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/core/CMakeFiles/safe_core.dir/selection.cc.o" "gcc" "src/core/CMakeFiles/safe_core.dir/selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/safe_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/safe_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/safe_gbdt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_core.dir/combination.cc.o"
+  "CMakeFiles/safe_core.dir/combination.cc.o.d"
+  "CMakeFiles/safe_core.dir/engine.cc.o"
+  "CMakeFiles/safe_core.dir/engine.cc.o.d"
+  "CMakeFiles/safe_core.dir/feature_plan.cc.o"
+  "CMakeFiles/safe_core.dir/feature_plan.cc.o.d"
+  "CMakeFiles/safe_core.dir/operators.cc.o"
+  "CMakeFiles/safe_core.dir/operators.cc.o.d"
+  "CMakeFiles/safe_core.dir/selection.cc.o"
+  "CMakeFiles/safe_core.dir/selection.cc.o.d"
+  "libsafe_core.a"
+  "libsafe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/benchmark_suite.cc" "src/data/CMakeFiles/safe_data.dir/benchmark_suite.cc.o" "gcc" "src/data/CMakeFiles/safe_data.dir/benchmark_suite.cc.o.d"
+  "/root/repo/src/data/business.cc" "src/data/CMakeFiles/safe_data.dir/business.cc.o" "gcc" "src/data/CMakeFiles/safe_data.dir/business.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/safe_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/safe_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/safe_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/safe_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_data.dir/benchmark_suite.cc.o"
+  "CMakeFiles/safe_data.dir/benchmark_suite.cc.o.d"
+  "CMakeFiles/safe_data.dir/business.cc.o"
+  "CMakeFiles/safe_data.dir/business.cc.o.d"
+  "CMakeFiles/safe_data.dir/synthetic.cc.o"
+  "CMakeFiles/safe_data.dir/synthetic.cc.o.d"
+  "libsafe_data.a"
+  "libsafe_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

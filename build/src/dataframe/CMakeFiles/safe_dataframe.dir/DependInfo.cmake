@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataframe/binning.cc" "src/dataframe/CMakeFiles/safe_dataframe.dir/binning.cc.o" "gcc" "src/dataframe/CMakeFiles/safe_dataframe.dir/binning.cc.o.d"
+  "/root/repo/src/dataframe/column.cc" "src/dataframe/CMakeFiles/safe_dataframe.dir/column.cc.o" "gcc" "src/dataframe/CMakeFiles/safe_dataframe.dir/column.cc.o.d"
+  "/root/repo/src/dataframe/cross_validation.cc" "src/dataframe/CMakeFiles/safe_dataframe.dir/cross_validation.cc.o" "gcc" "src/dataframe/CMakeFiles/safe_dataframe.dir/cross_validation.cc.o.d"
+  "/root/repo/src/dataframe/csv.cc" "src/dataframe/CMakeFiles/safe_dataframe.dir/csv.cc.o" "gcc" "src/dataframe/CMakeFiles/safe_dataframe.dir/csv.cc.o.d"
+  "/root/repo/src/dataframe/dataframe.cc" "src/dataframe/CMakeFiles/safe_dataframe.dir/dataframe.cc.o" "gcc" "src/dataframe/CMakeFiles/safe_dataframe.dir/dataframe.cc.o.d"
+  "/root/repo/src/dataframe/split.cc" "src/dataframe/CMakeFiles/safe_dataframe.dir/split.cc.o" "gcc" "src/dataframe/CMakeFiles/safe_dataframe.dir/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_dataframe.dir/binning.cc.o"
+  "CMakeFiles/safe_dataframe.dir/binning.cc.o.d"
+  "CMakeFiles/safe_dataframe.dir/column.cc.o"
+  "CMakeFiles/safe_dataframe.dir/column.cc.o.d"
+  "CMakeFiles/safe_dataframe.dir/cross_validation.cc.o"
+  "CMakeFiles/safe_dataframe.dir/cross_validation.cc.o.d"
+  "CMakeFiles/safe_dataframe.dir/csv.cc.o"
+  "CMakeFiles/safe_dataframe.dir/csv.cc.o.d"
+  "CMakeFiles/safe_dataframe.dir/dataframe.cc.o"
+  "CMakeFiles/safe_dataframe.dir/dataframe.cc.o.d"
+  "CMakeFiles/safe_dataframe.dir/split.cc.o"
+  "CMakeFiles/safe_dataframe.dir/split.cc.o.d"
+  "libsafe_dataframe.a"
+  "libsafe_dataframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

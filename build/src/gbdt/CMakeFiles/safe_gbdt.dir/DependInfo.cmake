@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbdt/booster.cc" "src/gbdt/CMakeFiles/safe_gbdt.dir/booster.cc.o" "gcc" "src/gbdt/CMakeFiles/safe_gbdt.dir/booster.cc.o.d"
+  "/root/repo/src/gbdt/exact_trainer.cc" "src/gbdt/CMakeFiles/safe_gbdt.dir/exact_trainer.cc.o" "gcc" "src/gbdt/CMakeFiles/safe_gbdt.dir/exact_trainer.cc.o.d"
+  "/root/repo/src/gbdt/loss.cc" "src/gbdt/CMakeFiles/safe_gbdt.dir/loss.cc.o" "gcc" "src/gbdt/CMakeFiles/safe_gbdt.dir/loss.cc.o.d"
+  "/root/repo/src/gbdt/quantizer.cc" "src/gbdt/CMakeFiles/safe_gbdt.dir/quantizer.cc.o" "gcc" "src/gbdt/CMakeFiles/safe_gbdt.dir/quantizer.cc.o.d"
+  "/root/repo/src/gbdt/trainer.cc" "src/gbdt/CMakeFiles/safe_gbdt.dir/trainer.cc.o" "gcc" "src/gbdt/CMakeFiles/safe_gbdt.dir/trainer.cc.o.d"
+  "/root/repo/src/gbdt/tree.cc" "src/gbdt/CMakeFiles/safe_gbdt.dir/tree.cc.o" "gcc" "src/gbdt/CMakeFiles/safe_gbdt.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/safe_dataframe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

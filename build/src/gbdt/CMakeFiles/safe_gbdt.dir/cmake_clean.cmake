@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_gbdt.dir/booster.cc.o"
+  "CMakeFiles/safe_gbdt.dir/booster.cc.o.d"
+  "CMakeFiles/safe_gbdt.dir/exact_trainer.cc.o"
+  "CMakeFiles/safe_gbdt.dir/exact_trainer.cc.o.d"
+  "CMakeFiles/safe_gbdt.dir/loss.cc.o"
+  "CMakeFiles/safe_gbdt.dir/loss.cc.o.d"
+  "CMakeFiles/safe_gbdt.dir/quantizer.cc.o"
+  "CMakeFiles/safe_gbdt.dir/quantizer.cc.o.d"
+  "CMakeFiles/safe_gbdt.dir/trainer.cc.o"
+  "CMakeFiles/safe_gbdt.dir/trainer.cc.o.d"
+  "CMakeFiles/safe_gbdt.dir/tree.cc.o"
+  "CMakeFiles/safe_gbdt.dir/tree.cc.o.d"
+  "libsafe_gbdt.a"
+  "libsafe_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/cart.cc" "src/models/CMakeFiles/safe_models.dir/cart.cc.o" "gcc" "src/models/CMakeFiles/safe_models.dir/cart.cc.o.d"
+  "/root/repo/src/models/dense.cc" "src/models/CMakeFiles/safe_models.dir/dense.cc.o" "gcc" "src/models/CMakeFiles/safe_models.dir/dense.cc.o.d"
+  "/root/repo/src/models/factory.cc" "src/models/CMakeFiles/safe_models.dir/factory.cc.o" "gcc" "src/models/CMakeFiles/safe_models.dir/factory.cc.o.d"
+  "/root/repo/src/models/knn.cc" "src/models/CMakeFiles/safe_models.dir/knn.cc.o" "gcc" "src/models/CMakeFiles/safe_models.dir/knn.cc.o.d"
+  "/root/repo/src/models/linear.cc" "src/models/CMakeFiles/safe_models.dir/linear.cc.o" "gcc" "src/models/CMakeFiles/safe_models.dir/linear.cc.o.d"
+  "/root/repo/src/models/mlp.cc" "src/models/CMakeFiles/safe_models.dir/mlp.cc.o" "gcc" "src/models/CMakeFiles/safe_models.dir/mlp.cc.o.d"
+  "/root/repo/src/models/tree_models.cc" "src/models/CMakeFiles/safe_models.dir/tree_models.cc.o" "gcc" "src/models/CMakeFiles/safe_models.dir/tree_models.cc.o.d"
+  "/root/repo/src/models/xgb.cc" "src/models/CMakeFiles/safe_models.dir/xgb.cc.o" "gcc" "src/models/CMakeFiles/safe_models.dir/xgb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/safe_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/safe_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/safe_gbdt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

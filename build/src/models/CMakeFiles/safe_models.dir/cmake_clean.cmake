@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_models.dir/cart.cc.o"
+  "CMakeFiles/safe_models.dir/cart.cc.o.d"
+  "CMakeFiles/safe_models.dir/dense.cc.o"
+  "CMakeFiles/safe_models.dir/dense.cc.o.d"
+  "CMakeFiles/safe_models.dir/factory.cc.o"
+  "CMakeFiles/safe_models.dir/factory.cc.o.d"
+  "CMakeFiles/safe_models.dir/knn.cc.o"
+  "CMakeFiles/safe_models.dir/knn.cc.o.d"
+  "CMakeFiles/safe_models.dir/linear.cc.o"
+  "CMakeFiles/safe_models.dir/linear.cc.o.d"
+  "CMakeFiles/safe_models.dir/mlp.cc.o"
+  "CMakeFiles/safe_models.dir/mlp.cc.o.d"
+  "CMakeFiles/safe_models.dir/tree_models.cc.o"
+  "CMakeFiles/safe_models.dir/tree_models.cc.o.d"
+  "CMakeFiles/safe_models.dir/xgb.cc.o"
+  "CMakeFiles/safe_models.dir/xgb.cc.o.d"
+  "libsafe_models.a"
+  "libsafe_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/auc.cc" "src/stats/CMakeFiles/safe_stats.dir/auc.cc.o" "gcc" "src/stats/CMakeFiles/safe_stats.dir/auc.cc.o.d"
+  "/root/repo/src/stats/chimerge.cc" "src/stats/CMakeFiles/safe_stats.dir/chimerge.cc.o" "gcc" "src/stats/CMakeFiles/safe_stats.dir/chimerge.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/safe_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/safe_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/safe_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/safe_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/divergence.cc" "src/stats/CMakeFiles/safe_stats.dir/divergence.cc.o" "gcc" "src/stats/CMakeFiles/safe_stats.dir/divergence.cc.o.d"
+  "/root/repo/src/stats/entropy.cc" "src/stats/CMakeFiles/safe_stats.dir/entropy.cc.o" "gcc" "src/stats/CMakeFiles/safe_stats.dir/entropy.cc.o.d"
+  "/root/repo/src/stats/iv.cc" "src/stats/CMakeFiles/safe_stats.dir/iv.cc.o" "gcc" "src/stats/CMakeFiles/safe_stats.dir/iv.cc.o.d"
+  "/root/repo/src/stats/metrics.cc" "src/stats/CMakeFiles/safe_stats.dir/metrics.cc.o" "gcc" "src/stats/CMakeFiles/safe_stats.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/safe_dataframe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_stats.dir/auc.cc.o"
+  "CMakeFiles/safe_stats.dir/auc.cc.o.d"
+  "CMakeFiles/safe_stats.dir/chimerge.cc.o"
+  "CMakeFiles/safe_stats.dir/chimerge.cc.o.d"
+  "CMakeFiles/safe_stats.dir/correlation.cc.o"
+  "CMakeFiles/safe_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/safe_stats.dir/descriptive.cc.o"
+  "CMakeFiles/safe_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/safe_stats.dir/divergence.cc.o"
+  "CMakeFiles/safe_stats.dir/divergence.cc.o.d"
+  "CMakeFiles/safe_stats.dir/entropy.cc.o"
+  "CMakeFiles/safe_stats.dir/entropy.cc.o.d"
+  "CMakeFiles/safe_stats.dir/iv.cc.o"
+  "CMakeFiles/safe_stats.dir/iv.cc.o.d"
+  "CMakeFiles/safe_stats.dir/metrics.cc.o"
+  "CMakeFiles/safe_stats.dir/metrics.cc.o.d"
+  "libsafe_stats.a"
+  "libsafe_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

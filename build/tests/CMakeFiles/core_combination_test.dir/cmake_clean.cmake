@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_combination_test.dir/core_combination_test.cc.o"
+  "CMakeFiles/core_combination_test.dir/core_combination_test.cc.o.d"
+  "core_combination_test"
+  "core_combination_test.pdb"
+  "core_combination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_combination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_operators_test.dir/core_operators_test.cc.o"
+  "CMakeFiles/core_operators_test.dir/core_operators_test.cc.o.d"
+  "core_operators_test"
+  "core_operators_test.pdb"
+  "core_operators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_metrics_integration_test.dir/cv_metrics_integration_test.cc.o"
+  "CMakeFiles/cv_metrics_integration_test.dir/cv_metrics_integration_test.cc.o.d"
+  "cv_metrics_integration_test"
+  "cv_metrics_integration_test.pdb"
+  "cv_metrics_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_metrics_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

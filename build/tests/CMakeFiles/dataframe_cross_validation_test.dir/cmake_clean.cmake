@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_cross_validation_test.dir/dataframe_cross_validation_test.cc.o"
+  "CMakeFiles/dataframe_cross_validation_test.dir/dataframe_cross_validation_test.cc.o.d"
+  "dataframe_cross_validation_test"
+  "dataframe_cross_validation_test.pdb"
+  "dataframe_cross_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_csv_test.dir/dataframe_csv_test.cc.o"
+  "CMakeFiles/dataframe_csv_test.dir/dataframe_csv_test.cc.o.d"
+  "dataframe_csv_test"
+  "dataframe_csv_test.pdb"
+  "dataframe_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_kmeans_binning_test.dir/dataframe_kmeans_binning_test.cc.o"
+  "CMakeFiles/dataframe_kmeans_binning_test.dir/dataframe_kmeans_binning_test.cc.o.d"
+  "dataframe_kmeans_binning_test"
+  "dataframe_kmeans_binning_test.pdb"
+  "dataframe_kmeans_binning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_kmeans_binning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

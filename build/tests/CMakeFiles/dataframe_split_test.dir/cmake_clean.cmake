@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_split_test.dir/dataframe_split_test.cc.o"
+  "CMakeFiles/dataframe_split_test.dir/dataframe_split_test.cc.o.d"
+  "dataframe_split_test"
+  "dataframe_split_test.pdb"
+  "dataframe_split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

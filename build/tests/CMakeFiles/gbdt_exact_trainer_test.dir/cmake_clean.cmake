@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbdt_exact_trainer_test.dir/gbdt_exact_trainer_test.cc.o"
+  "CMakeFiles/gbdt_exact_trainer_test.dir/gbdt_exact_trainer_test.cc.o.d"
+  "gbdt_exact_trainer_test"
+  "gbdt_exact_trainer_test.pdb"
+  "gbdt_exact_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbdt_exact_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

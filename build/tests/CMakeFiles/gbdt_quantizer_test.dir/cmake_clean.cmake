@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbdt_quantizer_test.dir/gbdt_quantizer_test.cc.o"
+  "CMakeFiles/gbdt_quantizer_test.dir/gbdt_quantizer_test.cc.o.d"
+  "gbdt_quantizer_test"
+  "gbdt_quantizer_test.pdb"
+  "gbdt_quantizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbdt_quantizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbdt_trainer_test.dir/gbdt_trainer_test.cc.o"
+  "CMakeFiles/gbdt_trainer_test.dir/gbdt_trainer_test.cc.o.d"
+  "gbdt_trainer_test"
+  "gbdt_trainer_test.pdb"
+  "gbdt_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbdt_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbdt_tree_test.dir/gbdt_tree_test.cc.o"
+  "CMakeFiles/gbdt_tree_test.dir/gbdt_tree_test.cc.o.d"
+  "gbdt_tree_test"
+  "gbdt_tree_test.pdb"
+  "gbdt_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbdt_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

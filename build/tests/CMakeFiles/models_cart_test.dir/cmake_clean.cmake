@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_cart_test.dir/models_cart_test.cc.o"
+  "CMakeFiles/models_cart_test.dir/models_cart_test.cc.o.d"
+  "models_cart_test"
+  "models_cart_test.pdb"
+  "models_cart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_cart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

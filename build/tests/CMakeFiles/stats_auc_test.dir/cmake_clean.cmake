@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_auc_test.dir/stats_auc_test.cc.o"
+  "CMakeFiles/stats_auc_test.dir/stats_auc_test.cc.o.d"
+  "stats_auc_test"
+  "stats_auc_test.pdb"
+  "stats_auc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_auc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

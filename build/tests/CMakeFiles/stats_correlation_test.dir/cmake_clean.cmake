@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_correlation_test.dir/stats_correlation_test.cc.o"
+  "CMakeFiles/stats_correlation_test.dir/stats_correlation_test.cc.o.d"
+  "stats_correlation_test"
+  "stats_correlation_test.pdb"
+  "stats_correlation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_correlation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

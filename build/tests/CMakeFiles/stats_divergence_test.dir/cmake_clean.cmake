@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_divergence_test.dir/stats_divergence_test.cc.o"
+  "CMakeFiles/stats_divergence_test.dir/stats_divergence_test.cc.o.d"
+  "stats_divergence_test"
+  "stats_divergence_test.pdb"
+  "stats_divergence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_divergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

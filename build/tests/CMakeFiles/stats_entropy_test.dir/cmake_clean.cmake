@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_entropy_test.dir/stats_entropy_test.cc.o"
+  "CMakeFiles/stats_entropy_test.dir/stats_entropy_test.cc.o.d"
+  "stats_entropy_test"
+  "stats_entropy_test.pdb"
+  "stats_entropy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_entropy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

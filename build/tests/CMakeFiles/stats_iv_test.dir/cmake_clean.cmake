@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_iv_test.dir/stats_iv_test.cc.o"
+  "CMakeFiles/stats_iv_test.dir/stats_iv_test.cc.o.d"
+  "stats_iv_test"
+  "stats_iv_test.pdb"
+  "stats_iv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_iv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_metrics_test.dir/stats_metrics_test.cc.o"
+  "CMakeFiles/stats_metrics_test.dir/stats_metrics_test.cc.o.d"
+  "stats_metrics_test"
+  "stats_metrics_test.pdb"
+  "stats_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

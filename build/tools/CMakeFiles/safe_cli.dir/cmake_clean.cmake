@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_cli.dir/safe_cli.cc.o"
+  "CMakeFiles/safe_cli.dir/safe_cli.cc.o.d"
+  "safe_cli"
+  "safe_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -14,6 +14,7 @@
 #include <numeric>
 
 #include "bench/harness.h"
+#include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 
 namespace safe {
@@ -21,6 +22,7 @@ namespace bench {
 namespace {
 
 int Main(int argc, char** argv) {
+  Stopwatch total_watch;
   Flags flags(argc, argv);
   const bool quick = flags.GetBool("quick", false);
   const double row_scale = flags.GetDouble("row_scale", quick ? 0.05 : 0.15);
@@ -107,6 +109,8 @@ int Main(int argc, char** argv) {
   }
   std::cout << "Expected ordering per the paper's assumptions: SAFE >= IMP "
                ">= NONSPLIT and SAFE >= RAND.\n";
+  EmitRunReport(Flags(argc, argv), "bench_ablation",
+                total_watch.ElapsedSeconds());
   return 0;
 }
 

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench/harness.h"
+#include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 #include "src/data/business.h"
 #include "src/stats/correlation.h"
@@ -84,12 +85,15 @@ void PrintBands() {
 }
 
 int Main(int argc, char** argv) {
+  Stopwatch total_watch;
   Flags flags(argc, argv);
   const double row_scale = flags.GetDouble("row_scale", 0.1);
   const double business_scale = flags.GetDouble("business_scale", 0.005);
   PrintBands();
   PrintTableIV(row_scale);
   PrintTableVII(business_scale);
+  EmitRunReport(Flags(argc, argv), "bench_datasets",
+                total_watch.ElapsedSeconds());
   return 0;
 }
 

@@ -12,6 +12,7 @@
 #include <numeric>
 
 #include "bench/harness.h"
+#include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 #include "src/models/tree_models.h"
 
@@ -20,6 +21,7 @@ namespace bench {
 namespace {
 
 int Main(int argc, char** argv) {
+  Stopwatch total_watch;
   Flags flags(argc, argv);
   const bool quick = flags.GetBool("quick", false);
   const double row_scale = flags.GetDouble("row_scale", quick ? 0.05 : 0.10);
@@ -128,6 +130,8 @@ int Main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+  EmitRunReport(Flags(argc, argv), "bench_fig3",
+                total_watch.ElapsedSeconds());
   return 0;
 }
 

@@ -41,6 +41,7 @@ Dataset MakeData(size_t rows, size_t features, uint64_t seed) {
 }
 
 int Main(int argc, char** argv) {
+  Stopwatch total_watch;
   Flags flags(argc, argv);
   const bool quick = flags.GetBool("quick", false);
   const double scale = quick ? 0.2 : 1.0;
@@ -90,6 +91,8 @@ int Main(int argc, char** argv) {
   m_table.PrintSeparator();
   std::cout << "(TFC grows ~quadratically in M; SAFE stays governed by its "
                "tree budget)\n";
+  EmitRunReport(Flags(argc, argv), "bench_scaling",
+                total_watch.ElapsedSeconds());
   return 0;
 }
 

@@ -24,6 +24,7 @@ namespace bench {
 namespace {
 
 int Main(int argc, char** argv) {
+  Stopwatch total_watch;
   Flags flags(argc, argv);
   const bool quick = flags.GetBool("quick", false);
   const double row_scale =
@@ -138,6 +139,8 @@ int Main(int argc, char** argv) {
               << FormatDouble(100.0 * mean, 2) << " pp over "
               << deltas.size() << " cells\n";
   }
+  EmitRunReport(Flags(argc, argv), "bench_table3",
+                total_watch.ElapsedSeconds());
   return 0;
 }
 

@@ -10,6 +10,7 @@
 #include "src/models/mlp.h"
 #include "src/models/tree_models.h"
 #include "src/models/xgb.h"
+#include "src/obs/report.h"
 #include "src/stats/auc.h"
 
 namespace safe {
@@ -190,6 +191,30 @@ Result<double> EvaluatePlan(const FeaturePlan& plan,
   SAFE_ASSIGN_OR_RETURN(std::vector<double> scores,
                         clf->PredictScores(test_z));
   return Auc(scores, split.test.labels());
+}
+
+bool EmitRunReport(const Flags& flags, const std::string& tool,
+                   double wall_seconds,
+                   const std::vector<IterationDiagnostics>* iterations,
+                   bool print_table) {
+  const std::string path = flags.GetString("report", "");
+  if (path.empty()) return true;
+  obs::RunReport report(tool);
+  report.CaptureTelemetry();
+  report.set_wall_seconds(wall_seconds);
+  if (iterations != nullptr) {
+    report.AddSection("iterations", IterationDiagnosticsToJson(*iterations));
+  }
+  if (print_table) {
+    std::cout << report.ToTable();
+  }
+  std::string error;
+  if (!report.WriteFile(path, &error)) {
+    std::cerr << "report: " << error << "\n";
+    return false;
+  }
+  std::cout << "report written to " << path << "\n";
+  return true;
 }
 
 }  // namespace bench

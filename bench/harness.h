@@ -75,5 +75,19 @@ Result<double> EvaluatePlan(const FeaturePlan& plan,
                             const DatasetSplit& split,
                             models::Classifier* clf);
 
+/// \brief Writes a telemetry RunReport (obs/report.h) to the path named
+/// by the `--report=<path>` flag; a no-op when the flag is absent.
+///
+/// The report captures the global metrics registry and span timeline,
+/// `wall_seconds`, and (when non-null) the SAFE per-iteration funnel
+/// diagnostics under an "iterations" section. With `print_table` the
+/// human-readable summary also goes to stdout. Returns false only when
+/// the flag was set and the write failed (already logged).
+bool EmitRunReport(const Flags& flags, const std::string& tool,
+                   double wall_seconds = 0.0,
+                   const std::vector<IterationDiagnostics>* iterations =
+                       nullptr,
+                   bool print_table = false);
+
 }  // namespace bench
 }  // namespace safe

@@ -1,12 +1,17 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 
 namespace safe {
 namespace internal {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,6 +26,54 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Initial level: the SAFE_LOG_LEVEL environment variable (a name such
+/// as DEBUG/INFO/WARN/WARNING/FATAL, case-insensitive, or a number 0-3),
+/// defaulting to INFO.
+int InitialLevelFromEnv() {
+  const char* env = std::getenv("SAFE_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  std::string value;
+  for (const char* p = env; *p != '\0'; ++p) {
+    value.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(*p))));
+  }
+  if (value == "DEBUG" || value == "0") return 0;
+  if (value == "INFO" || value == "1") return 1;
+  if (value == "WARN" || value == "WARNING" || value == "2") return 2;
+  if (value == "FATAL" || value == "3") return 3;
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_min_level{InitialLevelFromEnv()};
+
+/// Dense per-thread id for log lines (OS tids are long and non-local).
+uint32_t LocalThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+/// "YYYY-MM-DD HH:MM:SS.mmm" in local time.
+std::string Timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(millis));
+  return buf;
+}
+
 }  // namespace
 
 LogLevel GetMinLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
@@ -31,12 +84,18 @@ void SetMinLogLevel(LogLevel level) {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  stream_ << "[" << Timestamp() << " " << LevelName(level) << " t"
+          << LocalThreadId() << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ >= GetMinLogLevel() || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    stream_ << "\n";
+    const std::string line = stream_.str();
+    // One stream write per message: std::cerr is unit-buffered, so the
+    // full line reaches the fd in a single call and concurrent threads
+    // cannot interleave partial lines.
+    std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -13,6 +13,13 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kFatal = 3 };
 
 /// \brief Stream-style log sink; flushes (and aborts for kFatal) on
 /// destruction. Used through the SAFE_LOG / SAFE_CHECK macros.
+///
+/// Lines carry a timestamp, level, dense thread id, and source location:
+///   [2026-08-05 09:14:02.113 INFO t0 src/core/engine.cc:131] ...
+/// Each message is emitted as one ostream write, so concurrent threads
+/// never interleave partial lines. The minimum level defaults to INFO
+/// and is overridable via the SAFE_LOG_LEVEL environment variable
+/// (DEBUG/INFO/WARN/FATAL or 0-3) or SetMinLogLevel().
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -3,7 +3,37 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace safe {
+
+namespace {
+
+/// Pool metrics, resolved once; Submit and the worker loop touch only
+/// the atomics afterwards.
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Counter* tasks_submitted;
+  obs::Histogram* task_wait_us;
+  obs::Histogram* task_run_us;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+      return PoolMetrics{
+          registry->gauge("threadpool.queue_depth"),
+          registry->counter("threadpool.tasks_submitted"),
+          registry->histogram("threadpool.task_wait_us",
+                              obs::DefaultLatencyBucketsUs()),
+          registry->histogram("threadpool.task_run_us",
+                              obs::DefaultLatencyBucketsUs())};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -27,31 +57,44 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.tasks_submitted->Increment();
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
   if (num_threads_ == 1) {
+    const uint64_t run_start_ns = obs::NowNanos();
     packaged();
+    metrics.task_run_us->Observe(
+        static_cast<double>(obs::NowNanos() - run_start_ns) / 1e3);
     return fut;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(packaged));
+    queue_.push(PendingTask{std::move(packaged), obs::NowNanos()});
+    metrics.queue_depth->Set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return fut;
 }
 
 void ThreadPool::WorkerLoop() {
+  const PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
-    std::packaged_task<void()> task;
+    PendingTask pending;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
+      pending = std::move(queue_.front());
       queue_.pop();
+      metrics.queue_depth->Set(static_cast<double>(queue_.size()));
     }
-    task();
+    const uint64_t run_start_ns = obs::NowNanos();
+    metrics.task_wait_us->Observe(
+        static_cast<double>(run_start_ns - pending.enqueue_ns) / 1e3);
+    pending.task();
+    metrics.task_run_us->Observe(
+        static_cast<double>(obs::NowNanos() - run_start_ns) / 1e3);
   }
 }
 

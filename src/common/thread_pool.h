@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -37,11 +38,17 @@ class ThreadPool {
   static ThreadPool* Global();
 
  private:
+  /// A queued task plus its enqueue time (for the task-wait histogram).
+  struct PendingTask {
+    std::packaged_task<void()> task;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   size_t num_threads_;
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
+  std::queue<PendingTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -10,6 +10,9 @@
 #include "src/core/combination.h"
 #include "src/core/selection.h"
 #include "src/gbdt/booster.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace safe {
 
@@ -61,7 +64,66 @@ std::vector<FeatureCombination> RandomPairs(const std::vector<int>& pool,
   return out;
 }
 
+/// Funnel counters shared by every Fit call; resolved once so the
+/// per-iteration updates touch only atomics.
+struct EngineCounters {
+  obs::Counter* iterations;
+  obs::Counter* paths;
+  obs::Counter* combinations;
+  obs::Counter* generated;
+  obs::Counter* candidates;
+  obs::Counter* after_iv;
+  obs::Counter* after_redundancy;
+  obs::Counter* selected;
+
+  static const EngineCounters& Get() {
+    static const EngineCounters counters = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+      return EngineCounters{registry->counter("engine.iterations"),
+                            registry->counter("engine.paths_mined"),
+                            registry->counter("engine.combinations_mined"),
+                            registry->counter("engine.features_generated"),
+                            registry->counter("engine.candidates"),
+                            registry->counter("engine.features_after_iv"),
+                            registry->counter(
+                                "engine.features_after_redundancy"),
+                            registry->counter("engine.features_selected")};
+    }();
+    return counters;
+  }
+};
+
 }  // namespace
+
+obs::JsonValue IterationDiagnosticsToJson(
+    const std::vector<IterationDiagnostics>& iterations) {
+  obs::JsonValue out = obs::JsonValue::Array();
+  for (const auto& diag : iterations) {
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("num_paths", obs::JsonValue(uint64_t{diag.num_paths}));
+    entry.Set("num_combinations",
+              obs::JsonValue(uint64_t{diag.num_combinations}));
+    entry.Set("num_generated", obs::JsonValue(uint64_t{diag.num_generated}));
+    entry.Set("num_candidates",
+              obs::JsonValue(uint64_t{diag.num_candidates}));
+    entry.Set("num_after_iv", obs::JsonValue(uint64_t{diag.num_after_iv}));
+    entry.Set("num_after_redundancy",
+              obs::JsonValue(uint64_t{diag.num_after_redundancy}));
+    entry.Set("num_selected", obs::JsonValue(uint64_t{diag.num_selected}));
+    entry.Set("seconds", obs::JsonValue(diag.seconds));
+    obs::JsonValue stages = obs::JsonValue::Array();
+    for (const auto& stage : diag.stages) {
+      obs::JsonValue s = obs::JsonValue::Object();
+      s.Set("stage", obs::JsonValue(stage.stage));
+      s.Set("start_seconds", obs::JsonValue(stage.start_seconds));
+      s.Set("seconds", obs::JsonValue(stage.seconds));
+      stages.Append(std::move(s));
+    }
+    entry.Set("stages", std::move(stages));
+    out.Append(std::move(entry));
+  }
+  return out;
+}
 
 Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
                                       const Dataset* valid) const {
@@ -100,6 +162,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
       params_.max_output_features > 0 ? params_.max_output_features
                                       : 2 * orig_m;
 
+  SAFE_TRACE_SPAN("engine.fit");
   Stopwatch total_watch;
   Rng rng(params_.seed);
 
@@ -124,11 +187,21 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
         iter > 0) {
       break;
     }
+    SAFE_TRACE_SPAN("engine.iteration");
     Stopwatch iter_watch;
     IterationDiagnostics diag;
+    // Closes the stage opened at `start` and appends its timing; stages
+    // are sequential, so start offsets are monotone within the iteration.
+    auto record_stage = [&](const char* stage, double start) {
+      diag.stages.push_back(
+          StageTiming{stage, start, iter_watch.ElapsedSeconds() - start});
+    };
 
     // -------------------------------------------------- mine combinations
     std::vector<FeatureCombination> combos;
+    const double mine_start = iter_watch.ElapsedSeconds();
+    {
+    SAFE_TRACE_SPAN("engine.mine_combinations");
     if (params_.strategy == MiningStrategy::kTreePaths ||
         params_.strategy == MiningStrategy::kSplitFeaturePairs ||
         params_.strategy == MiningStrategy::kNonSplitPairs) {
@@ -175,12 +248,17 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
       }
       combos = RandomPairs(pool, gamma, &rng);
     }
+    }
+    record_stage("mine_combinations", mine_start);
     diag.num_combinations = combos.size();
 
     // -------------------------------------------------- generate features
     std::vector<GeneratedFeature> iteration_features;
     DataFrame generated_train;
     DataFrame generated_valid;
+    const double generate_start = iter_watch.ElapsedSeconds();
+    {
+    SAFE_TRACE_SPAN("engine.generate_features");
     for (const auto& combo : combos) {
       for (const auto& op : operators) {
         if (op->arity() != combo.features.size()) continue;
@@ -235,41 +313,61 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
         }
       }
     }
+    }
+    record_stage("generate_features", generate_start);
     diag.num_generated = generated_train.num_columns();
 
     // -------------------------------------------------- candidate pool
+    const double pool_start = iter_watch.ElapsedSeconds();
     SAFE_ASSIGN_OR_RETURN(DataFrame candidate_frame,
                           current.x.Concat(generated_train));
     diag.num_candidates = candidate_frame.num_columns();
     Dataset candidates;
     candidates.x = std::move(candidate_frame);
     candidates.y = current.y;
+    record_stage("candidate_pool", pool_start);
 
     // -------------------------------------------------- Alg. 3: IV filter
-    const std::vector<double> ivs =
-        ComputeIvs(candidates.x, candidates.labels(), params_.iv_bins);
-    std::vector<size_t> after_iv =
-        IvFilterIndices(ivs, params_.iv_threshold);
-    if (after_iv.empty()) {
-      // Degenerate task (no feature clears α): fall back to every
-      // candidate so the pipeline still emits a usable feature set.
-      after_iv.resize(candidates.x.num_columns());
-      for (size_t c = 0; c < after_iv.size(); ++c) after_iv[c] = c;
+    const double iv_start = iter_watch.ElapsedSeconds();
+    std::vector<double> ivs;
+    std::vector<size_t> after_iv;
+    {
+      SAFE_TRACE_SPAN("engine.iv_filter");
+      ivs = ComputeIvs(candidates.x, candidates.labels(), params_.iv_bins);
+      after_iv = IvFilterIndices(ivs, params_.iv_threshold);
+      if (after_iv.empty()) {
+        // Degenerate task (no feature clears α): fall back to every
+        // candidate so the pipeline still emits a usable feature set.
+        after_iv.resize(candidates.x.num_columns());
+        for (size_t c = 0; c < after_iv.size(); ++c) after_iv[c] = c;
+      }
     }
+    record_stage("iv_filter", iv_start);
     diag.num_after_iv = after_iv.size();
 
     // -------------------------------------------------- Alg. 4: redundancy
-    std::vector<size_t> after_redundancy = RedundancyFilterIndices(
-        candidates.x, ivs, after_iv, params_.pearson_threshold);
+    const double redundancy_start = iter_watch.ElapsedSeconds();
+    std::vector<size_t> after_redundancy;
+    {
+      SAFE_TRACE_SPAN("engine.redundancy_filter");
+      after_redundancy = RedundancyFilterIndices(
+          candidates.x, ivs, after_iv, params_.pearson_threshold);
+    }
+    record_stage("redundancy_filter", redundancy_start);
     diag.num_after_redundancy = after_redundancy.size();
 
     // -------------------------------------------------- importance ranking
+    const double rank_start = iter_watch.ElapsedSeconds();
     gbdt::GbdtParams ranker_params = params_.ranker;
     ranker_params.seed = rng.NextUint64();
-    SAFE_ASSIGN_OR_RETURN(
-        std::vector<size_t> selected,
-        ImportanceRankIndices(candidates, after_redundancy, ivs,
-                              ranker_params, max_output));
+    std::vector<size_t> selected;
+    {
+      SAFE_TRACE_SPAN("engine.importance_rank");
+      SAFE_ASSIGN_OR_RETURN(
+          selected, ImportanceRankIndices(candidates, after_redundancy, ivs,
+                                          ranker_params, max_output));
+    }
+    record_stage("importance_rank", rank_start);
     if (selected.empty()) {
       return Status::Internal("safe: selection produced no features");
     }
@@ -291,6 +389,15 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
                          std::make_move_iterator(iteration_features.end()));
 
     diag.seconds = iter_watch.ElapsedSeconds();
+    const EngineCounters& counters = EngineCounters::Get();
+    counters.iterations->Increment();
+    counters.paths->Increment(diag.num_paths);
+    counters.combinations->Increment(diag.num_combinations);
+    counters.generated->Increment(diag.num_generated);
+    counters.candidates->Increment(diag.num_candidates);
+    counters.after_iv->Increment(diag.num_after_iv);
+    counters.after_redundancy->Increment(diag.num_after_redundancy);
+    counters.selected->Increment(diag.num_selected);
     result.iterations.push_back(diag);
   }
 

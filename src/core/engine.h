@@ -12,6 +12,10 @@
 
 namespace safe {
 
+namespace obs {
+class JsonValue;
+}  // namespace obs
+
 /// \brief How candidate feature combinations are mined each iteration.
 ///
 /// kTreePaths is SAFE proper; the others are the paper's comparison
@@ -64,7 +68,17 @@ struct SafeParams {
   }
 };
 
-/// \brief Per-iteration funnel counts (how many features each stage kept).
+/// \brief Wall-clock of one pipeline stage inside an iteration.
+/// `start_seconds` is the offset from the iteration start, so stages of
+/// an iteration are non-overlapping and monotonically ordered.
+struct StageTiming {
+  std::string stage;
+  double start_seconds = 0.0;
+  double seconds = 0.0;
+};
+
+/// \brief Per-iteration funnel counts (how many features each stage kept)
+/// plus per-stage wall-clock timings.
 struct IterationDiagnostics {
   size_t num_paths = 0;
   size_t num_combinations = 0;
@@ -74,7 +88,13 @@ struct IterationDiagnostics {
   size_t num_after_redundancy = 0;
   size_t num_selected = 0;
   double seconds = 0.0;
+  std::vector<StageTiming> stages;
 };
+
+/// Serializes iteration diagnostics for RunReport (obs/report.h): an
+/// array with every IterationDiagnostics field plus the stage timeline.
+obs::JsonValue IterationDiagnosticsToJson(
+    const std::vector<IterationDiagnostics>& iterations);
 
 /// \brief Output of SafeEngine::Fit: the learned Ψ plus diagnostics.
 struct SafeFitResult {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+
 namespace safe {
 
 size_t BinEdges::BinIndex(double value) const {
@@ -33,6 +35,9 @@ Result<BinEdges> EqualFrequencyEdges(const std::vector<double>& values,
   if (num_bins < 2) {
     return Status::InvalidArgument("num_bins must be >= 2");
   }
+  static obs::Counter* fits =
+      obs::MetricsRegistry::Global()->counter("binning.equal_frequency_fits");
+  fits->Increment();
   SAFE_ASSIGN_OR_RETURN(std::vector<double> sorted,
                         SortedNonMissing(values));
   BinEdges out;

@@ -4,11 +4,14 @@
 #include <fstream>
 
 #include "src/common/string_util.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace safe {
 
 Result<DataFrame> ReadCsv(const std::string& path,
                           const CsvReadOptions& options) {
+  SAFE_TRACE_SPAN("csv.read");
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open '" + path + "' for reading");
@@ -59,11 +62,21 @@ Result<DataFrame> ReadCsv(const std::string& path,
   for (size_t i = 0; i < names.size(); ++i) {
     SAFE_RETURN_NOT_OK(frame.AddColumn(Column(names[i], std::move(data[i]))));
   }
+  obs::MetricsRegistry::Global()
+      ->counter("csv.rows_read")
+      ->Increment(frame.num_rows());
+  obs::MetricsRegistry::Global()
+      ->counter("csv.cells_parsed")
+      ->Increment(frame.num_rows() * frame.num_columns());
   return frame;
 }
 
 Status WriteCsv(const DataFrame& frame, const std::string& path,
                 char delimiter) {
+  SAFE_TRACE_SPAN("csv.write");
+  obs::MetricsRegistry::Global()
+      ->counter("csv.rows_written")
+      ->Increment(frame.num_rows());
   std::ofstream out(path);
   if (!out) {
     return Status::IoError("cannot open '" + path + "' for writing");

@@ -12,11 +12,32 @@
 #include "src/gbdt/loss.h"
 #include "src/gbdt/quantizer.h"
 #include "src/gbdt/trainer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace safe {
 namespace gbdt {
 
 namespace {
+
+obs::Counter* TreesTrainedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global()->counter("gbdt.trees_trained");
+  return counter;
+}
+
+obs::Counter* FitsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global()->counter("gbdt.fits");
+  return counter;
+}
+
+obs::Histogram* TreeFitHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global()->histogram(
+          "gbdt.tree_fit_us", obs::DefaultLatencyBucketsUs());
+  return histogram;
+}
 
 /// Tree traversal over a column-major frame for one row index.
 double PredictTreeOnFrame(const RegressionTree& tree, const DataFrame& x,
@@ -62,9 +83,13 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
     return Status::InvalidArgument("gbdt: valid column count mismatch");
   }
 
+  SAFE_TRACE_SPAN("gbdt.fit");
+  FitsCounter()->Increment();
+
   // Histogram path quantizes up front; the exact path pre-sorts columns.
   BinnedMatrix matrix;
   if (params.tree_method == TreeMethod::kHist) {
+    SAFE_TRACE_SPAN("gbdt.quantize");
     SAFE_ASSIGN_OR_RETURN(FeatureQuantizer quantizer,
                           FeatureQuantizer::Fit(train.x, params.max_bins));
     SAFE_ASSIGN_OR_RETURN(matrix, quantizer.Transform(train.x));
@@ -96,6 +121,8 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
   for (size_t f = 0; f < m; ++f) all_features[f] = static_cast<int>(f);
 
   for (size_t round = 0; round < params.num_trees; ++round) {
+    SAFE_TRACE_SPAN("gbdt.train_tree");
+    const uint64_t tree_start_ns = obs::NowNanos();
     ComputeGradients(params.objective, margins, *train.y, &grad, &hess);
 
     // Row subsampling.
@@ -134,6 +161,9 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
     }
     model.trees_.push_back(std::move(tree));
     model.best_iteration_ = model.trees_.size() - 1;
+    TreesTrainedCounter()->Increment();
+    TreeFitHistogram()->Observe(
+        static_cast<double>(obs::NowNanos() - tree_start_ns) / 1e3);
 
     if (valid != nullptr) {
       const auto& t = model.trees_.back();

@@ -1,12 +1,14 @@
 #include "src/gbdt/quantizer.h"
 
 #include "src/common/thread_pool.h"
+#include "src/obs/trace.h"
 
 namespace safe {
 namespace gbdt {
 
 Result<FeatureQuantizer> FeatureQuantizer::Fit(const DataFrame& frame,
                                                size_t max_bins) {
+  SAFE_TRACE_SPAN("gbdt.quantizer_fit");
   if (frame.num_columns() == 0 || frame.num_rows() == 0) {
     return Status::InvalidArgument("quantizer: empty frame");
   }
@@ -34,6 +36,7 @@ Result<FeatureQuantizer> FeatureQuantizer::Fit(const DataFrame& frame,
 
 Result<BinnedMatrix> FeatureQuantizer::Transform(
     const DataFrame& frame) const {
+  SAFE_TRACE_SPAN("gbdt.quantizer_transform");
   if (frame.num_columns() != edges_.size()) {
     return Status::InvalidArgument(
         "quantizer: frame has " + std::to_string(frame.num_columns()) +

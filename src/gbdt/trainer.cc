@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace safe {
 namespace gbdt {
@@ -14,6 +16,25 @@ namespace {
 struct HistBin {
   double grad = 0.0;
   double hess = 0.0;
+};
+
+/// Split-search metrics, resolved once (FindBestSplit runs per node).
+struct SplitMetrics {
+  obs::Counter* nodes;
+  obs::Counter* bins_scanned;
+  obs::Histogram* hist_build_us;
+
+  static const SplitMetrics& Get() {
+    static const SplitMetrics metrics = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+      return SplitMetrics{
+          registry->counter("gbdt.split_nodes"),
+          registry->counter("gbdt.split_bins_scanned"),
+          registry->histogram("gbdt.hist_build_us",
+                              obs::DefaultLatencyBucketsUs())};
+    }();
+    return metrics;
+  }
 };
 
 double LeafObjective(double g, double h, double lambda) {
@@ -30,17 +51,25 @@ TreeTrainer::SplitCandidate TreeTrainer::FindBestSplit(
   const double lambda = params_->reg_lambda;
   const double parent_obj = LeafObjective(sum_grad, sum_hess, lambda);
 
+  const SplitMetrics& metrics = SplitMetrics::Get();
+  metrics.nodes->Increment();
+  uint64_t bins_scanned = 0;
+  uint64_t hist_build_ns = 0;
+
   std::vector<HistBin> hist;
   for (int f : features) {
     const auto& edges = matrix_->edges[static_cast<size_t>(f)].edges;
     const size_t cells = matrix_->num_cells(static_cast<size_t>(f));
     hist.assign(cells, HistBin{});
     const auto& bins = matrix_->bins[static_cast<size_t>(f)];
+    const uint64_t hist_start_ns = obs::NowNanos();
     for (size_t r : rows) {
       HistBin& hb = hist[bins[r]];
       hb.grad += grad[r];
       hb.hess += hess[r];
     }
+    hist_build_ns += obs::NowNanos() - hist_start_ns;
+    bins_scanned += edges.size();
     const size_t missing_bin = matrix_->edges[static_cast<size_t>(f)].missing_bin();
     const double miss_g = hist[missing_bin].grad;
     const double miss_h = hist[missing_bin].hess;
@@ -95,6 +124,8 @@ TreeTrainer::SplitCandidate TreeTrainer::FindBestSplit(
       }
     }
   }
+  metrics.bins_scanned->Increment(bins_scanned);
+  metrics.hist_build_us->Observe(static_cast<double>(hist_build_ns) / 1e3);
   return best;
 }
 

@@ -1,0 +1,433 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace safe {
+namespace obs {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+}
+
+/// Recursive-descent JSON parser over a raw character range.
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipWhitespace();
+    if (!ParseValue(out, error, 0)) return false;
+    SkipWhitespace();
+    if (p_ != end_) {
+      Fail(error, "trailing characters after JSON value");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWhitespace() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  void Fail(std::string* error, const std::string& message) {
+    if (error != nullptr && error->empty()) {
+      *error = "json: " + message + " at offset " +
+               std::to_string(static_cast<size_t>(p_ - begin_));
+    }
+  }
+
+  bool Literal(const char* word) {
+    const char* q = p_;
+    for (const char* w = word; *w != '\0'; ++w, ++q) {
+      if (q == end_ || *q != *w) return false;
+    }
+    p_ = q;
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (p_ == end_ || *p_ != '"') {
+      Fail(error, "expected string");
+      return false;
+    }
+    ++p_;
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) break;
+      char esc = *p_++;
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (end_ - p_ < 4) {
+            Fail(error, "truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail(error, "bad \\u escape");
+              return false;
+            }
+          }
+          // UTF-8 encode (surrogate pairs unsupported; the writer only
+          // emits \u00xx for control bytes).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail(error, "unknown escape");
+          return false;
+      }
+    }
+    if (p_ == end_) {
+      Fail(error, "unterminated string");
+      return false;
+    }
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, std::string* error, int depth) {
+    if (depth > kMaxDepth) {
+      Fail(error, "nesting too deep");
+      return false;
+    }
+    SkipWhitespace();
+    if (p_ == end_) {
+      Fail(error, "unexpected end of input");
+      return false;
+    }
+    const char c = *p_;
+    if (c == 'n') {
+      if (!Literal("null")) {
+        Fail(error, "bad literal");
+        return false;
+      }
+      *out = JsonValue();
+      return true;
+    }
+    if (c == 't') {
+      if (!Literal("true")) {
+        Fail(error, "bad literal");
+        return false;
+      }
+      *out = JsonValue(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!Literal("false")) {
+        Fail(error, "bad literal");
+        return false;
+      }
+      *out = JsonValue(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s, error)) return false;
+      *out = JsonValue(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++p_;
+      *out = JsonValue::Array();
+      SkipWhitespace();
+      if (p_ != end_ && *p_ == ']') {
+        ++p_;
+        return true;
+      }
+      for (;;) {
+        JsonValue item;
+        if (!ParseValue(&item, error, depth + 1)) return false;
+        out->Append(std::move(item));
+        SkipWhitespace();
+        if (p_ != end_ && *p_ == ',') {
+          ++p_;
+          continue;
+        }
+        if (p_ != end_ && *p_ == ']') {
+          ++p_;
+          return true;
+        }
+        Fail(error, "expected ',' or ']'");
+        return false;
+      }
+    }
+    if (c == '{') {
+      ++p_;
+      *out = JsonValue::Object();
+      SkipWhitespace();
+      if (p_ != end_ && *p_ == '}') {
+        ++p_;
+        return true;
+      }
+      for (;;) {
+        SkipWhitespace();
+        std::string key;
+        if (!ParseString(&key, error)) return false;
+        SkipWhitespace();
+        if (p_ == end_ || *p_ != ':') {
+          Fail(error, "expected ':'");
+          return false;
+        }
+        ++p_;
+        JsonValue value;
+        if (!ParseValue(&value, error, depth + 1)) return false;
+        out->Set(key, std::move(value));
+        SkipWhitespace();
+        if (p_ != end_ && *p_ == ',') {
+          ++p_;
+          continue;
+        }
+        if (p_ != end_ && *p_ == '}') {
+          ++p_;
+          return true;
+        }
+        Fail(error, "expected ',' or '}'");
+        return false;
+      }
+    }
+    // Number.
+    char* num_end = nullptr;
+    const double value = std::strtod(p_, &num_end);
+    if (num_end == p_ || num_end > end_) {
+      Fail(error, "expected value");
+      return false;
+    }
+    p_ = num_end;
+    *out = JsonValue(value);
+    return true;
+  }
+
+  const char* p_;
+  const char* begin_ = p_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::string JsonFormatNumber(double value) {
+  if (std::isnan(value) || std::isinf(value)) {
+    // JSON has no NaN/Inf; reports clamp to null-ish zero rather than
+    // emitting invalid documents.
+    return "0";
+  }
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, value);
+    if (std::strtod(shorter, nullptr) == value) return shorter;
+  }
+  return buf;
+}
+
+void JsonValue::Append(JsonValue value) {
+  if (type_ != Type::kArray) return;
+  items_.push_back(std::move(value));
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  if (type_ != Type::kObject) return;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::SerializeTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      *out += JsonFormatNumber(number_);
+      return;
+    case Type::kString:
+      AppendEscaped(string_, out);
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendIndent(out, indent, depth + 1);
+        items_[i].SerializeTo(out, indent, depth + 1);
+      }
+      AppendIndent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendIndent(out, indent, depth + 1);
+        AppendEscaped(members_[i].first, out);
+        *out += indent < 0 ? ":" : ": ";
+        members_[i].second.SerializeTo(out, indent, depth + 1);
+      }
+      AppendIndent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Serialize(int indent) const {
+  std::string out;
+  SerializeTo(&out, indent, 0);
+  if (indent >= 0) out.push_back('\n');
+  return out;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return items_ == other.items_;
+    case Type::kObject:
+      return members_ == other.members_;
+  }
+  return false;
+}
+
+bool JsonValue::Parse(const std::string& text, JsonValue* out,
+                      std::string* error) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.Parse(out, error);
+}
+
+}  // namespace obs
+}  // namespace safe

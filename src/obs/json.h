@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace safe {
+namespace obs {
+
+/// \brief Minimal ordered JSON document model used by the telemetry run
+/// reports (src/obs/report.h).
+///
+/// Deliberately tiny: numbers are doubles (integers up to 2^53 survive a
+/// round trip exactly), objects preserve insertion order so serialized
+/// reports are byte-stable, and parsing exists so tests can assert that
+/// a report round-trips. Lives below src/common in the layer stack, so it
+/// must not depend on Status/Result.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}
+  JsonValue(int value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(int64_t value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(uint64_t value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(const char* value) : type_(Type::kString), string_(value) {}
+  JsonValue(std::string value)
+      : type_(Type::kString), string_(std::move(value)) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Array elements (valid for kArray).
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in insertion order (valid for kObject).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Appends to an array (no-op on other types).
+  void Append(JsonValue value);
+  /// Sets/overwrites an object key, preserving first-insertion order.
+  void Set(const std::string& key, JsonValue value);
+  /// Object lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Pretty-prints with two-space indentation and a trailing newline at
+  /// top level when `indent >= 0`; `indent < 0` emits compact JSON.
+  std::string Serialize(int indent = 2) const;
+
+  /// Structural equality (object member order matters — reports are
+  /// emitted deterministically).
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+  /// Parses `text` into `*out`. Returns false and fills `*error`
+  /// (when non-null) on malformed input or trailing garbage.
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error = nullptr);
+
+ private:
+  void SerializeTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Formats a double the way the serializer does: integral values without
+/// a fractional part, everything else with round-trip precision.
+std::string JsonFormatNumber(double value);
+
+}  // namespace obs
+}  // namespace safe

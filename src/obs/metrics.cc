@@ -1,0 +1,116 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace safe {
+namespace obs {
+
+std::vector<double> DefaultLatencyBucketsUs() {
+  // 1-2.5-5 decades from 1us to 1s; the overflow bucket catches the rest.
+  return {1.0,    2.5,    5.0,    10.0,    25.0,    50.0,     100.0,
+          250.0,  500.0,  1000.0, 2500.0,  5000.0,  10000.0,  25000.0,
+          50000.0, 100000.0, 250000.0, 500000.0, 1000000.0};
+}
+
+#if SAFE_TELEMETRY_ENABLED
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  std::sort(upper_bounds_.begin(), upper_bounds_.end());
+  upper_bounds_.erase(
+      std::unique(upper_bounds_.begin(), upper_bounds_.end()),
+      upper_bounds_.end());
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(
+      upper_bounds_.size() + 1);
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
+      upper_bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds = upper_bounds_;
+  snap.counts.resize(upper_bounds_.size() + 1);
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return registry;
+}
+
+#endif  // SAFE_TELEMETRY_ENABLED
+
+}  // namespace obs
+}  // namespace safe

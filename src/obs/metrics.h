@@ -1,0 +1,180 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Compile-time telemetry switch (CMake option SAFE_TELEMETRY). When off,
+// every metric and span in the tree compiles to an inline no-op so the
+// instrumented hot paths carry zero overhead and the binaries contain no
+// telemetry symbols (tools/check_telemetry_symbols.py verifies this).
+#ifndef SAFE_TELEMETRY_ENABLED
+#define SAFE_TELEMETRY_ENABLED 1
+#endif
+
+namespace safe {
+namespace obs {
+
+/// \brief Point-in-time copy of one histogram.
+///
+/// Buckets follow the Prometheus `le` convention: `counts[i]` is the
+/// number of observations `<= upper_bounds[i]`, with one extra overflow
+/// bucket at the end (`counts.size() == upper_bounds.size() + 1`).
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// \brief Point-in-time copy of every metric in a registry; safe to read,
+/// serialize, and diff while the hot paths keep mutating the live metrics.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Exponential latency buckets in microseconds (1us .. 1s), the default
+/// for the *_us histograms registered across the library.
+std::vector<double> DefaultLatencyBucketsUs();
+
+#if SAFE_TELEMETRY_ENABLED
+
+/// \brief Monotonically increasing counter; lock-free relaxed increments.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value (queue depth, pool size).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram; Observe is lock-free (relaxed atomics),
+/// Snapshot copies without stopping writers.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::vector<double> upper_bounds_;           // sorted ascending
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds + overflow
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Named metric registry. Creation takes a mutex; the returned
+/// pointers are stable for the registry's lifetime, so hot paths resolve
+/// a metric once (typically into a function-local static) and then touch
+/// only the atomics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// Returns the existing histogram when `name` is already registered
+  /// (the bounds argument is then ignored).
+  Histogram* histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /// Copies every metric; values observed during the copy may or may not
+  /// be included (each metric is internally consistent).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes all values but keeps registrations (pointers stay valid).
+  void Reset();
+
+  /// Process-wide registry used by the built-in instrumentation.
+  static MetricsRegistry* Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+#else  // !SAFE_TELEMETRY_ENABLED — inline no-op stubs.
+
+class Counter {
+ public:
+  void Increment(uint64_t = 1) {}
+  uint64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(double) {}
+  void Add(double) {}
+  double value() const { return 0.0; }
+  void Reset() {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const std::vector<double>&) {}
+  void Observe(double) {}
+  HistogramSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+};
+
+namespace internal {
+inline Counter g_noop_counter;
+inline Gauge g_noop_gauge;
+inline Histogram g_noop_histogram{{}};
+}  // namespace internal
+
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string&) { return &internal::g_noop_counter; }
+  Gauge* gauge(const std::string&) { return &internal::g_noop_gauge; }
+  Histogram* histogram(const std::string&, std::vector<double>) {
+    return &internal::g_noop_histogram;
+  }
+  MetricsSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+  static MetricsRegistry* Global() {
+    static MetricsRegistry registry;
+    return &registry;
+  }
+};
+
+#endif  // SAFE_TELEMETRY_ENABLED
+
+}  // namespace obs
+}  // namespace safe

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace safe {
+namespace obs {
+
+/// \brief Structured end-of-run report: metrics + span timeline + caller
+/// sections (e.g. SAFE's per-iteration funnel diagnostics), serializable
+/// to JSON (machines) and a fixed-width table (humans).
+///
+/// Typical use:
+///   obs::RunReport report("safe_cli fit");
+///   report.CaptureTelemetry();                // global registry + tracer
+///   report.AddSection("iterations", IterationDiagnosticsToJson(diags));
+///   report.set_wall_seconds(watch.ElapsedSeconds());
+///   report.WriteFile(path, &error);
+class RunReport {
+ public:
+  explicit RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+  void set_wall_seconds(double seconds) { wall_seconds_ = seconds; }
+
+  /// Snapshots the global MetricsRegistry and Tracer into the report.
+  /// In SAFE_TELEMETRY=OFF builds both snapshots are empty.
+  void CaptureTelemetry();
+
+  void SetMetrics(MetricsSnapshot metrics) { metrics_ = std::move(metrics); }
+  void SetSpans(std::vector<SpanRecord> spans) { spans_ = std::move(spans); }
+
+  /// Attaches a caller-provided JSON section under `key` (top level).
+  void AddSection(const std::string& key, JsonValue value);
+
+  const MetricsSnapshot& metrics() const { return metrics_; }
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Full report as a JSON document (schema documented in DESIGN.md).
+  JsonValue ToJson() const;
+  std::string ToJsonString() const { return ToJson().Serialize(); }
+
+  /// Human-readable summary: counters/gauges, histogram stats, and spans
+  /// aggregated by name (count, total, mean).
+  std::string ToTable() const;
+
+  /// Writes the JSON document to `path`. Returns false and fills
+  /// `*error` (when non-null) on I/O failure.
+  bool WriteFile(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  std::string tool_;
+  double wall_seconds_ = 0.0;
+  MetricsSnapshot metrics_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::pair<std::string, JsonValue>> sections_;
+};
+
+/// MetricsSnapshot as JSON: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {count, sum, buckets: [{le, count}...]}}}.
+JsonValue MetricsToJson(const MetricsSnapshot& metrics);
+
+/// Span list as a JSON array ordered by start time; times in
+/// microseconds relative to the trace epoch.
+JsonValue SpansToJson(const std::vector<SpanRecord>& spans);
+
+}  // namespace obs
+}  // namespace safe

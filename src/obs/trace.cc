@@ -1,0 +1,105 @@
+#include "src/obs/trace.h"
+
+#if SAFE_TELEMETRY_ENABLED
+
+#include <algorithm>
+#include <chrono>
+
+namespace safe {
+namespace obs {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+SteadyClock::time_point TraceEpoch() {
+  static const SteadyClock::time_point epoch = SteadyClock::now();
+  return epoch;
+}
+
+Counter* DroppedCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global()->counter("obs.spans_dropped");
+  return counter;
+}
+
+}  // namespace
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SteadyClock::now() - TraceEpoch())
+          .count());
+}
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> local;
+  if (local == nullptr) {
+    local = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    local->thread_index = next_thread_index_++;
+    buffers_.push_back(local);
+  }
+  return local.get();
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.depth < b.depth;
+            });
+  return out;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->spans.clear();
+  }
+}
+
+Tracer* Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never freed
+  // Pin the epoch the first time anyone touches tracing so span starts
+  // are small offsets rather than raw steady-clock readings.
+  (void)TraceEpoch();
+  return tracer;
+}
+
+void TraceSpan::Begin() {
+  buffer_ = Tracer::Global()->LocalBuffer();
+  depth_ = buffer_->depth++;
+  start_ns_ = NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  const uint64_t end_ns = NowNanos();
+  --buffer_->depth;
+  std::lock_guard<std::mutex> lock(buffer_->mutex);
+  if (buffer_->spans.size() >= Tracer::kMaxSpansPerThread) {
+    DroppedCounter()->Increment();
+    return;
+  }
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.start_ns = start_ns_;
+  record.duration_ns = end_ns - start_ns_;
+  record.thread_index = buffer_->thread_index;
+  record.depth = depth_;
+  buffer_->spans.push_back(std::move(record));
+}
+
+}  // namespace obs
+}  // namespace safe
+
+#endif  // SAFE_TELEMETRY_ENABLED

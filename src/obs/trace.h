@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"  // for SAFE_TELEMETRY_ENABLED
+
+namespace safe {
+namespace obs {
+
+/// \brief One completed span: a named, nested interval on one thread.
+/// Times are nanoseconds since the process-wide trace epoch (the first
+/// use of the tracer), so spans from different threads share a timeline.
+struct SpanRecord {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint32_t thread_index = 0;  ///< dense per-thread id, not the OS tid
+  uint32_t depth = 0;         ///< nesting level at span start (0 = root)
+};
+
+#if SAFE_TELEMETRY_ENABLED
+
+/// Nanoseconds since the trace epoch (steady clock).
+uint64_t NowNanos();
+
+/// \brief Collects spans from every thread into one run timeline.
+///
+/// Each thread appends completed spans to its own buffer (registered on
+/// first use, kept alive past thread exit via shared_ptr), so recording
+/// never contends across threads; Snapshot() walks all buffers under the
+/// registry mutex. Buffers cap at kMaxSpansPerThread; overflow is counted
+/// in the `obs.spans_dropped` counter rather than growing without bound.
+class Tracer {
+ public:
+  static constexpr size_t kMaxSpansPerThread = 1 << 16;
+
+  /// Copies every recorded span, sorted by start time.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Drops all recorded spans (registrations and the epoch are kept).
+  void Reset();
+
+  static Tracer* Global();
+
+  // Internal API used by TraceSpan.
+  struct ThreadBuffer {
+    std::mutex mutex;
+    uint32_t thread_index = 0;
+    uint32_t depth = 0;  ///< touched only by the owning thread
+    std::vector<SpanRecord> spans;
+  };
+  ThreadBuffer* LocalBuffer();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_thread_index_ = 0;
+};
+
+/// \brief RAII trace span: records [construction, destruction) into the
+/// global tracer. Use via SAFE_TRACE_SPAN so disabled builds compile the
+/// whole thing away.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : name_(name) { Begin(); }
+  explicit TraceSpan(std::string name) : name_(std::move(name)) { Begin(); }
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin();
+
+  std::string name_;
+  Tracer::ThreadBuffer* buffer_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+#else  // !SAFE_TELEMETRY_ENABLED — inline no-op stubs.
+
+inline uint64_t NowNanos() { return 0; }
+
+class Tracer {
+ public:
+  std::vector<SpanRecord> Snapshot() const { return {}; }
+  void Reset() {}
+  static Tracer* Global() {
+    static Tracer tracer;
+    return &tracer;
+  }
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+  explicit TraceSpan(const std::string&) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+#endif  // SAFE_TELEMETRY_ENABLED
+
+}  // namespace obs
+}  // namespace safe
+
+#define SAFE_OBS_CONCAT_INNER(a, b) a##b
+#define SAFE_OBS_CONCAT(a, b) SAFE_OBS_CONCAT_INNER(a, b)
+
+/// Opens a scoped trace span: SAFE_TRACE_SPAN("engine.mine_combinations");
+/// The span closes when the enclosing scope exits.
+#define SAFE_TRACE_SPAN(name) \
+  ::safe::obs::TraceSpan SAFE_OBS_CONCAT(safe_trace_span_, __LINE__)(name)

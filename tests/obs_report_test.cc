@@ -1,0 +1,218 @@
+#include "src/obs/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/obs/json.h"
+
+namespace safe {
+namespace obs {
+namespace {
+
+/// Builds a fully deterministic report (no CaptureTelemetry, so the
+/// content is identical whether telemetry is compiled in or not).
+RunReport MakeFixtureReport() {
+  RunReport report("unit_test");
+  report.set_wall_seconds(1.5);
+
+  MetricsSnapshot metrics;
+  metrics.counters["engine.iterations"] = 2;
+  metrics.counters["gbdt.trees_trained"] = 40;
+  metrics.gauges["threadpool.queue_depth"] = 0.0;
+  HistogramSnapshot hist;
+  hist.upper_bounds = {10.0, 100.0};
+  hist.counts = {3, 1, 0};  // includes the overflow bucket
+  hist.count = 4;
+  hist.sum = 52.0;
+  metrics.histograms["gbdt.tree_fit_us"] = hist;
+  report.SetMetrics(std::move(metrics));
+
+  std::vector<SpanRecord> spans;
+  spans.push_back({"engine.fit", 1000, 9000, 0, 0});
+  spans.push_back({"engine.iteration", 2000, 7000, 0, 1});
+  spans.push_back({"engine.mine_combinations", 2500, 1000, 0, 2});
+  report.SetSpans(std::move(spans));
+  return report;
+}
+
+TEST(RunReportTest, GoldenJson) {
+  RunReport report = MakeFixtureReport();
+  const std::string expected = R"({
+  "tool": "unit_test",
+  "schema_version": 1,
+  "telemetry_enabled": )" +
+                               std::string(SAFE_TELEMETRY_ENABLED ? "true"
+                                                                  : "false") +
+                               R"(,
+  "wall_seconds": 1.5,
+  "metrics": {
+    "counters": {
+      "engine.iterations": 2,
+      "gbdt.trees_trained": 40
+    },
+    "gauges": {
+      "threadpool.queue_depth": 0
+    },
+    "histograms": {
+      "gbdt.tree_fit_us": {
+        "count": 4,
+        "sum": 52,
+        "buckets": [
+          {
+            "le": 10,
+            "count": 3
+          },
+          {
+            "le": 100,
+            "count": 1
+          }
+        ]
+      }
+    }
+  },
+  "spans": [
+    {
+      "name": "engine.fit",
+      "start_us": 1,
+      "duration_us": 9,
+      "thread": 0,
+      "depth": 0
+    },
+    {
+      "name": "engine.iteration",
+      "start_us": 2,
+      "duration_us": 7,
+      "thread": 0,
+      "depth": 1
+    },
+    {
+      "name": "engine.mine_combinations",
+      "start_us": 2.5,
+      "duration_us": 1,
+      "thread": 0,
+      "depth": 2
+    }
+  ]
+}
+)";
+  EXPECT_EQ(report.ToJsonString(), expected);
+}
+
+TEST(RunReportTest, JsonRoundTrip) {
+  RunReport report = MakeFixtureReport();
+  std::vector<IterationDiagnostics> iterations(1);
+  iterations[0].num_paths = 12;
+  iterations[0].num_combinations = 30;
+  iterations[0].num_generated = 120;
+  iterations[0].num_candidates = 130;
+  iterations[0].num_after_iv = 60;
+  iterations[0].num_after_redundancy = 40;
+  iterations[0].num_selected = 20;
+  iterations[0].seconds = 0.25;
+  iterations[0].stages.push_back({"mine_combinations", 0.0, 0.1});
+  iterations[0].stages.push_back({"iv_filter", 0.1, 0.05});
+  report.AddSection("iterations", IterationDiagnosticsToJson(iterations));
+
+  const JsonValue original = report.ToJson();
+  JsonValue reparsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(original.Serialize(), &reparsed, &error))
+      << error;
+  EXPECT_EQ(reparsed, original);
+
+  // Every IterationDiagnostics field survives the round trip.
+  const JsonValue* iters = reparsed.Find("iterations");
+  ASSERT_NE(iters, nullptr);
+  ASSERT_EQ(iters->items().size(), 1u);
+  const JsonValue& entry = iters->items()[0];
+  const struct {
+    const char* key;
+    double value;
+  } kFields[] = {
+      {"num_paths", 12},         {"num_combinations", 30},
+      {"num_generated", 120},    {"num_candidates", 130},
+      {"num_after_iv", 60},      {"num_after_redundancy", 40},
+      {"num_selected", 20},      {"seconds", 0.25},
+  };
+  for (const auto& field : kFields) {
+    const JsonValue* v = entry.Find(field.key);
+    ASSERT_NE(v, nullptr) << field.key;
+    EXPECT_DOUBLE_EQ(v->number_value(), field.value) << field.key;
+  }
+  const JsonValue* stages = entry.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_EQ(stages->items().size(), 2u);
+  EXPECT_EQ(stages->items()[0].Find("stage")->string_value(),
+            "mine_combinations");
+  EXPECT_DOUBLE_EQ(stages->items()[1].Find("start_seconds")->number_value(),
+                   0.1);
+  EXPECT_DOUBLE_EQ(stages->items()[1].Find("seconds")->number_value(), 0.05);
+}
+
+TEST(RunReportTest, TableListsMetricsAndSpans) {
+  RunReport report = MakeFixtureReport();
+  const std::string table = report.ToTable();
+  EXPECT_NE(table.find("engine.iterations"), std::string::npos);
+  EXPECT_NE(table.find("gbdt.tree_fit_us"), std::string::npos);
+  EXPECT_NE(table.find("engine.mine_combinations"), std::string::npos);
+}
+
+TEST(RunReportTest, WriteFileRoundTrips) {
+  RunReport report = MakeFixtureReport();
+  const std::string path = ::testing::TempDir() + "/obs_report_test.json";
+  std::string error;
+  ASSERT_TRUE(report.WriteFile(path, &error)) << error;
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), report.ToJsonString());
+  std::remove(path.c_str());
+}
+
+TEST(RunReportTest, WriteFileReportsFailure) {
+  RunReport report = MakeFixtureReport();
+  std::string error;
+  EXPECT_FALSE(report.WriteFile("/nonexistent-dir/x/y/report.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonValueTest, ParseRejectsMalformedInput) {
+  JsonValue out;
+  EXPECT_FALSE(JsonValue::Parse("{", &out));
+  EXPECT_FALSE(JsonValue::Parse("[1,]", &out));
+  EXPECT_FALSE(JsonValue::Parse("{}extra", &out));
+  EXPECT_TRUE(JsonValue::Parse("{\"a\": [1, 2.5, \"x\", true, null]}", &out));
+}
+
+#if SAFE_TELEMETRY_ENABLED
+
+TEST(RunReportTest, CaptureTelemetryPicksUpGlobalState) {
+  MetricsRegistry::Global()->Reset();
+  Tracer::Global()->Reset();
+  MetricsRegistry::Global()->counter("report_test.counter")->Increment(3);
+  {
+    SAFE_TRACE_SPAN("report_test.span");
+  }
+  RunReport report("capture_test");
+  report.CaptureTelemetry();
+  EXPECT_EQ(report.metrics().counters.at("report_test.counter"), 3u);
+  bool found = false;
+  for (const auto& span : report.spans()) {
+    if (span.name == "report_test.span") found = true;
+  }
+  EXPECT_TRUE(found);
+  MetricsRegistry::Global()->Reset();
+  Tracer::Global()->Reset();
+}
+
+#endif  // SAFE_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace safe

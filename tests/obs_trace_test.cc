@@ -1,0 +1,135 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace safe {
+namespace obs {
+namespace {
+
+#if SAFE_TELEMETRY_ENABLED
+
+std::vector<SpanRecord> FindByName(const std::vector<SpanRecord>& spans,
+                                   const std::string& name) {
+  std::vector<SpanRecord> out;
+  for (const auto& s : spans) {
+    if (s.name == name) out.push_back(s);
+  }
+  return out;
+}
+
+TEST(TracerTest, NestedSpansRecordDepthAndContainment) {
+  Tracer::Global()->Reset();
+  {
+    SAFE_TRACE_SPAN("outer");
+    {
+      SAFE_TRACE_SPAN("middle");
+      { SAFE_TRACE_SPAN("inner"); }
+    }
+  }
+  std::vector<SpanRecord> spans = Tracer::Global()->Snapshot();
+  auto outer = FindByName(spans, "outer");
+  auto middle = FindByName(spans, "middle");
+  auto inner = FindByName(spans, "inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(middle.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+
+  EXPECT_EQ(outer[0].depth, 0u);
+  EXPECT_EQ(middle[0].depth, 1u);
+  EXPECT_EQ(inner[0].depth, 2u);
+
+  // Nesting implies interval containment: each child starts no earlier
+  // and ends no later than its parent.
+  EXPECT_GE(middle[0].start_ns, outer[0].start_ns);
+  EXPECT_LE(middle[0].start_ns + middle[0].duration_ns,
+            outer[0].start_ns + outer[0].duration_ns);
+  EXPECT_GE(inner[0].start_ns, middle[0].start_ns);
+  EXPECT_LE(inner[0].start_ns + inner[0].duration_ns,
+            middle[0].start_ns + middle[0].duration_ns);
+
+  // All on the same thread.
+  EXPECT_EQ(outer[0].thread_index, middle[0].thread_index);
+  EXPECT_EQ(outer[0].thread_index, inner[0].thread_index);
+}
+
+TEST(TracerTest, SnapshotSortedByStartTime) {
+  Tracer::Global()->Reset();
+  for (int i = 0; i < 5; ++i) {
+    SAFE_TRACE_SPAN("sequential");
+  }
+  std::vector<SpanRecord> spans = Tracer::Global()->Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(
+      spans.begin(), spans.end(),
+      [](const SpanRecord& a, const SpanRecord& b) {
+        return a.start_ns < b.start_ns;
+      }));
+  // Sequential spans on one thread must not overlap.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].start_ns,
+              spans[i - 1].start_ns + spans[i - 1].duration_ns);
+  }
+}
+
+TEST(TracerTest, SpansFromDifferentThreadsGetDistinctThreadIndices) {
+  Tracer::Global()->Reset();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      SAFE_TRACE_SPAN("worker");
+      { SAFE_TRACE_SPAN("worker.child"); }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<SpanRecord> spans = Tracer::Global()->Snapshot();
+  auto workers = FindByName(spans, "worker");
+  auto children = FindByName(spans, "worker.child");
+  ASSERT_EQ(workers.size(), static_cast<size_t>(kThreads));
+  ASSERT_EQ(children.size(), static_cast<size_t>(kThreads));
+
+  std::set<uint32_t> indices;
+  for (const auto& s : workers) indices.insert(s.thread_index);
+  EXPECT_EQ(indices.size(), static_cast<size_t>(kThreads));
+
+  // Depth is tracked per thread: every root is depth 0, every child 1.
+  for (const auto& s : workers) EXPECT_EQ(s.depth, 0u);
+  for (const auto& s : children) EXPECT_EQ(s.depth, 1u);
+}
+
+TEST(TracerTest, ResetDropsSpans) {
+  {
+    SAFE_TRACE_SPAN("doomed");
+  }
+  EXPECT_FALSE(Tracer::Global()->Snapshot().empty());
+  Tracer::Global()->Reset();
+  EXPECT_TRUE(Tracer::Global()->Snapshot().empty());
+  // The tracer still works after a reset.
+  {
+    SAFE_TRACE_SPAN("revived");
+  }
+  EXPECT_EQ(Tracer::Global()->Snapshot().size(), 1u);
+  Tracer::Global()->Reset();
+}
+
+#else  // !SAFE_TELEMETRY_ENABLED
+
+TEST(TracerTest, DisabledStubsRecordNothing) {
+  {
+    SAFE_TRACE_SPAN("ignored");
+  }
+  EXPECT_TRUE(Tracer::Global()->Snapshot().empty());
+}
+
+#endif  // SAFE_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace safe

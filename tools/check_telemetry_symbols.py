@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Verifies that a SAFE_TELEMETRY=OFF build contains no telemetry symbols.
+
+The obs headers replace MetricsRegistry/Tracer/TraceSpan/Counter/Gauge/
+Histogram with inline no-op stubs when SAFE_TELEMETRY_ENABLED is 0, and
+metrics.cc/trace.cc compile to empty translation units. If that gating
+regresses (say a .cc file grows an unguarded definition), the real
+implementations sneak back into telemetry-off binaries. This check runs
+`nm -C` over the given binaries/archives and fails when any of the gated
+class symbols appear.
+
+Usage: check_telemetry_symbols.py <binary-or-archive> [...]
+
+Registered as a ctest test only when SAFE_TELEMETRY=OFF.
+"""
+
+import re
+import subprocess
+import sys
+
+# Classes that must be fully stubbed out when telemetry is off. The
+# inline stubs are trivial enough to be inlined away; any out-of-line
+# definition of these names means the real implementation leaked in.
+GATED_PATTERN = re.compile(
+    r"safe::obs::(MetricsRegistry|Tracer|TraceSpan|Counter|Gauge|Histogram)"
+    r"::"
+)
+
+# The stub Global() functions legitimately survive as inline (weak)
+# definitions holding the function-local static; they carry no telemetry
+# behaviour, so they are allowed.
+ALLOWED_PATTERN = re.compile(r"::Global\(\)|::Global\[")
+
+
+def check(path: str) -> list[str]:
+    try:
+        output = subprocess.run(
+            ["nm", "-C", path],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except subprocess.CalledProcessError as exc:
+        print(f"error: nm failed on {path}: {exc.stderr.strip()}")
+        sys.exit(2)
+
+    offenders = []
+    for line in output.splitlines():
+        # Undefined references (U) would fail the link anyway; only
+        # defined symbols matter here. nm prints "addr TYPE name" for
+        # defined symbols and "U name" (no address) for undefined ones;
+        # demangled names contain spaces, so parse the line head, not
+        # whitespace-split fields.
+        head = re.match(r"\s*(?:[0-9a-fA-F]+\s+)?([A-Za-z?])\s", line)
+        if head is None or head.group(1) in ("U", "w", "v"):
+            continue
+        if GATED_PATTERN.search(line) and not ALLOWED_PATTERN.search(line):
+            offenders.append(line.strip())
+    return offenders
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        offenders = check(path)
+        if offenders:
+            failed = True
+            print(f"FAIL: {path} contains telemetry symbols:")
+            for line in offenders[:20]:
+                print(f"  {line}")
+            if len(offenders) > 20:
+                print(f"  ... and {len(offenders) - 20} more")
+        else:
+            print(f"OK: {path} has no telemetry symbols")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

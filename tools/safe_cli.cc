@@ -14,9 +14,17 @@
 //              --plan=plan.txt [--clf=XGB]
 //   inspect    human-readable summary of a serialized plan
 //     safe_cli inspect --plan=plan.txt
+//   demo       end-to-end run on a synthetic workload (no files needed)
+//     safe_cli demo [--rows=2000] [--features=10] [--seed=42]
+//
+// Every subcommand accepts --report=<path>: at exit the telemetry run
+// report (metrics, trace spans, and — for fit/demo — the per-iteration
+// funnel diagnostics) is written there as JSON and a summary table is
+// printed (see DESIGN.md "Observability").
 //
 // Exit code 0 on success; errors print the Status message to stderr.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -30,7 +38,9 @@
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 #include "src/core/engine.h"
+#include "src/data/synthetic.h"
 #include "src/dataframe/csv.h"
+#include "src/gbdt/booster.h"
 #include "src/stats/auc.h"
 
 namespace safe {
@@ -132,6 +142,62 @@ int RunFit(const bench::Flags& flags) {
   Status st = WriteWholeFile(plan_path, plan->Serialize());
   if (!st.ok()) return Fail(st);
   std::cout << "plan written to " << plan_path << "\n";
+
+  const std::vector<IterationDiagnostics>* diagnostics = nullptr;
+  if (const auto* safe_method =
+          dynamic_cast<const baselines::SafeEngineer*>(method.get())) {
+    diagnostics = &safe_method->last_diagnostics();
+  }
+  if (!bench::EmitRunReport(flags, "safe_cli fit", watch.ElapsedSeconds(),
+                            diagnostics, /*print_table=*/true)) {
+    return 1;
+  }
+  return 0;
+}
+
+int RunDemo(const bench::Flags& flags) {
+  // Self-contained workload for telemetry inspection: synthesize a
+  // labelled dataset, run the full SAFE pipeline, then train and score a
+  // GBDT on the engineered features.
+  data::SyntheticSpec spec;
+  spec.num_rows = static_cast<size_t>(flags.GetInt("rows", 2000));
+  spec.num_features = static_cast<size_t>(flags.GetInt("features", 10));
+  spec.num_informative = std::max<size_t>(1, spec.num_features / 2);
+  spec.num_interactions = 3;
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  auto data = data::MakeSyntheticDataset(spec);
+  if (!data.ok()) return Fail(data.status());
+  std::cout << "synthetic workload: " << data->num_rows() << " rows x "
+            << data->x.num_columns() << " features\n";
+
+  Stopwatch watch;
+  SafeParams params;
+  params.seed = spec.seed;
+  SafeEngine engine(params);
+  auto result = engine.Fit(*data);
+  if (!result.ok()) return Fail(result.status());
+  std::cout << "SAFE fit in " << watch.ElapsedSeconds() << "s: "
+            << result->plan.selected().size() << " features selected ("
+            << result->plan.NumSelectedGenerated() << " generated)\n";
+
+  auto transformed = result->plan.Transform(data->x);
+  if (!transformed.ok()) return Fail(transformed.status());
+  gbdt::GbdtParams gbdt_params;
+  gbdt_params.seed = spec.seed;
+  Dataset engineered{std::move(*transformed), data->y};
+  auto model = gbdt::Booster::Fit(engineered, nullptr, gbdt_params);
+  if (!model.ok()) return Fail(model.status());
+  auto scores = model->PredictProba(engineered.x);
+  if (!scores.ok()) return Fail(scores.status());
+  auto auc = Auc(*scores, data->labels());
+  if (!auc.ok()) return Fail(auc.status());
+  std::cout << "GBDT train AUC x100: " << FormatDouble(100.0 * *auc, 2)
+            << "\n";
+
+  if (!bench::EmitRunReport(flags, "safe_cli demo", watch.ElapsedSeconds(),
+                            &result->iterations, /*print_table=*/true)) {
+    return 1;
+  }
   return 0;
 }
 
@@ -236,6 +302,10 @@ int RunEvaluate(const bench::Flags& flags) {
   std::cout << "  plan:     " << FormatDouble(100.0 * *auc_plan, 2) << "\n";
   std::cout << "  delta:    "
             << FormatDouble(100.0 * (*auc_plan - *auc_orig), 2) << "\n";
+  if (!bench::EmitRunReport(flags, "safe_cli evaluate", 0.0, nullptr,
+                            /*print_table=*/true)) {
+    return 1;
+  }
   return 0;
 }
 
@@ -275,7 +345,8 @@ int RunInspect(const bench::Flags& flags) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: safe_cli <fit|transform|evaluate|inspect> [--flags]\n"
+    std::cerr << "usage: safe_cli <fit|transform|evaluate|inspect|demo> "
+                 "[--flags]\n"
                  "(see the header comment of tools/safe_cli.cc)\n";
     return 1;
   }
@@ -285,6 +356,7 @@ int Main(int argc, char** argv) {
   if (command == "transform") return RunTransform(flags);
   if (command == "evaluate") return RunEvaluate(flags);
   if (command == "inspect") return RunInspect(flags);
+  if (command == "demo") return RunDemo(flags);
   return Fail("unknown command '" + command + "'");
 }
 

@@ -2,16 +2,22 @@
 //   - SAFE's cost grows ~linearly in the number of records N (Eq. 13:
 //     O(N * K1 * (K1 + K2)) for fixed tree budgets), and
 //   - the cost is controlled by the number of miner trees K1.
-// Also contrasts the growth in M (feature count) against TFC's O(N*M^2).
+// Also contrasts the growth in M (feature count) against TFC's O(N*M^2),
+// and sweeps histogram GBDT training over thread counts, checking the
+// serialized model stays byte-identical at every count.
 //
-// Flags: --quick
+// Flags: --quick --threads=1,2,4,8 --sweep_rows=N --report=path
 
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/harness.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 #include "src/data/synthetic.h"
+#include "src/gbdt/booster.h"
 
 namespace safe {
 namespace bench {
@@ -38,6 +44,61 @@ Dataset MakeData(size_t rows, size_t features, uint64_t seed) {
   auto data = data::MakeSyntheticDataset(spec);
   SAFE_CHECK(data.ok());
   return *data;
+}
+
+/// Thread sweep over histogram GBDT training: fits the same large
+/// synthetic workload at each thread count, reports wall time and
+/// speedup vs 1 thread, and asserts the serialized models are
+/// byte-identical — the determinism contract of DESIGN.md. Returns the
+/// sweep as a JSON section for the telemetry RunReport.
+obs::JsonValue ThreadSweep(const Flags& flags, bool quick) {
+  const size_t rows = static_cast<size_t>(
+      flags.GetInt("sweep_rows", quick ? 4000 : 20000));
+  Dataset data = MakeData(rows, 20, 11);
+  gbdt::GbdtParams params;
+  params.num_trees = quick ? 10 : 30;
+  params.max_depth = 6;
+  params.max_bins = 256;
+
+  std::cout << "=== Thread sweep: histogram GBDT training (" << rows
+            << " rows x 20 features, " << params.num_trees
+            << " trees) ===\n";
+  TablePrinter table({"threads", "seconds", "speedup", "identical"},
+                     {8, 9, 8, 10});
+  table.PrintHeader();
+
+  obs::JsonValue sweep = obs::JsonValue::Array();
+  std::string reference_model;
+  double base_seconds = 0.0;
+  for (const std::string& t : flags.GetList("threads", "1,2,4,8")) {
+    params.n_threads = static_cast<size_t>(std::stoul(t));
+    Stopwatch watch;
+    auto model = gbdt::Booster::Fit(data, nullptr, params);
+    const double seconds = watch.ElapsedSeconds();
+    SAFE_CHECK(model.ok()) << model.status().ToString();
+    const std::string serialized = model->Serialize();
+    if (reference_model.empty()) {
+      reference_model = serialized;
+      base_seconds = seconds;
+    }
+    const bool identical = serialized == reference_model;
+    const double speedup = seconds > 0.0 ? base_seconds / seconds : 0.0;
+    table.PrintRow({t, FormatDouble(seconds, 3), FormatDouble(speedup, 2),
+                    identical ? "yes" : "NO"});
+    SAFE_CHECK(identical)
+        << "thread sweep: model at n_threads=" << t
+        << " diverged from the 1-thread reference (determinism violation)";
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("threads", static_cast<double>(params.n_threads));
+    entry.Set("seconds", seconds);
+    entry.Set("speedup", speedup);
+    entry.Set("identical", identical);
+    sweep.Append(std::move(entry));
+  }
+  table.PrintSeparator();
+  std::cout << "(models must be byte-identical at every thread count; "
+               "speedup needs physical cores)\n\n";
+  return sweep;
 }
 
 int Main(int argc, char** argv) {
@@ -90,9 +151,13 @@ int Main(int argc, char** argv) {
   }
   m_table.PrintSeparator();
   std::cout << "(TFC grows ~quadratically in M; SAFE stays governed by its "
-               "tree budget)\n";
-  EmitRunReport(Flags(argc, argv), "bench_scaling",
-                total_watch.ElapsedSeconds());
+               "tree budget)\n\n";
+
+  obs::JsonValue sweep = ThreadSweep(flags, quick);
+  std::vector<std::pair<std::string, obs::JsonValue>> sections;
+  sections.emplace_back("thread_sweep", std::move(sweep));
+  EmitRunReport(flags, "bench_scaling", total_watch.ElapsedSeconds(),
+                nullptr, false, &sections);
   return 0;
 }
 

@@ -196,7 +196,9 @@ Result<double> EvaluatePlan(const FeaturePlan& plan,
 bool EmitRunReport(const Flags& flags, const std::string& tool,
                    double wall_seconds,
                    const std::vector<IterationDiagnostics>* iterations,
-                   bool print_table) {
+                   bool print_table,
+                   const std::vector<std::pair<std::string, obs::JsonValue>>*
+                       sections) {
   const std::string path = flags.GetString("report", "");
   if (path.empty()) return true;
   obs::RunReport report(tool);
@@ -204,6 +206,11 @@ bool EmitRunReport(const Flags& flags, const std::string& tool,
   report.set_wall_seconds(wall_seconds);
   if (iterations != nullptr) {
     report.AddSection("iterations", IterationDiagnosticsToJson(*iterations));
+  }
+  if (sections != nullptr) {
+    for (const auto& [key, value] : *sections) {
+      report.AddSection(key, value);
+    }
   }
   if (print_table) {
     std::cout << report.ToTable();

@@ -11,6 +11,7 @@
 #include "src/common/result.h"
 #include "src/data/benchmark_suite.h"
 #include "src/models/classifier.h"
+#include "src/obs/json.h"
 
 namespace safe {
 namespace bench {
@@ -80,14 +81,18 @@ Result<double> EvaluatePlan(const FeaturePlan& plan,
 ///
 /// The report captures the global metrics registry and span timeline,
 /// `wall_seconds`, and (when non-null) the SAFE per-iteration funnel
-/// diagnostics under an "iterations" section. With `print_table` the
-/// human-readable summary also goes to stdout. Returns false only when
-/// the flag was set and the write failed (already logged).
+/// diagnostics under an "iterations" section. Additional caller-built
+/// top-level sections (e.g. bench_scaling's "thread_sweep") ride along in
+/// `sections`. With `print_table` the human-readable summary also goes to
+/// stdout. Returns false only when the flag was set and the write failed
+/// (already logged).
 bool EmitRunReport(const Flags& flags, const std::string& tool,
                    double wall_seconds = 0.0,
                    const std::vector<IterationDiagnostics>* iterations =
                        nullptr,
-                   bool print_table = false);
+                   bool print_table = false,
+                   const std::vector<std::pair<std::string, obs::JsonValue>>*
+                       sections = nullptr);
 
 }  // namespace bench
 }  // namespace safe

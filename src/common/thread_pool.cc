@@ -33,6 +33,12 @@ struct PoolMetrics {
   }
 };
 
+/// Identity of the pool (and slot) owning the current thread; null/-1 on
+/// threads that are not pool workers. Submit consults these to detect
+/// re-entrant submission from a worker of the same pool.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+thread_local int t_worker_index = -1;
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -43,7 +49,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads_ == 1) return;  // run inline, no workers
   workers_.reserve(num_threads_);
   for (size_t i = 0; i < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -56,12 +62,19 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::InWorkerThread() const { return t_worker_pool == this; }
+
+int ThreadPool::CurrentWorkerIndex() { return t_worker_index; }
+
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
   const PoolMetrics& metrics = PoolMetrics::Get();
   metrics.tasks_submitted->Increment();
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
-  if (num_threads_ == 1) {
+  // Run inline for single-thread pools and for nested submission from one
+  // of this pool's own workers: queuing in the latter case can deadlock
+  // once every worker blocks on futures of queued subtasks.
+  if (num_threads_ == 1 || InWorkerThread()) {
     const uint64_t run_start_ns = obs::NowNanos();
     packaged();
     metrics.task_run_us->Observe(
@@ -77,7 +90,9 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return fut;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  t_worker_pool = this;
+  t_worker_index = static_cast<int>(worker_index);
   const PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
     PendingTask pending;
@@ -132,6 +147,36 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& fn) {
   ParallelFor(ThreadPool::Global(), begin, end, fn);
+}
+
+size_t NumFixedChunks(size_t n, size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
+                       size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = NumFixedChunks(end - begin, grain);
+  const size_t workers = pool ? pool->num_threads() : 1;
+  if (workers <= 1 || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = begin + c * grain;
+      fn(c, lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t lo = begin + c * grain;
+    const size_t hi = std::min(end, lo + grain);
+    futures.push_back(pool->Submit([c, lo, hi, &fn] { fn(c, lo, hi); }));
+  }
+  for (auto& f : futures) f.wait();
 }
 
 }  // namespace safe

@@ -20,6 +20,12 @@ namespace safe {
 /// ParallelFor). With num_threads == 1 tasks run on the caller thread at
 /// Submit time, which keeps single-core machines overhead-free and
 /// execution deterministic.
+///
+/// Submit is re-entrant: a task submitted from one of this pool's own
+/// worker threads runs inline on the caller instead of being queued.
+/// Without that rule a worker that submits subtasks and blocks on their
+/// futures can starve the queue (every worker waiting, nothing draining)
+/// — the classic nested fork-join deadlock.
 class ThreadPool {
  public:
   /// \param num_threads 0 means std::thread::hardware_concurrency().
@@ -31,8 +37,17 @@ class ThreadPool {
 
   size_t num_threads() const { return num_threads_; }
 
-  /// Enqueues a task; the future resolves when it has run.
+  /// Enqueues a task; the future resolves when it has run. Called from a
+  /// worker thread of this same pool, the task runs inline (see above).
   std::future<void> Submit(std::function<void()> task);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
+
+  /// Index of the calling thread within its owning pool ([0, n)), or -1
+  /// when the caller is not a pool worker. Stable for the thread's
+  /// lifetime; used for per-thread telemetry.
+  static int CurrentWorkerIndex();
 
   /// Process-wide default pool (sized to hardware concurrency).
   static ThreadPool* Global();
@@ -44,7 +59,7 @@ class ThreadPool {
     uint64_t enqueue_ns = 0;
   };
 
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   size_t num_threads_;
   std::vector<std::thread> workers_;
@@ -63,5 +78,25 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
 /// ParallelFor on the global pool.
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& fn);
+
+/// Number of fixed-size chunks ParallelForChunks uses for a range of `n`
+/// elements at the given grain (`ceil(n / grain)`; 0 when n == 0).
+size_t NumFixedChunks(size_t n, size_t grain);
+
+/// \brief Deterministic chunked parallel-for: partitions [begin, end)
+/// into fixed-size chunks of `grain` elements and runs
+/// fn(chunk_index, lo, hi) for each chunk across the pool.
+///
+/// Unlike ParallelFor, the work partition depends only on the range and
+/// the grain — never on the pool size — so callers that accumulate a
+/// partial result per chunk and reduce the partials in chunk-index order
+/// get bit-identical floating-point results at any thread count
+/// (including pool == nullptr, which runs the same chunks sequentially).
+/// This is the ordered-reduction substrate the GBDT trainer's
+/// determinism guarantee is built on (DESIGN.md, "Parallel training &
+/// determinism").
+void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
+                       size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& fn);
 
 }  // namespace safe

@@ -207,6 +207,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
         params_.strategy == MiningStrategy::kNonSplitPairs) {
       gbdt::GbdtParams miner_params = params_.miner;
       miner_params.seed = rng.NextUint64();
+      if (params_.n_threads != 0) miner_params.n_threads = params_.n_threads;
       SAFE_ASSIGN_OR_RETURN(
           gbdt::Booster miner,
           gbdt::Booster::Fit(current, has_valid ? &current_valid : nullptr,
@@ -360,6 +361,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
     const double rank_start = iter_watch.ElapsedSeconds();
     gbdt::GbdtParams ranker_params = params_.ranker;
     ranker_params.seed = rng.NextUint64();
+    if (params_.n_threads != 0) ranker_params.n_threads = params_.n_threads;
     std::vector<size_t> selected;
     {
       SAFE_TRACE_SPAN("engine.importance_rank");

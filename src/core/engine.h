@@ -57,6 +57,13 @@ struct SafeParams {
   /// Final feature cap per iteration; 0 = 2·M (the paper's setting).
   size_t max_output_features = 0;
 
+  /// GBDT training threads, applied to both miner and ranker when
+  /// nonzero (0 leaves miner/ranker as configured; each defaults to the
+  /// shared process-wide pool). Mined combinations and rankings are
+  /// bit-identical at any setting — parallel training is deterministic
+  /// (DESIGN.md, "Parallel training & determinism").
+  size_t n_threads = 0;
+
   MiningStrategy strategy = MiningStrategy::kTreePaths;
   uint64_t seed = 42;
 

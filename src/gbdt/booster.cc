@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 
 #include "src/common/random.h"
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 #include "src/gbdt/exact_trainer.h"
 #include "src/gbdt/loss.h"
 #include "src/gbdt/quantizer.h"
@@ -38,6 +40,11 @@ obs::Histogram* TreeFitHistogram() {
           "gbdt.tree_fit_us", obs::DefaultLatencyBucketsUs());
   return histogram;
 }
+
+/// Fixed row grain for margin/prediction updates; like the trainer's row
+/// chunks, it depends only on the data so results are thread-count
+/// invariant (each row is written independently anyway).
+constexpr size_t kPredictRowGrain = 2048;
 
 /// Tree traversal over a column-major frame for one row index.
 double PredictTreeOnFrame(const RegressionTree& tree, const DataFrame& x,
@@ -86,13 +93,28 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
   SAFE_TRACE_SPAN("gbdt.fit");
   FitsCounter()->Increment();
 
+  // Worker pool for this fit: 0 = the shared process-wide pool, 1 =
+  // serial (pool stays null), k > 1 = a dedicated pool. The trained model
+  // is bit-identical across all three (see DESIGN.md).
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = nullptr;
+  if (params.n_threads == 0) {
+    pool = ThreadPool::Global();
+  } else if (params.n_threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(params.n_threads);
+    pool = owned_pool.get();
+  }
+  obs::MetricsRegistry::Global()->gauge("gbdt.n_threads")->Set(
+      static_cast<double>(pool ? pool->num_threads() : 1));
+
   // Histogram path quantizes up front; the exact path pre-sorts columns.
   BinnedMatrix matrix;
   if (params.tree_method == TreeMethod::kHist) {
     SAFE_TRACE_SPAN("gbdt.quantize");
-    SAFE_ASSIGN_OR_RETURN(FeatureQuantizer quantizer,
-                          FeatureQuantizer::Fit(train.x, params.max_bins));
-    SAFE_ASSIGN_OR_RETURN(matrix, quantizer.Transform(train.x));
+    SAFE_ASSIGN_OR_RETURN(
+        FeatureQuantizer quantizer,
+        FeatureQuantizer::Fit(train.x, params.max_bins, pool));
+    SAFE_ASSIGN_OR_RETURN(matrix, quantizer.Transform(train.x, pool));
   }
 
   Booster model;
@@ -109,7 +131,7 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
   std::vector<double> grad;
   std::vector<double> hess;
   Rng rng(params.seed);
-  TreeTrainer hist_trainer(&matrix, &params);
+  TreeTrainer hist_trainer(&matrix, &params, pool);
   ExactTreeTrainer exact_trainer(
       params.tree_method == TreeMethod::kExact ? &train.x : nullptr,
       &params);
@@ -123,7 +145,8 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
   for (size_t round = 0; round < params.num_trees; ++round) {
     SAFE_TRACE_SPAN("gbdt.train_tree");
     const uint64_t tree_start_ns = obs::NowNanos();
-    ComputeGradients(params.objective, margins, *train.y, &grad, &hess);
+    ComputeGradients(params.objective, margins, *train.y, &grad, &hess,
+                     pool);
 
     // Row subsampling.
     std::vector<size_t> rows;
@@ -155,10 +178,13 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
         params.tree_method == TreeMethod::kExact
             ? exact_trainer.Train(grad, hess, rows, features)
             : hist_trainer.Train(grad, hess, rows, features);
-    // Update margins over the full training set.
-    for (size_t i = 0; i < n; ++i) {
-      margins[i] += PredictTreeOnFrame(tree, train.x, i);
-    }
+    // Update margins over the full training set (each row independent).
+    ParallelForChunks(pool, 0, n, kPredictRowGrain,
+                      [&](size_t, size_t lo, size_t hi) {
+                        for (size_t i = lo; i < hi; ++i) {
+                          margins[i] += PredictTreeOnFrame(tree, train.x, i);
+                        }
+                      });
     model.trees_.push_back(std::move(tree));
     model.best_iteration_ = model.trees_.size() - 1;
     TreesTrainedCounter()->Increment();
@@ -167,9 +193,13 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
 
     if (valid != nullptr) {
       const auto& t = model.trees_.back();
-      for (size_t i = 0; i < valid_margins.size(); ++i) {
-        valid_margins[i] += PredictTreeOnFrame(t, valid->x, i);
-      }
+      ParallelForChunks(pool, 0, valid_margins.size(), kPredictRowGrain,
+                        [&](size_t, size_t lo, size_t hi) {
+                          for (size_t i = lo; i < hi; ++i) {
+                            valid_margins[i] +=
+                                PredictTreeOnFrame(t, valid->x, i);
+                          }
+                        });
       if (params.early_stopping_rounds > 0) {
         const double loss =
             ComputeLoss(params.objective, valid_margins, *valid->y);
@@ -193,12 +223,18 @@ Result<std::vector<double>> Booster::PredictMargin(const DataFrame& x) const {
         "gbdt predict: expected " + std::to_string(num_features_) +
         " features, got " + std::to_string(x.num_columns()));
   }
+  // Batch inference fans rows out over the shared pool; margins[r] is
+  // only ever touched by the task owning row r, so the result is exact
+  // at any thread count.
   std::vector<double> margins(x.num_rows(), base_score_);
-  for (const auto& tree : trees_) {
-    for (size_t r = 0; r < x.num_rows(); ++r) {
-      margins[r] += PredictTreeOnFrame(tree, x, r);
-    }
-  }
+  ParallelForChunks(ThreadPool::Global(), 0, x.num_rows(), kPredictRowGrain,
+                    [&](size_t, size_t lo, size_t hi) {
+                      for (size_t r = lo; r < hi; ++r) {
+                        for (const auto& tree : trees_) {
+                          margins[r] += PredictTreeOnFrame(tree, x, r);
+                        }
+                      }
+                    });
   return margins;
 }
 

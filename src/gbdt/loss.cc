@@ -20,23 +20,31 @@ double Sigmoid(double x) {
 void ComputeGradients(Objective objective,
                       const std::vector<double>& margins,
                       const std::vector<double>& labels,
-                      std::vector<double>* grad, std::vector<double>* hess) {
+                      std::vector<double>* grad, std::vector<double>* hess,
+                      ThreadPool* pool) {
   SAFE_CHECK(margins.size() == labels.size());
   grad->resize(margins.size());
   hess->resize(margins.size());
+  constexpr size_t kGrain = 8192;
   switch (objective) {
     case Objective::kLogistic:
-      for (size_t i = 0; i < margins.size(); ++i) {
-        const double p = Sigmoid(margins[i]);
-        (*grad)[i] = p - labels[i];
-        (*hess)[i] = std::max(p * (1.0 - p), 1e-16);
-      }
+      ParallelForChunks(pool, 0, margins.size(), kGrain,
+                        [&](size_t, size_t lo, size_t hi) {
+                          for (size_t i = lo; i < hi; ++i) {
+                            const double p = Sigmoid(margins[i]);
+                            (*grad)[i] = p - labels[i];
+                            (*hess)[i] = std::max(p * (1.0 - p), 1e-16);
+                          }
+                        });
       break;
     case Objective::kSquared:
-      for (size_t i = 0; i < margins.size(); ++i) {
-        (*grad)[i] = margins[i] - labels[i];
-        (*hess)[i] = 1.0;
-      }
+      ParallelForChunks(pool, 0, margins.size(), kGrain,
+                        [&](size_t, size_t lo, size_t hi) {
+                          for (size_t i = lo; i < hi; ++i) {
+                            (*grad)[i] = margins[i] - labels[i];
+                            (*hess)[i] = 1.0;
+                          }
+                        });
       break;
   }
 }

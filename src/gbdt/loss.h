@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/gbdt/params.h"
 
 namespace safe {
@@ -11,11 +12,14 @@ namespace gbdt {
 double Sigmoid(double x);
 
 /// \brief First/second-order gradient statistics of a loss at the current
-/// margins. grad/hess are resized to match.
+/// margins. grad/hess are resized to match. Rows fan out over `pool`
+/// (nullptr = serial); each row is independent, so the result is
+/// identical at any thread count.
 void ComputeGradients(Objective objective,
                       const std::vector<double>& margins,
                       const std::vector<double>& labels,
-                      std::vector<double>* grad, std::vector<double>* hess);
+                      std::vector<double>* grad, std::vector<double>* hess,
+                      ThreadPool* pool = nullptr);
 
 /// Mean loss at the given margins (log-loss for kLogistic, MSE for
 /// kSquared); used for early stopping.

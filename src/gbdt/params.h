@@ -40,6 +40,12 @@ struct GbdtParams {
   double colsample_bytree = 1.0;
   /// Maximum histogram bins per feature.
   size_t max_bins = 256;
+  /// Training threads for the histogram method: 0 = the process-wide pool
+  /// (sized to hardware concurrency), 1 = fully serial, k > 1 = a
+  /// dedicated pool of k workers for this fit. The trained model is
+  /// bit-identical at every setting (fixed work partitioning + ordered
+  /// reductions; see DESIGN.md "Parallel training & determinism").
+  size_t n_threads = 0;
   Objective objective = Objective::kLogistic;
   TreeMethod tree_method = TreeMethod::kHist;
   uint64_t seed = 42;

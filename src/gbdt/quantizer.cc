@@ -7,7 +7,8 @@ namespace safe {
 namespace gbdt {
 
 Result<FeatureQuantizer> FeatureQuantizer::Fit(const DataFrame& frame,
-                                               size_t max_bins) {
+                                               size_t max_bins,
+                                               ThreadPool* pool) {
   SAFE_TRACE_SPAN("gbdt.quantizer_fit");
   if (frame.num_columns() == 0 || frame.num_rows() == 0) {
     return Status::InvalidArgument("quantizer: empty frame");
@@ -15,10 +16,11 @@ Result<FeatureQuantizer> FeatureQuantizer::Fit(const DataFrame& frame,
   if (max_bins < 2 || max_bins > 65534) {
     return Status::InvalidArgument("quantizer: max_bins must be in [2,65534]");
   }
+  if (pool == nullptr) pool = ThreadPool::Global();
   FeatureQuantizer q;
   q.edges_.resize(frame.num_columns());
   std::vector<Status> statuses(frame.num_columns());
-  ParallelFor(0, frame.num_columns(), [&](size_t f) {
+  ParallelFor(pool, 0, frame.num_columns(), [&](size_t f) {
     const auto& values = frame.column(f).values();
     auto result = EqualFrequencyEdges(values, max_bins);
     if (result.ok()) {
@@ -34,19 +36,20 @@ Result<FeatureQuantizer> FeatureQuantizer::Fit(const DataFrame& frame,
   return q;
 }
 
-Result<BinnedMatrix> FeatureQuantizer::Transform(
-    const DataFrame& frame) const {
+Result<BinnedMatrix> FeatureQuantizer::Transform(const DataFrame& frame,
+                                                 ThreadPool* pool) const {
   SAFE_TRACE_SPAN("gbdt.quantizer_transform");
   if (frame.num_columns() != edges_.size()) {
     return Status::InvalidArgument(
         "quantizer: frame has " + std::to_string(frame.num_columns()) +
         " columns, expected " + std::to_string(edges_.size()));
   }
+  if (pool == nullptr) pool = ThreadPool::Global();
   BinnedMatrix out;
   out.num_rows = frame.num_rows();
   out.edges = edges_;
   out.bins.resize(edges_.size());
-  ParallelFor(0, edges_.size(), [&](size_t f) {
+  ParallelFor(pool, 0, edges_.size(), [&](size_t f) {
     const auto& values = frame.column(f).values();
     auto& bins = out.bins[f];
     bins.resize(values.size());

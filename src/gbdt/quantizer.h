@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/thread_pool.h"
 #include "src/dataframe/binning.h"
 #include "src/dataframe/dataframe.h"
 
@@ -33,11 +34,16 @@ struct BinnedMatrix {
 class FeatureQuantizer {
  public:
   /// Learns edges (<= max_bins bins per feature) from the training frame.
+  /// Features fan out over `pool` (nullptr = the process-wide pool);
+  /// each feature's edges are computed independently, so the result is
+  /// identical at any thread count.
   static Result<FeatureQuantizer> Fit(const DataFrame& frame,
-                                      size_t max_bins);
+                                      size_t max_bins,
+                                      ThreadPool* pool = nullptr);
 
   /// Quantizes a frame with the learned edges (column count must match).
-  Result<BinnedMatrix> Transform(const DataFrame& frame) const;
+  Result<BinnedMatrix> Transform(const DataFrame& frame,
+                                 ThreadPool* pool = nullptr) const;
 
   const std::vector<BinEdges>& edges() const { return edges_; }
 

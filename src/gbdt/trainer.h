@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/common/thread_pool.h"
 #include "src/gbdt/params.h"
 #include "src/gbdt/quantizer.h"
 #include "src/gbdt/tree.h"
@@ -10,13 +11,36 @@
 namespace safe {
 namespace gbdt {
 
+/// One histogram cell: summed first/second-order gradients of the rows
+/// whose feature value quantizes into the cell.
+struct GradHistBin {
+  double grad = 0.0;
+  double hess = 0.0;
+};
+
+/// Gradient histograms of one tree node — one cell vector per candidate
+/// feature, indexed by position in the node's candidate-feature list.
+using NodeHistograms = std::vector<std::vector<GradHistBin>>;
+
 /// \brief Grows one regression tree on second-order gradients over a
 /// binned matrix (the `hist` algorithm: per-node gradient histograms, best
 /// split by scanning bins, missing values routed to the better side).
+///
+/// Training parallelizes across the given pool: per-feature histogram
+/// construction, the best-split scan, and row partitioning all fan out,
+/// and the smaller child of every split gets its histograms by
+/// subtracting the built sibling from the parent instead of a rebuild.
+/// The produced tree is bit-identical at every pool size (including no
+/// pool at all): work is partitioned by fixed rules that never look at
+/// the thread count, and every floating-point reduction is performed in
+/// a fixed (chunk- or feature-) order.
 class TreeTrainer {
  public:
-  TreeTrainer(const BinnedMatrix* matrix, const GbdtParams* params)
-      : matrix_(matrix), params_(params) {}
+  /// \param pool  worker pool for intra-node parallelism; nullptr trains
+  ///              serially (same math, same tree).
+  TreeTrainer(const BinnedMatrix* matrix, const GbdtParams* params,
+              ThreadPool* pool = nullptr)
+      : matrix_(matrix), params_(params), pool_(pool) {}
 
   /// \param grad,hess  per-row gradient statistics (full length).
   /// \param rows       training rows for this tree (after subsampling).
@@ -36,14 +60,28 @@ class TreeTrainer {
     bool valid() const { return feature >= 0; }
   };
 
-  SplitCandidate FindBestSplit(const std::vector<double>& grad,
-                               const std::vector<double>& hess,
-                               const std::vector<size_t>& rows,
+  /// Builds the per-feature gradient histograms of one node (parallel
+  /// across features; each feature is accumulated serially in row order).
+  NodeHistograms BuildHistograms(const std::vector<double>& grad,
+                                 const std::vector<double>& hess,
+                                 const std::vector<size_t>& rows,
+                                 const std::vector<int>& features) const;
+
+  /// parent -= child, leaving the larger sibling's histograms in
+  /// `parent` (parallel across features).
+  void SubtractHistograms(NodeHistograms* parent,
+                          const NodeHistograms& child) const;
+
+  /// Best split over prebuilt histograms: per-feature scans run in
+  /// parallel, then the per-feature winners are reduced in candidate-list
+  /// order so the result never depends on task completion order.
+  SplitCandidate FindBestSplit(const NodeHistograms& hist,
                                const std::vector<int>& features,
                                double sum_grad, double sum_hess) const;
 
   const BinnedMatrix* matrix_;
   const GbdtParams* params_;
+  ThreadPool* pool_;
 };
 
 }  // namespace gbdt

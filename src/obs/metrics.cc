@@ -14,6 +14,30 @@ std::vector<double> DefaultLatencyBucketsUs() {
 
 #if SAFE_TELEMETRY_ENABLED
 
+namespace {
+/// Process-unique sequence number for the calling thread, assigned on
+/// first use (0, 1, 2, ... in first-use order).
+uint64_t ThreadSequenceNumber() {
+  static std::atomic<uint64_t> next{0};
+  thread_local const uint64_t id = next.fetch_add(1);
+  return id;
+}
+}  // namespace
+
+Histogram* PerThreadHistogram(const std::string& base_name,
+                              std::vector<double> upper_bounds) {
+  // Per-thread cache: registry lookup (mutex) only on each thread's first
+  // call for a given base name.
+  thread_local std::map<std::string, Histogram*> cache;
+  Histogram*& slot = cache[base_name];
+  if (slot == nullptr) {
+    slot = MetricsRegistry::Global()->histogram(
+        base_name + ".thread" + std::to_string(ThreadSequenceNumber()),
+        std::move(upper_bounds));
+  }
+  return slot;
+}
+
 Histogram::Histogram(std::vector<double> upper_bounds)
     : upper_bounds_(std::move(upper_bounds)) {
   std::sort(upper_bounds_.begin(), upper_bounds_.end());

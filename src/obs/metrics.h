@@ -45,6 +45,22 @@ struct MetricsSnapshot {
 /// for the *_us histograms registered across the library.
 std::vector<double> DefaultLatencyBucketsUs();
 
+// Declared for both telemetry modes; defined in metrics.cc (real) or as
+// an inline stub below (no-op).
+class Histogram;
+
+/// \brief Histogram in the global registry named
+/// `<base_name>.thread<k>`, where k is a small process-unique sequence
+/// number assigned to the calling thread on first use.
+///
+/// Gives hot parallel stages (e.g. the GBDT per-feature histogram build)
+/// per-thread timing series without any cross-thread contention: the
+/// resolved pointer is cached thread-locally, so repeated calls from the
+/// same thread touch only that thread's map. With SAFE_TELEMETRY=OFF this
+/// returns the shared no-op histogram.
+Histogram* PerThreadHistogram(const std::string& base_name,
+                              std::vector<double> upper_bounds);
+
 #if SAFE_TELEMETRY_ENABLED
 
 /// \brief Monotonically increasing counter; lock-free relaxed increments.
@@ -158,6 +174,11 @@ inline Counter g_noop_counter;
 inline Gauge g_noop_gauge;
 inline Histogram g_noop_histogram{{}};
 }  // namespace internal
+
+inline Histogram* PerThreadHistogram(const std::string&,
+                                     std::vector<double>) {
+  return &internal::g_noop_histogram;
+}
 
 class MetricsRegistry {
  public:

@@ -60,6 +60,97 @@ TEST(ParallelForTest, GlobalPoolWorks) {
   EXPECT_EQ(sum.load(), 999L * 1000 / 2);
 }
 
+TEST(ThreadPoolTest, NestedSubmitFromWorkerDoesNotDeadlock) {
+  // Regression: tasks that submit subtasks to their own pool and block on
+  // the futures used to deadlock once every worker was waiting (the queue
+  // had work, but no thread left to drain it). Nested submission from a
+  // worker now runs inline.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back(pool.Submit([&pool, &counter] {
+      std::vector<std::future<void>> inner;
+      for (int j = 0; j < 8; ++j) {
+        inner.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+      }
+      for (auto& f : inner) f.wait();
+    }));
+  }
+  for (auto& f : outer) f.wait();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  ParallelFor(&pool, 0, 4, [&](size_t) {
+    ParallelFor(&pool, 0, 10, [&](size_t) { hits.fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 40);
+}
+
+TEST(ThreadPoolTest, WorkerIdentification) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InWorkerThread());
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), -1);
+  std::atomic<bool> saw_worker{false};
+  pool.Submit([&pool, &saw_worker] {
+        if (pool.InWorkerThread() && ThreadPool::CurrentWorkerIndex() >= 0) {
+          saw_worker.store(true);
+        }
+      })
+      .wait();
+  EXPECT_TRUE(saw_worker.load());
+}
+
+TEST(ParallelForChunksTest, PartitionIsIndependentOfPoolSize) {
+  // The chunk boundaries handed to the callback must depend only on the
+  // range and the grain — this is what makes ordered reductions
+  // bit-identical at any thread count.
+  auto boundaries = [](ThreadPool* pool) {
+    std::vector<std::pair<size_t, size_t>> chunks(NumFixedChunks(103, 16));
+    ParallelForChunks(pool, 0, 103, 16, [&](size_t c, size_t lo, size_t hi) {
+      chunks[c] = {lo, hi};
+    });
+    return chunks;
+  };
+  ThreadPool pool2(2);
+  ThreadPool pool5(5);
+  const auto serial = boundaries(nullptr);
+  EXPECT_EQ(serial.size(), 7u);
+  EXPECT_EQ(serial.front().first, 0u);
+  EXPECT_EQ(serial.back().second, 103u);
+  EXPECT_EQ(boundaries(&pool2), serial);
+  EXPECT_EQ(boundaries(&pool5), serial);
+}
+
+TEST(ParallelForChunksTest, OrderedReductionMatchesSerialSum) {
+  std::vector<double> values(10000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  auto chunked_sum = [&](ThreadPool* pool) {
+    const size_t grain = 256;
+    std::vector<double> partials(NumFixedChunks(values.size(), grain), 0.0);
+    ParallelForChunks(pool, 0, values.size(), grain,
+                      [&](size_t c, size_t lo, size_t hi) {
+                        double s = 0.0;
+                        for (size_t i = lo; i < hi; ++i) s += values[i];
+                        partials[c] = s;
+                      });
+    double total = 0.0;
+    for (double p : partials) total += p;
+    return total;
+  };
+  ThreadPool pool3(3);
+  ThreadPool pool8(8);
+  const double serial = chunked_sum(nullptr);
+  // Bit-identical, not approximately equal: same chunks, same order.
+  EXPECT_EQ(serial, chunked_sum(&pool3));
+  EXPECT_EQ(serial, chunked_sum(&pool8));
+}
+
 TEST(ThreadPoolTest, DestructorDrainsCleanly) {
   std::atomic<int> counter{0};
   {

@@ -151,6 +151,67 @@ TEST(TrainerTest, MissingRowsRoutedToBetterSide) {
   EXPECT_GT(nan_pred, val_pred);
 }
 
+TEST(TrainerTest, MissingRoutingIdenticalAcrossThreadCounts) {
+  // Rows with NaN in the split feature must route identically whether
+  // the tree was grown serially or across a pool: same serialized tree,
+  // same predictions on all-NaN probes.
+  const size_t n = 300;
+  Rng rng(11);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x1[i] = rng.NextGaussian();
+    x2[i] = rng.NextGaussian();
+    y[i] = (x1[i] + 0.5 * x2[i] > 0.0) ? 1.0 : 0.0;
+    // A third of the signal feature goes missing; missing-ness is
+    // label-correlated so default_left carries real signal.
+    if (rng.NextBernoulli(0.3)) x1[i] = y[i] > 0.5 ? std::nan("") : x1[i];
+  }
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn(Column("x1", x1)).ok());
+  ASSERT_TRUE(f.AddColumn(Column("x2", x2)).ok());
+  TrainerFixture fx = TrainerFixture::FromXy(std::move(f), y);
+  GbdtParams params;
+  params.max_depth = 4;
+
+  TreeTrainer serial_trainer(&fx.matrix, &params, nullptr);
+  RegressionTree serial_tree =
+      serial_trainer.Train(fx.grad, fx.hess, fx.rows, fx.features);
+  ASSERT_GT(serial_tree.nodes().size(), 1u);
+
+  for (size_t n_threads : {2u, 8u}) {
+    ThreadPool pool(n_threads);
+    TreeTrainer parallel_trainer(&fx.matrix, &params, &pool);
+    RegressionTree parallel_tree =
+        parallel_trainer.Train(fx.grad, fx.hess, fx.rows, fx.features);
+    EXPECT_EQ(serial_tree.Serialize(), parallel_tree.Serialize())
+        << n_threads << " threads";
+    // Probe NaN routing directly on every node's default direction.
+    const double nan_serial =
+        serial_tree.PredictRow({std::nan(""), std::nan("")});
+    const double nan_parallel =
+        parallel_tree.PredictRow({std::nan(""), std::nan("")});
+    EXPECT_EQ(nan_serial, nan_parallel);
+  }
+}
+
+TEST(TrainerTest, ParallelTrainingMatchesSerialOnLargeRowSets) {
+  // Row counts above the partition grain (4096) force multi-chunk
+  // partitioning and histogram subtraction on deep nodes.
+  TrainerFixture fx = StepFunction(10000);
+  GbdtParams params;
+  params.max_depth = 5;
+  TreeTrainer serial_trainer(&fx.matrix, &params, nullptr);
+  RegressionTree serial_tree =
+      serial_trainer.Train(fx.grad, fx.hess, fx.rows, fx.features);
+  ThreadPool pool(4);
+  TreeTrainer parallel_trainer(&fx.matrix, &params, &pool);
+  RegressionTree parallel_tree =
+      parallel_trainer.Train(fx.grad, fx.hess, fx.rows, fx.features);
+  EXPECT_EQ(serial_tree.Serialize(), parallel_tree.Serialize());
+}
+
 TEST(TrainerTest, SubsetOfRowsOnlyUsesThoseRows) {
   TrainerFixture fx = StepFunction(100);
   // Train on the first half only: all labels 0 there -> no split, and

@@ -3,10 +3,13 @@
 //     O(N * K1 * (K1 + K2)) for fixed tree budgets), and
 //   - the cost is controlled by the number of miner trees K1.
 // Also contrasts the growth in M (feature count) against TFC's O(N*M^2),
-// and sweeps histogram GBDT training over thread counts, checking the
-// serialized model stays byte-identical at every count.
+// and sweeps thread counts over (a) histogram GBDT training and (b) the
+// full SAFE pipeline (mining, generation, IV filter, redundancy filter,
+// importance ranking), checking the serialized model / FeaturePlan stays
+// byte-identical at every count.
 //
-// Flags: --quick --threads=1,2,4,8 --sweep_rows=N --report=path
+// Flags: --quick --threads=1,2,4,8 --sweep_rows=N --engine_sweep_rows=N
+//        --report=path
 
 #include <iostream>
 #include <string>
@@ -101,6 +104,85 @@ obs::JsonValue ThreadSweep(const Flags& flags, bool quick) {
   return sweep;
 }
 
+/// Thread sweep over the full SAFE pipeline: one SafeParams::n_threads
+/// knob drives the miner/ranker boosters and every engine stage. Reports
+/// total fit time plus the generation+selection wall-clock (the stages
+/// the engine parallelizes outside GBDT training), asserts the
+/// serialized FeaturePlan is byte-identical at every thread count, and
+/// returns the sweep as a JSON section for the telemetry RunReport.
+obs::JsonValue EngineThreadSweep(const Flags& flags, bool quick) {
+  const size_t rows = static_cast<size_t>(
+      flags.GetInt("engine_sweep_rows", quick ? 2000 : 8000));
+  Dataset data = MakeData(rows, 16, 13);
+  SafeParams params;
+  params.seed = 7;
+  params.miner.num_trees = quick ? 10 : 20;
+  params.ranker.num_trees = quick ? 10 : 20;
+
+  std::cout << "=== Thread sweep: full SAFE pipeline (" << rows
+            << " rows x 16 features) ===\n";
+  TablePrinter table(
+      {"threads", "seconds", "speedup", "gensel_s", "gensel_x", "identical"},
+      {8, 9, 8, 9, 9, 10});
+  table.PrintHeader();
+
+  obs::JsonValue sweep = obs::JsonValue::Array();
+  std::string reference_plan;
+  double base_seconds = 0.0;
+  double base_gensel = 0.0;
+  for (const std::string& t : flags.GetList("threads", "1,2,4,8")) {
+    params.n_threads = static_cast<size_t>(std::stoul(t));
+    SafeEngine engine(params);
+    Stopwatch watch;
+    auto fit = engine.Fit(data);
+    const double seconds = watch.ElapsedSeconds();
+    SAFE_CHECK(fit.ok()) << fit.status().ToString();
+    const std::string serialized = fit->plan.Serialize();
+    // Generation + selection wall-clock: every parallelized stage except
+    // the two GBDT fits (mining trees, importance ranking), summed over
+    // iterations from the engine's own stage timeline.
+    double gensel = 0.0;
+    obs::JsonValue stage_seconds = obs::JsonValue::Object();
+    for (const auto& iter : fit->iterations) {
+      for (const auto& stage : iter.stages) {
+        if (stage.stage == "generate_features" ||
+            stage.stage == "candidate_pool" || stage.stage == "iv_filter" ||
+            stage.stage == "redundancy_filter") {
+          gensel += stage.seconds;
+        }
+        stage_seconds.Set(stage.stage, stage.seconds);
+      }
+    }
+    if (reference_plan.empty()) {
+      reference_plan = serialized;
+      base_seconds = seconds;
+      base_gensel = gensel;
+    }
+    const bool identical = serialized == reference_plan;
+    const double speedup = seconds > 0.0 ? base_seconds / seconds : 0.0;
+    const double gensel_speedup = gensel > 0.0 ? base_gensel / gensel : 0.0;
+    table.PrintRow({t, FormatDouble(seconds, 3), FormatDouble(speedup, 2),
+                    FormatDouble(gensel, 3), FormatDouble(gensel_speedup, 2),
+                    identical ? "yes" : "NO"});
+    SAFE_CHECK(identical)
+        << "engine thread sweep: FeaturePlan at n_threads=" << t
+        << " diverged from the 1-thread reference (determinism violation)";
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("threads", static_cast<double>(params.n_threads));
+    entry.Set("seconds", seconds);
+    entry.Set("speedup", speedup);
+    entry.Set("generation_selection_seconds", gensel);
+    entry.Set("generation_selection_speedup", gensel_speedup);
+    entry.Set("stage_seconds", std::move(stage_seconds));
+    entry.Set("identical", identical);
+    sweep.Append(std::move(entry));
+  }
+  table.PrintSeparator();
+  std::cout << "(FeaturePlans must be byte-identical at every thread count; "
+               "speedup needs physical cores)\n\n";
+  return sweep;
+}
+
 int Main(int argc, char** argv) {
   Stopwatch total_watch;
   Flags flags(argc, argv);
@@ -154,8 +236,10 @@ int Main(int argc, char** argv) {
                "tree budget)\n\n";
 
   obs::JsonValue sweep = ThreadSweep(flags, quick);
+  obs::JsonValue engine_sweep = EngineThreadSweep(flags, quick);
   std::vector<std::pair<std::string, obs::JsonValue>> sections;
   sections.emplace_back("thread_sweep", std::move(sweep));
+  sections.emplace_back("engine_thread_sweep", std::move(engine_sweep));
   EmitRunReport(flags, "bench_scaling", total_watch.ElapsedSeconds(),
                 nullptr, false, &sections);
   return 0;

@@ -118,6 +118,17 @@ ThreadPool* ThreadPool::Global() {
   return &pool;
 }
 
+PoolSelection ResolvePool(size_t n_threads) {
+  PoolSelection selection;
+  if (n_threads == 0) {
+    selection.pool = ThreadPool::Global();
+  } else if (n_threads > 1) {
+    selection.owned = std::make_unique<ThreadPool>(n_threads);
+    selection.pool = selection.owned.get();
+  }
+  return selection;
+}
+
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& fn) {
   if (begin >= end) return;

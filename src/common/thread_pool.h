@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -68,6 +69,25 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// \brief A ThreadPool* resolved from an `n_threads` knob, together with
+/// ownership of any dedicated pool that resolution created.
+///
+/// The library-wide convention (GbdtParams::n_threads,
+/// SafeParams::n_threads): 0 selects the shared process-wide pool, 1 is
+/// fully serial (`pool` stays null — ParallelFor/ParallelForChunks run
+/// the same task list inline), and k > 1 builds a dedicated k-worker
+/// pool that lives as long as this selection.
+struct PoolSelection {
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> owned;
+
+  /// Worker count the selection executes with (1 when serial).
+  size_t num_threads() const { return pool ? pool->num_threads() : 1; }
+};
+
+/// Resolves the 0/1/k `n_threads` convention described on PoolSelection.
+PoolSelection ResolvePool(size_t n_threads);
 
 /// \brief Runs fn(i) for i in [begin, end) across the pool, blocking until
 /// all iterations finish. Exceptions in fn are not supported (the library

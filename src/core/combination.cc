@@ -4,7 +4,6 @@
 #include <cmath>
 #include <functional>
 
-#include "src/common/thread_pool.h"
 #include "src/stats/entropy.h"
 
 namespace safe {
@@ -32,39 +31,58 @@ void ForEachSubset(size_t num_features, size_t max_arity,
   recurse(0);
 }
 
+/// Subsets mined from one path: the path's distinct features with their
+/// split values, plus every enumerated combination key in DFS order.
+struct PathCombos {
+  std::map<int, std::set<double>> features;
+  std::vector<ComboKey> keys;
+};
+
 }  // namespace
 
 std::vector<FeatureCombination> MineCombinations(
     const std::vector<gbdt::TreePath>& paths,
-    const CombinationMinerOptions& options) {
-  std::map<ComboKey, std::map<int, std::set<double>>> merged;
-  size_t enumerated = 0;
-
-  for (const auto& path : paths) {
-    // Distinct features of this path, with their split values collected.
-    std::map<int, std::set<double>> path_features;
-    for (const auto& step : path) {
-      path_features[step.feature].insert(step.threshold);
+    const CombinationMinerOptions& options, ThreadPool* pool) {
+  // Per-path enumeration is independent, so it fans out one task per
+  // path; each task fills only its own slot. Each path enumerates at
+  // most max_combinations keys — the global cap can never admit more
+  // from a single path.
+  std::vector<PathCombos> per_path(paths.size());
+  ParallelFor(pool, 0, paths.size(), [&](size_t p) {
+    PathCombos& mined = per_path[p];
+    for (const auto& step : paths[p]) {
+      mined.features[step.feature].insert(step.threshold);
     }
     std::vector<int> features;
-    features.reserve(path_features.size());
-    for (const auto& [feature, values] : path_features) {
+    features.reserve(mined.features.size());
+    for (const auto& [feature, values] : mined.features) {
       features.push_back(feature);
     }
+    ForEachSubset(features.size(), options.max_arity,
+                  [&](const std::vector<size_t>& subset) {
+                    if (mined.keys.size() >= options.max_combinations) return;
+                    ComboKey key;
+                    key.reserve(subset.size());
+                    for (size_t i : subset) key.push_back(features[i]);
+                    mined.keys.push_back(std::move(key));
+                  });
+  });
 
-    ForEachSubset(
-        features.size(), options.max_arity,
-        [&](const std::vector<size_t>& subset) {
-          if (enumerated >= options.max_combinations) return;
-          ComboKey key;
-          key.reserve(subset.size());
-          for (size_t i : subset) key.push_back(features[i]);
-          auto& slot = merged[key];
-          for (int f : key) {
-            slot[f].insert(path_features[f].begin(), path_features[f].end());
-          }
-          ++enumerated;
-        });
+  // De-duplicate across paths serially in path order, applying the
+  // enumeration cap in the same order a serial run would — the merged
+  // set is thread-count-invariant.
+  std::map<ComboKey, std::map<int, std::set<double>>> merged;
+  size_t enumerated = 0;
+  for (const PathCombos& mined : per_path) {
+    for (const ComboKey& key : mined.keys) {
+      if (enumerated >= options.max_combinations) break;
+      auto& slot = merged[key];
+      for (int f : key) {
+        const auto& values = mined.features.at(f);
+        slot[f].insert(values.begin(), values.end());
+      }
+      ++enumerated;
+    }
     if (enumerated >= options.max_combinations) break;
   }
 
@@ -84,8 +102,8 @@ std::vector<FeatureCombination> MineCombinations(
 
 std::vector<FeatureCombination> RankCombinations(
     std::vector<FeatureCombination> combinations, const DataFrame& x,
-    const std::vector<double>& labels, size_t gamma) {
-  ParallelFor(0, combinations.size(), [&](size_t i) {
+    const std::vector<double>& labels, size_t gamma, ThreadPool* pool) {
+  ParallelFor(pool, 0, combinations.size(), [&](size_t i) {
     FeatureCombination& combo = combinations[i];
     // Cell layout: per feature, |V|+1 value intervals plus a missing slot.
     size_t num_cells = 1;
@@ -121,15 +139,28 @@ std::vector<FeatureCombination> RankCombinations(
     combo.gain_ratio = InformationGainRatio(cells);
   });
 
-  std::stable_sort(combinations.begin(), combinations.end(),
-                   [](const FeatureCombination& a,
-                      const FeatureCombination& b) {
-                     return a.gain_ratio > b.gain_ratio;
-                   });
+  // Descending gain ratio; equal scores order by the lexicographically
+  // smaller feature list. Feature lists are distinct (combinations are
+  // de-duplicated), so this is a total order and the top-γ slice cannot
+  // depend on sort stability or scoring schedule.
+  std::sort(combinations.begin(), combinations.end(),
+            [](const FeatureCombination& a, const FeatureCombination& b) {
+              if (a.gain_ratio != b.gain_ratio) {
+                return a.gain_ratio > b.gain_ratio;
+              }
+              return a.features < b.features;
+            });
   if (gamma > 0 && combinations.size() > gamma) {
     combinations.resize(gamma);
   }
   return combinations;
+}
+
+std::vector<FeatureCombination> RankCombinations(
+    std::vector<FeatureCombination> combinations, const DataFrame& x,
+    const std::vector<double>& labels, size_t gamma) {
+  return RankCombinations(std::move(combinations), x, labels, gamma,
+                          ThreadPool::Global());
 }
 
 }  // namespace safe

@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/dataframe/dataframe.h"
 #include "src/gbdt/tree.h"
 
@@ -32,9 +33,15 @@ struct CombinationMinerOptions {
 /// \brief Enumerates feature combinations of size 1..max_arity from the
 /// distinct features of each path (paper Eq. 4), de-duplicated across
 /// paths with split-value sets merged.
+///
+/// Per-path subset enumeration fans out one task per path across `pool`
+/// (nullptr = serial); the per-path results are then merged into the
+/// de-duplicated set serially in path order, with `max_combinations`
+/// applied in that same order — so the mined set is identical to a
+/// fully serial run at any thread count.
 std::vector<FeatureCombination> MineCombinations(
     const std::vector<gbdt::TreePath>& paths,
-    const CombinationMinerOptions& options);
+    const CombinationMinerOptions& options, ThreadPool* pool = nullptr);
 
 /// \brief Scores combinations by information gain ratio (paper Alg. 2):
 /// the split features and values of a combination partition the records
@@ -42,6 +49,17 @@ std::vector<FeatureCombination> MineCombinations(
 /// Returns the top `gamma` combinations, sorted descending (all of them
 /// when gamma == 0). Missing feature values occupy a dedicated slot per
 /// feature.
+///
+/// Scoring fans out one task per combination across `pool` (nullptr =
+/// the process-wide global pool, the historical behaviour); each task
+/// writes only its own gain ratio. The final sort orders by descending
+/// gain ratio with the lexicographically smaller feature list breaking
+/// ties — an explicit total order (combinations are distinct feature
+/// sets), so the kept top-γ slice is reproducible at any thread count.
+std::vector<FeatureCombination> RankCombinations(
+    std::vector<FeatureCombination> combinations, const DataFrame& x,
+    const std::vector<double>& labels, size_t gamma,
+    ThreadPool* pool);
 std::vector<FeatureCombination> RankCombinations(
     std::vector<FeatureCombination> combinations, const DataFrame& x,
     const std::vector<double>& labels, size_t gamma);

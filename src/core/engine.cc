@@ -7,6 +7,7 @@
 
 #include "src/common/random.h"
 #include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
 #include "src/core/combination.h"
 #include "src/core/selection.h"
 #include "src/gbdt/booster.h"
@@ -75,6 +76,8 @@ struct EngineCounters {
   obs::Counter* after_iv;
   obs::Counter* after_redundancy;
   obs::Counter* selected;
+  obs::Counter* generation_tasks;
+  obs::Gauge* n_threads;
 
   static const EngineCounters& Get() {
     static const EngineCounters counters = [] {
@@ -87,10 +90,32 @@ struct EngineCounters {
                             registry->counter("engine.features_after_iv"),
                             registry->counter(
                                 "engine.features_after_redundancy"),
-                            registry->counter("engine.features_selected")};
+                            registry->counter("engine.features_selected"),
+                            registry->counter("engine.generation_tasks"),
+                            registry->gauge("engine.n_threads")};
     }();
     return counters;
   }
+};
+
+/// One candidate generated column: a (combination, operator, ordering)
+/// triple. Tasks are enumerated serially in combination order — the
+/// exact order a serial run generates columns in — then evaluated
+/// independently on the pool, each filling only its own slot. The
+/// assembly pass walks tasks in enumeration order, so the produced
+/// frame (column order, names, survivors) is identical at any thread
+/// count.
+struct GenerationTask {
+  const Operator* op = nullptr;
+  std::vector<int> ordering;
+  std::string name;
+  std::vector<std::string> parent_names;
+
+  // Filled by the parallel evaluation phase.
+  bool ok = false;
+  std::vector<double> params;
+  Column train_column;
+  std::vector<double> valid_values;
 };
 
 }  // namespace
@@ -166,6 +191,15 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
   Stopwatch total_watch;
   Rng rng(params_.seed);
 
+  // One pool serves every engine stage (and, via n_threads below, the
+  // miner/ranker boosters): 0 = the shared global pool, 1 = serial
+  // (null — ParallelFor runs inline), k > 1 = a dedicated pool for this
+  // fit. The fitted plan is bit-identical at any setting.
+  PoolSelection engine_pool = ResolvePool(params_.n_threads);
+  ThreadPool* pool = engine_pool.pool;
+  EngineCounters::Get().n_threads->Set(
+      static_cast<double>(engine_pool.num_threads()));
+
   Dataset current = train;
   Dataset current_valid;
   const bool has_valid = valid != nullptr && valid->num_rows() > 0;
@@ -217,8 +251,9 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
         diag.num_paths = paths.size();
         CombinationMinerOptions options;
         options.max_arity = params_.max_arity;
-        combos = MineCombinations(paths, options);
-        combos = RankCombinations(combos, current.x, current.labels(), gamma);
+        combos = MineCombinations(paths, options, pool);
+        combos = RankCombinations(combos, current.x, current.labels(), gamma,
+                                  pool);
       } else {
         std::vector<int> pool;
         if (params_.strategy == MiningStrategy::kSplitFeaturePairs) {
@@ -260,6 +295,11 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
     const double generate_start = iter_watch.ElapsedSeconds();
     {
     SAFE_TRACE_SPAN("engine.generate_features");
+    // Enumerate candidate columns serially in combination order (the
+    // order a serial run would generate them in), evaluate each one as
+    // an independent pool task, then assemble survivors in enumeration
+    // order — see GenerationTask.
+    std::vector<GenerationTask> tasks;
     for (const auto& combo : combos) {
       for (const auto& op : operators) {
         if (op->arity() != combo.features.size()) continue;
@@ -271,48 +311,75 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
         if (!op->commutative() && combo.features.size() == 2) {
           orderings.push_back({combo.features[1], combo.features[0]});
         }
-        for (const auto& ordering : orderings) {
-          std::vector<std::string> parent_names;
-          std::vector<const std::vector<double>*> train_parents;
-          std::vector<const std::vector<double>*> valid_parents;
+        for (auto& ordering : orderings) {
+          GenerationTask task;
+          task.op = op.get();
           for (int f : ordering) {
-            const auto& col = current.x.column(static_cast<size_t>(f));
-            parent_names.push_back(col.name());
-            train_parents.push_back(&col.values());
-            if (has_valid) {
-              valid_parents.push_back(
-                  &current_valid.x.column(static_cast<size_t>(f)).values());
-            }
+            task.parent_names.push_back(
+                current.x.column(static_cast<size_t>(f)).name());
           }
-          const std::string name = FeatureName(*op, parent_names);
-          if (known_names.count(name)) continue;
-
-          auto params_result = op->FitParams(train_parents);
-          if (!params_result.ok()) continue;  // unfittable on this data
-          auto values_result =
-              ApplyOperator(*op, *params_result, train_parents);
-          if (!values_result.ok()) continue;
-          Column column(name, std::move(*values_result));
-          if (column.IsConstant()) continue;  // carries no information
-          if (column.CountMissing() == column.size()) continue;
-
-          if (has_valid) {
-            auto valid_values =
-                ApplyOperator(*op, *params_result, valid_parents);
-            if (!valid_values.ok()) continue;
-            SAFE_RETURN_NOT_OK(generated_valid.AddColumn(
-                Column(name, std::move(*valid_values))));
-          }
-          SAFE_RETURN_NOT_OK(generated_train.AddColumn(std::move(column)));
-          known_names.insert(name);
-          GeneratedFeature feature;
-          feature.name = name;
-          feature.op = op->name();
-          feature.parents = parent_names;
-          feature.params = std::move(*params_result);
-          iteration_features.push_back(std::move(feature));
+          task.name = FeatureName(*op, task.parent_names);
+          if (known_names.count(task.name)) continue;
+          task.ordering = std::move(ordering);
+          tasks.push_back(std::move(task));
         }
       }
+    }
+    EngineCounters::Get().generation_tasks->Increment(tasks.size());
+
+    ParallelFor(pool, 0, tasks.size(), [&](size_t t) {
+      const uint64_t start_ns = obs::NowNanos();
+      GenerationTask& task = tasks[t];
+      std::vector<const std::vector<double>*> train_parents;
+      std::vector<const std::vector<double>*> valid_parents;
+      for (int f : task.ordering) {
+        train_parents.push_back(
+            &current.x.column(static_cast<size_t>(f)).values());
+        if (has_valid) {
+          valid_parents.push_back(
+              &current_valid.x.column(static_cast<size_t>(f)).values());
+        }
+      }
+      // Failures here (unfittable params, inapplicable operator,
+      // constant or all-missing output) simply leave the task !ok — the
+      // serial code skipped those columns the same way.
+      auto params_result = task.op->FitParams(train_parents);
+      if (!params_result.ok()) return;
+      auto values_result =
+          ApplyOperator(*task.op, *params_result, train_parents);
+      if (!values_result.ok()) return;
+      Column column(task.name, std::move(*values_result));
+      if (column.IsConstant()) return;  // carries no information
+      if (column.CountMissing() == column.size()) return;
+      if (has_valid) {
+        auto valid_values =
+            ApplyOperator(*task.op, *params_result, valid_parents);
+        if (!valid_values.ok()) return;
+        task.valid_values = std::move(*valid_values);
+      }
+      task.params = std::move(*params_result);
+      task.train_column = std::move(column);
+      task.ok = true;
+      obs::PerThreadHistogram("engine.generate_us",
+                              obs::DefaultLatencyBucketsUs())
+          ->Observe(static_cast<double>(obs::NowNanos() - start_ns) / 1e3);
+    });
+
+    for (GenerationTask& task : tasks) {
+      if (!task.ok) continue;
+      if (has_valid) {
+        SAFE_RETURN_NOT_OK(generated_valid.AddColumn(
+            Column(task.name, std::move(task.valid_values))));
+      }
+      SAFE_RETURN_NOT_OK(
+          generated_train.AddColumn(std::move(task.train_column)));
+      known_names.insert(task.name);
+      GeneratedFeature feature;
+      feature.name = std::move(task.name);
+      feature.op = task.op->name();
+      feature.parents = std::move(task.parent_names);
+      feature.params = std::move(task.params);
+      iteration_features.push_back(std::move(feature));
     }
     }
     record_stage("generate_features", generate_start);
@@ -334,7 +401,8 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
     std::vector<size_t> after_iv;
     {
       SAFE_TRACE_SPAN("engine.iv_filter");
-      ivs = ComputeIvs(candidates.x, candidates.labels(), params_.iv_bins);
+      ivs = ComputeIvs(candidates.x, candidates.labels(), params_.iv_bins,
+                       pool);
       after_iv = IvFilterIndices(ivs, params_.iv_threshold);
       if (after_iv.empty()) {
         // Degenerate task (no feature clears α): fall back to every
@@ -352,7 +420,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
     {
       SAFE_TRACE_SPAN("engine.redundancy_filter");
       after_redundancy = RedundancyFilterIndices(
-          candidates.x, ivs, after_iv, params_.pearson_threshold);
+          candidates.x, ivs, after_iv, params_.pearson_threshold, pool);
     }
     record_stage("redundancy_filter", redundancy_start);
     diag.num_after_redundancy = after_redundancy.size();

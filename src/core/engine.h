@@ -57,11 +57,16 @@ struct SafeParams {
   /// Final feature cap per iteration; 0 = 2·M (the paper's setting).
   size_t max_output_features = 0;
 
-  /// GBDT training threads, applied to both miner and ranker when
-  /// nonzero (0 leaves miner/ranker as configured; each defaults to the
-  /// shared process-wide pool). Mined combinations and rankings are
-  /// bit-identical at any setting — parallel training is deterministic
-  /// (DESIGN.md, "Parallel training & determinism").
+  /// Worker threads for the whole pipeline — one knob controls the GBDT
+  /// boosters *and* every engine stage (combination mining/ranking,
+  /// feature generation, the IV filter, Pearson redundancy removal).
+  /// 0 = the shared process-wide pool, 1 = fully serial, k > 1 = a
+  /// dedicated k-worker pool for this fit; when nonzero it also
+  /// overrides miner/ranker GbdtParams::n_threads. The fitted plan is
+  /// bit-identical at any setting — work partitioning is fixed by the
+  /// data and every ordering decision uses an explicit total order
+  /// (DESIGN.md, "Parallel training & determinism" and "Engine
+  /// parallelism & determinism").
   size_t n_threads = 0;
 
   MiningStrategy strategy = MiningStrategy::kTreePaths;

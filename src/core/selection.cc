@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/common/thread_pool.h"
 #include "src/gbdt/booster.h"
 #include "src/stats/correlation.h"
 #include "src/stats/iv.h"
@@ -12,13 +11,14 @@ namespace safe {
 
 std::vector<double> ComputeIvs(const DataFrame& x,
                                const std::vector<double>& labels,
+                               size_t num_bins, ThreadPool* pool) {
+  return InformationValueBatch(x, labels, num_bins, pool);
+}
+
+std::vector<double> ComputeIvs(const DataFrame& x,
+                               const std::vector<double>& labels,
                                size_t num_bins) {
-  std::vector<double> ivs(x.num_columns(), 0.0);
-  ParallelFor(0, x.num_columns(), [&](size_t c) {
-    auto iv = InformationValue(x.column(c).values(), labels, num_bins);
-    ivs[c] = iv.ok() ? *iv : 0.0;
-  });
-  return ivs;
+  return ComputeIvs(x, labels, num_bins, ThreadPool::Global());
 }
 
 std::vector<size_t> IvFilterIndices(const std::vector<double>& ivs,
@@ -32,34 +32,57 @@ std::vector<size_t> IvFilterIndices(const std::vector<double>& ivs,
 
 std::vector<size_t> RedundancyFilterIndices(
     const DataFrame& x, const std::vector<double>& ivs,
-    const std::vector<size_t>& candidates, double pearson_threshold) {
+    const std::vector<size_t>& candidates, double pearson_threshold,
+    ThreadPool* pool) {
   // Descending IV, so the stronger of a redundant pair survives — the
   // paper's Alg. 4 tie-break ("the feature with the smaller IV is
-  // removed").
+  // removed"). Equal IVs order by ascending column index: an explicit
+  // total order, so the greedy pass below never depends on sort
+  // implementation details or thread count.
   std::vector<size_t> order = candidates;
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return ivs[a] > ivs[b];
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (ivs[a] != ivs[b]) return ivs[a] > ivs[b];
+    return a < b;
   });
+
+  // Ordered greedy with a parallel sweep per survivor: the first alive
+  // candidate in `order` is kept, then its |Pearson| against every
+  // still-alive later candidate is computed in one fan-out and the
+  // correlated ones are marked dead. A candidate reaches its own turn
+  // alive iff no earlier survivor correlates with it — exactly the
+  // serial candidate-vs-kept-set greedy, but with per-survivor sweeps
+  // wide enough to parallelize.
+  std::vector<char> alive(order.size(), 1);
   std::vector<size_t> kept;
-  for (size_t candidate : order) {
-    bool redundant = false;
-    // The kept set is usually small; correlations computed lazily and in
-    // parallel across kept columns.
-    std::vector<char> hits(kept.size(), 0);
-    ParallelFor(0, kept.size(), [&](size_t k) {
-      const double r = PearsonCorrelation(
-          x.column(candidate).values(), x.column(kept[k]).values());
-      if (std::fabs(r) > pearson_threshold) hits[k] = 1;
-    });
-    for (char hit : hits) {
-      if (hit) {
-        redundant = true;
-        break;
+  std::vector<size_t> sweep_positions;  // positions into `order`
+  std::vector<size_t> sweep_columns;    // matching column indices
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (!alive[i]) continue;
+    kept.push_back(order[i]);
+    sweep_positions.clear();
+    sweep_columns.clear();
+    for (size_t j = i + 1; j < order.size(); ++j) {
+      if (!alive[j]) continue;
+      sweep_positions.push_back(j);
+      sweep_columns.push_back(order[j]);
+    }
+    if (sweep_columns.empty()) break;
+    const std::vector<double> rs =
+        PearsonAgainst(x, order[i], sweep_columns, pool);
+    for (size_t k = 0; k < sweep_positions.size(); ++k) {
+      if (std::fabs(rs[k]) > pearson_threshold) {
+        alive[sweep_positions[k]] = 0;
       }
     }
-    if (!redundant) kept.push_back(candidate);
   }
   return kept;
+}
+
+std::vector<size_t> RedundancyFilterIndices(
+    const DataFrame& x, const std::vector<double>& ivs,
+    const std::vector<size_t>& candidates, double pearson_threshold) {
+  return RedundancyFilterIndices(x, ivs, candidates, pearson_threshold,
+                                 ThreadPool::Global());
 }
 
 Result<std::vector<size_t>> ImportanceRankIndices(
@@ -83,16 +106,21 @@ Result<std::vector<size_t>> ImportanceRankIndices(
     out.push_back(candidates[static_cast<size_t>(imp.feature)]);
     ranked[static_cast<size_t>(imp.feature)] = 1;
   }
-  // Unsplit candidates follow, ordered by IV: the ranker's trees are
-  // finite, and an unsplit feature is unranked, not worthless.
+  // Unsplit candidates follow, ordered by descending IV with the
+  // candidate-list position breaking ties (explicit total order): the
+  // ranker's trees are finite, and an unsplit feature is unranked, not
+  // worthless.
   std::vector<size_t> rest;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    if (!ranked[i]) rest.push_back(candidates[i]);
+    if (!ranked[i]) rest.push_back(i);
   }
-  std::stable_sort(rest.begin(), rest.end(), [&](size_t a, size_t b) {
-    return ivs[a] > ivs[b];
+  std::sort(rest.begin(), rest.end(), [&](size_t a, size_t b) {
+    const double iv_a = ivs[candidates[a]];
+    const double iv_b = ivs[candidates[b]];
+    if (iv_a != iv_b) return iv_a > iv_b;
+    return a < b;
   });
-  out.insert(out.end(), rest.begin(), rest.end());
+  for (size_t p : rest) out.push_back(candidates[p]);
 
   if (max_output > 0 && out.size() > max_output) out.resize(max_output);
   return out;

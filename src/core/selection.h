@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/thread_pool.h"
 #include "src/dataframe/dataframe.h"
 #include "src/gbdt/params.h"
 
@@ -12,10 +13,21 @@ namespace safe {
 /// \brief The three-step selection pipeline of paper Section IV-C,
 /// exposed as free functions so the RAND/IMP comparison baselines can
 /// reuse it verbatim (Section V-A1).
+///
+/// Every step is deterministic at any thread count: per-feature work
+/// fans out one task per column (each writing its own slot) and every
+/// ordering decision uses an explicit total order (descending IV with
+/// ascending column index breaking ties), so `pool` is purely a speed
+/// knob. `pool == nullptr` runs serially; passing the global pool
+/// reproduces the historical default of the pool-less overloads.
 
 /// Step 1 (Alg. 3): Information Values of every column, over `num_bins`
 /// equal-frequency bins. Columns whose IV cannot be computed (constant,
-/// all-missing) score 0.
+/// all-missing) score 0. Fans one task per column across `pool`
+/// (nullptr = the process-wide global pool, the historical behaviour).
+std::vector<double> ComputeIvs(const DataFrame& x,
+                               const std::vector<double>& labels,
+                               size_t num_bins, ThreadPool* pool);
 std::vector<double> ComputeIvs(const DataFrame& x,
                                const std::vector<double>& labels,
                                size_t num_bins);
@@ -26,17 +38,29 @@ std::vector<size_t> IvFilterIndices(const std::vector<double>& ivs,
                                     double iv_threshold);
 
 /// Step 2 (Alg. 4): removes redundancy among `candidates` — processes
-/// them in descending-IV order and drops any column whose |Pearson| with
-/// an already-kept column exceeds `pearson_threshold` (the paper's
-/// θ = 0.8, the Table II "extremely strong" floor). Returns kept indices
-/// (into x's columns) in descending-IV order.
+/// them in descending-IV order (ties broken by ascending column index,
+/// an explicit total order so the greedy pass is reproducible) and drops
+/// any column whose |Pearson| with an already-kept column exceeds
+/// `pearson_threshold` (the paper's θ = 0.8, the Table II "extremely
+/// strong" floor). Returns kept indices (into x's columns) in
+/// descending-IV order.
+///
+/// Each time a survivor is kept, its correlations against every
+/// still-alive later candidate are computed in one parallel sweep
+/// (`PearsonAgainst`); the kept/dropped decisions are identical to the
+/// serial greedy pass at any thread count.
+std::vector<size_t> RedundancyFilterIndices(
+    const DataFrame& x, const std::vector<double>& ivs,
+    const std::vector<size_t>& candidates, double pearson_threshold,
+    ThreadPool* pool);
 std::vector<size_t> RedundancyFilterIndices(
     const DataFrame& x, const std::vector<double>& ivs,
     const std::vector<size_t>& candidates, double pearson_threshold);
 
 /// Step 3 (Section IV-C3): trains a GBDT on the candidate columns and
 /// returns up to `max_output` of them ranked by average split gain.
-/// Candidates the model never splits on rank after ranked ones, by IV.
+/// Candidates the model never splits on rank after ranked ones, by
+/// descending IV (ties broken by candidate-list order).
 Result<std::vector<size_t>> ImportanceRankIndices(
     const Dataset& train, const std::vector<size_t>& candidates,
     const std::vector<double>& ivs, const gbdt::GbdtParams& params,

@@ -96,16 +96,10 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
   // Worker pool for this fit: 0 = the shared process-wide pool, 1 =
   // serial (pool stays null), k > 1 = a dedicated pool. The trained model
   // is bit-identical across all three (see DESIGN.md).
-  std::unique_ptr<ThreadPool> owned_pool;
-  ThreadPool* pool = nullptr;
-  if (params.n_threads == 0) {
-    pool = ThreadPool::Global();
-  } else if (params.n_threads > 1) {
-    owned_pool = std::make_unique<ThreadPool>(params.n_threads);
-    pool = owned_pool.get();
-  }
+  PoolSelection pool_selection = ResolvePool(params.n_threads);
+  ThreadPool* pool = pool_selection.pool;
   obs::MetricsRegistry::Global()->gauge("gbdt.n_threads")->Set(
-      static_cast<double>(pool ? pool->num_threads() : 1));
+      static_cast<double>(pool_selection.num_threads()));
 
   // Histogram path quantizes up front; the exact path pre-sorts columns.
   BinnedMatrix matrix;

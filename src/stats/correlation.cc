@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace safe {
 
 PearsonBand ClassifyPearson(double r) {
@@ -80,6 +83,25 @@ std::vector<std::vector<double>> PearsonMatrix(const DataFrame& frame,
     for (size_t j = 0; j < i; ++j) mat[i][j] = mat[j][i];
   }
   return mat;
+}
+
+std::vector<double> PearsonAgainst(const DataFrame& frame, size_t anchor,
+                                   const std::vector<size_t>& others,
+                                   ThreadPool* pool) {
+  static obs::Counter* pairs_counter =
+      obs::MetricsRegistry::Global()->counter("stats.pearson_pairs");
+  std::vector<double> out(others.size(), 0.0);
+  const std::vector<double>& anchor_values = frame.column(anchor).values();
+  ParallelFor(pool, 0, others.size(), [&](size_t i) {
+    const uint64_t start_ns = obs::NowNanos();
+    out[i] = PearsonCorrelation(anchor_values,
+                                frame.column(others[i]).values());
+    obs::PerThreadHistogram("stats.pearson_pair_us",
+                            obs::DefaultLatencyBucketsUs())
+        ->Observe(static_cast<double>(obs::NowNanos() - start_ns) / 1e3);
+  });
+  pairs_counter->Increment(others.size());
+  return out;
 }
 
 }  // namespace safe

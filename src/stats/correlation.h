@@ -35,4 +35,15 @@ double PearsonCorrelation(const std::vector<double>& a,
 std::vector<std::vector<double>> PearsonMatrix(const DataFrame& frame,
                                                ThreadPool* pool = nullptr);
 
+/// \brief Pearson of `anchor` against each column in `others` (both index
+/// into `frame`), one pool task per pair; `out[i]` pairs `others[i]`.
+///
+/// This is the fan-out shape of Alg. 4's redundancy sweep: one kept
+/// feature checked against every still-alive candidate at once. Tasks
+/// are independent and write disjoint slots, so the result is
+/// deterministic at any thread count; `pool == nullptr` runs serially.
+std::vector<double> PearsonAgainst(const DataFrame& frame, size_t anchor,
+                                   const std::vector<size_t>& others,
+                                   ThreadPool* pool = nullptr);
+
 }  // namespace safe

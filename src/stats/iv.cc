@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace safe {
 
 IvBand ClassifyIv(double iv) {
@@ -72,6 +75,24 @@ Result<double> InformationValue(const std::vector<double>& feature,
   SAFE_ASSIGN_OR_RETURN(BinEdges edges,
                         EqualFrequencyEdges(feature, num_bins));
   return InformationValueWithEdges(feature, labels, edges);
+}
+
+std::vector<double> InformationValueBatch(const DataFrame& x,
+                                          const std::vector<double>& labels,
+                                          size_t num_bins, ThreadPool* pool) {
+  static obs::Counter* columns_counter =
+      obs::MetricsRegistry::Global()->counter("stats.iv_columns");
+  std::vector<double> ivs(x.num_columns(), 0.0);
+  ParallelFor(pool, 0, x.num_columns(), [&](size_t c) {
+    const uint64_t start_ns = obs::NowNanos();
+    auto iv = InformationValue(x.column(c).values(), labels, num_bins);
+    ivs[c] = iv.ok() ? *iv : 0.0;
+    obs::PerThreadHistogram("stats.iv_column_us",
+                            obs::DefaultLatencyBucketsUs())
+        ->Observe(static_cast<double>(obs::NowNanos() - start_ns) / 1e3);
+  });
+  columns_counter->Increment(x.num_columns());
+  return ivs;
 }
 
 }  // namespace safe

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/thread_pool.h"
 #include "src/dataframe/binning.h"
+#include "src/dataframe/dataframe.h"
 
 namespace safe {
 
@@ -40,5 +42,17 @@ Result<double> InformationValue(const std::vector<double>& feature,
 Result<double> InformationValueWithEdges(const std::vector<double>& feature,
                                          const std::vector<double>& labels,
                                          const BinEdges& edges);
+
+/// \brief IV of every frame column, one pool task per column (Alg. 3's
+/// per-feature loop). Each task fits its own equal-frequency edges, so
+/// binning parallelizes together with the IV itself. Columns whose IV is
+/// undefined (constant, all-missing, single-class labels) score 0.
+///
+/// Deterministic at any thread count: tasks are independent and each
+/// writes only its own output slot. `pool == nullptr` runs serially.
+std::vector<double> InformationValueBatch(const DataFrame& x,
+                                          const std::vector<double>& labels,
+                                          size_t num_bins,
+                                          ThreadPool* pool = nullptr);
 
 }  // namespace safe

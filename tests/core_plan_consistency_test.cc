@@ -1,0 +1,159 @@
+// Consistency suite for FeaturePlan's two execution paths: the batch
+// Transform (training/scoring) and the single-row TransformRow (the
+// paper's real-time inference path) must agree bit-for-bit — same value
+// bits for every finite output, NaN exactly where the other path is NaN
+// — for every registered operator, including missing-value propagation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/feature_plan.h"
+#include "src/core/operators.h"
+#include "src/dataframe/dataframe.h"
+
+namespace safe {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Parent columns exercising the interesting regions of every operator:
+/// negatives (log/sqrt undefined), zeros (division), NaNs (missing
+/// propagation), large magnitudes, and enough distinct paired rows for
+/// the fitted operators (krr needs >= 24).
+DataFrame MakeParentFrame() {
+  const size_t rows = 64;
+  Rng rng(2024);
+  std::vector<double> a(rows), b(rows), c(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    a[r] = rng.NextDouble() * 8.0 - 4.0;
+    b[r] = rng.NextDouble() * 3.0 - 1.0;
+    c[r] = rng.NextDouble() * 100.0 - 50.0;
+  }
+  a[3] = 0.0;
+  b[5] = 0.0;  // division by zero
+  a[7] = kNaN;
+  b[11] = kNaN;
+  c[13] = kNaN;
+  a[17] = kNaN;
+  b[17] = kNaN;  // all-missing row
+  c[19] = -0.0;
+  DataFrame x;
+  SAFE_CHECK(x.AddColumn(Column("a", std::move(a))).ok());
+  SAFE_CHECK(x.AddColumn(Column("b", std::move(b))).ok());
+  SAFE_CHECK(x.AddColumn(Column("c", std::move(c))).ok());
+  return x;
+}
+
+TEST(PlanConsistencyTest, RowTransformMatchesBatchForEveryOperator) {
+  const OperatorRegistry registry = OperatorRegistry::Default();
+  const DataFrame x = MakeParentFrame();
+  const std::vector<std::string> parent_names = {"a", "b", "c"};
+
+  const std::vector<std::string> names = registry.Names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& op_name : names) {
+    SCOPED_TRACE("operator " + op_name);
+    auto op = registry.Find(op_name);
+    ASSERT_TRUE(op.ok());
+    const size_t arity = (*op)->arity();
+    ASSERT_LE(arity, parent_names.size());
+
+    std::vector<const std::vector<double>*> parents;
+    std::vector<std::string> used_parents;
+    for (size_t p = 0; p < arity; ++p) {
+      parents.push_back(&x.column(p).values());
+      used_parents.push_back(parent_names[p]);
+    }
+    auto params = (*op)->FitParams(parents);
+    ASSERT_TRUE(params.ok()) << params.status().ToString();
+
+    GeneratedFeature feature;
+    feature.name = "gen_" + op_name;
+    feature.op = op_name;
+    feature.parents = used_parents;
+    feature.params = *params;
+    // Select the generated feature plus one original column so both slot
+    // kinds flow through each path.
+    auto plan = FeaturePlan::Create(parent_names, {feature},
+                                    {feature.name, "a"});
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+    auto batch = plan->Transform(x, registry);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_EQ(batch->num_columns(), 2u);
+    ASSERT_EQ(batch->num_rows(), x.num_rows());
+
+    for (size_t r = 0; r < x.num_rows(); ++r) {
+      auto row_out = plan->TransformRow(x.Row(r), registry);
+      ASSERT_TRUE(row_out.ok()) << row_out.status().ToString();
+      ASSERT_EQ(row_out->size(), 2u);
+      for (size_t s = 0; s < 2; ++s) {
+        const double batch_value = batch->column(s)[r];
+        const double row_value = (*row_out)[s];
+        if (std::isnan(batch_value) || std::isnan(row_value)) {
+          // NaN payload bits are not part of the contract, but *whether*
+          // the output is missing must agree exactly.
+          EXPECT_TRUE(std::isnan(batch_value) && std::isnan(row_value))
+              << "row " << r << " slot " << s << ": batch=" << batch_value
+              << " row=" << row_value;
+        } else {
+          EXPECT_EQ(Bits(batch_value), Bits(row_value))
+              << "row " << r << " slot " << s << ": batch=" << batch_value
+              << " row=" << row_value;
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanConsistencyTest, MissingPropagationAgreesOnAllNanRow) {
+  // Row 17 is NaN in both binary parents: operators without
+  // handles_missing must yield NaN through both paths; handles_missing
+  // operators must yield the same (finite or not) value through both.
+  const OperatorRegistry registry = OperatorRegistry::Default();
+  const DataFrame x = MakeParentFrame();
+  for (const std::string& op_name : registry.Names()) {
+    auto op = registry.Find(op_name);
+    ASSERT_TRUE(op.ok());
+    if ((*op)->arity() != 2) continue;
+    SCOPED_TRACE("operator " + op_name);
+    std::vector<const std::vector<double>*> parents = {
+        &x.column(0).values(), &x.column(1).values()};
+    auto params = (*op)->FitParams(parents);
+    ASSERT_TRUE(params.ok());
+    GeneratedFeature feature;
+    feature.name = "gen";
+    feature.op = op_name;
+    feature.parents = {"a", "b"};
+    feature.params = *params;
+    auto plan = FeaturePlan::Create({"a", "b", "c"}, {feature}, {"gen"});
+    ASSERT_TRUE(plan.ok());
+    auto batch = plan->Transform(x, registry);
+    ASSERT_TRUE(batch.ok());
+    auto row_out = plan->TransformRow(x.Row(17), registry);
+    ASSERT_TRUE(row_out.ok());
+    const double batch_value = batch->column(0)[17];
+    const double row_value = (*row_out)[0];
+    if (!(*op)->handles_missing()) {
+      EXPECT_TRUE(std::isnan(batch_value));
+    }
+    EXPECT_TRUE((std::isnan(batch_value) && std::isnan(row_value)) ||
+                Bits(batch_value) == Bits(row_value));
+  }
+}
+
+}  // namespace
+}  // namespace safe

@@ -1,0 +1,132 @@
+// Property suite for the 3-step selection pipeline (Algs. 3 & 4) over a
+// wide seed sweep of randomized datasets (including NaN-bearing and
+// constant columns): postconditions that must hold for any input, plus
+// serial-vs-parallel differential checks on the batch stats entry points.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/selection.h"
+#include "src/stats/correlation.h"
+#include "src/stats/iv.h"
+#include "tests/property_util.h"
+
+namespace safe {
+namespace {
+
+std::vector<size_t> AllColumns(const DataFrame& x) {
+  std::vector<size_t> all(x.num_columns());
+  for (size_t c = 0; c < all.size(); ++c) all[c] = c;
+  return all;
+}
+
+Dataset HardenedDataset(uint64_t seed) {
+  Dataset data = testutil::MakePropertyDataset(seed);
+  testutil::AppendConstantColumn(&data, "const_a", 3.25);
+  testutil::AppendMostlyMissingColumn(&data, "sparse_a", seed);
+  return data;
+}
+
+class SelectionSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelectionSweepTest, IvFilterKeepsExactlyAboveThreshold) {
+  // Alg. 3 postcondition: survivors are exactly the columns whose IV
+  // clears the floor — nothing above dropped, nothing at-or-below kept.
+  const Dataset data = HardenedDataset(GetParam());
+  const auto ivs = ComputeIvs(data.x, data.labels(), 10);
+  ASSERT_EQ(ivs.size(), data.x.num_columns());
+  const double alpha = 0.1;
+  const auto kept = IvFilterIndices(ivs, alpha);
+  std::vector<char> is_kept(ivs.size(), 0);
+  for (size_t c : kept) {
+    ASSERT_LT(c, ivs.size());
+    is_kept[c] = 1;
+    EXPECT_GT(ivs[c], alpha) << "kept column " << c << " below IV floor";
+  }
+  for (size_t c = 0; c < ivs.size(); ++c) {
+    if (!is_kept[c]) {
+      EXPECT_LE(ivs[c], alpha) << "dropped column " << c << " above floor";
+    }
+  }
+  // Degenerate columns can never clear the floor.
+  for (size_t c = 0; c < ivs.size(); ++c) {
+    if (data.x.column(c).name() == "const_a") {
+      EXPECT_EQ(ivs[c], 0.0);
+    }
+  }
+}
+
+TEST_P(SelectionSweepTest, RedundancyFilterNoSurvivingPairAboveTheta) {
+  // Alg. 4 postcondition: no surviving pair correlates above θ, the
+  // survivors are a subset of the candidates, and within any dropped /
+  // kept redundant pair the larger IV survived.
+  const Dataset data = HardenedDataset(GetParam());
+  const auto ivs = ComputeIvs(data.x, data.labels(), 10);
+  const auto candidates = AllColumns(data.x);
+  const double theta = 0.8;
+  const auto kept = RedundancyFilterIndices(data.x, ivs, candidates, theta);
+  ASSERT_FALSE(kept.empty());
+  std::vector<char> is_candidate(data.x.num_columns(), 1);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    ASSERT_LT(kept[i], data.x.num_columns());
+    for (size_t j = i + 1; j < kept.size(); ++j) {
+      const double r = PearsonCorrelation(data.x.column(kept[i]).values(),
+                                          data.x.column(kept[j]).values());
+      EXPECT_LE(std::fabs(r), theta + 1e-9)
+          << "surviving pair " << kept[i] << "," << kept[j];
+    }
+  }
+  // Every dropped candidate must correlate above θ with some survivor of
+  // IV ≥ its own (the reason it was removed).
+  std::vector<char> survived(data.x.num_columns(), 0);
+  for (size_t c : kept) survived[c] = 1;
+  for (size_t c : candidates) {
+    if (survived[c]) continue;
+    bool justified = false;
+    for (size_t k : kept) {
+      const double r = PearsonCorrelation(data.x.column(c).values(),
+                                          data.x.column(k).values());
+      if (std::fabs(r) > theta && ivs[k] >= ivs[c]) {
+        justified = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(justified) << "column " << c << " dropped without a "
+                           << "stronger correlated survivor";
+  }
+}
+
+TEST_P(SelectionSweepTest, ComputeIvsSerialMatchesParallelBitwise) {
+  const Dataset data = HardenedDataset(GetParam());
+  const auto serial = ComputeIvs(data.x, data.labels(), 10, nullptr);
+  ThreadPool pool(4);
+  const auto parallel = ComputeIvs(data.x, data.labels(), 10, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t c = 0; c < serial.size(); ++c) {
+    EXPECT_EQ(std::memcmp(&serial[c], &parallel[c], sizeof(double)), 0)
+        << "IV of column " << c << " differs between serial and parallel";
+  }
+}
+
+TEST_P(SelectionSweepTest, RedundancyFilterSerialMatchesParallel) {
+  const Dataset data = HardenedDataset(GetParam());
+  const auto ivs = ComputeIvs(data.x, data.labels(), 10);
+  const auto candidates = AllColumns(data.x);
+  const auto serial =
+      RedundancyFilterIndices(data.x, ivs, candidates, 0.8, nullptr);
+  ThreadPool pool(3);
+  const auto parallel =
+      RedundancyFilterIndices(data.x, ivs, candidates, 0.8, &pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionSweepTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace safe

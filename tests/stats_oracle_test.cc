@@ -1,0 +1,323 @@
+// Oracle suite for the statistics the selection pipeline stands on:
+// IV (Eq. 6), Pearson (Eq. 7) and JSD (Eqs. 14-15) are checked against
+// closed-form hand-computed fixtures and against independent brute-force
+// reference implementations on randomized inputs, plus batch-vs-single
+// bitwise agreement for the parallel entry points.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/thread_pool.h"
+#include "src/dataframe/binning.h"
+#include "src/dataframe/dataframe.h"
+#include "src/stats/correlation.h"
+#include "src/stats/divergence.h"
+#include "src/stats/iv.h"
+
+namespace safe {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------------
+// Brute-force references (independent of the library implementations).
+
+/// Eq. 6 computed from scratch: explicit per-bin counts via a linear
+/// scan over the edges, then the WoE sum with the same 0.5 pseudo-count
+/// convention the library documents.
+double IvBruteForce(const std::vector<double>& feature,
+                    const std::vector<double>& labels,
+                    const std::vector<double>& edges) {
+  const size_t num_cells = edges.size() + 2;  // bins + missing
+  std::vector<double> pos(num_cells, 0.0), neg(num_cells, 0.0);
+  double np = 0.0, nn = 0.0;
+  for (size_t i = 0; i < feature.size(); ++i) {
+    size_t bin;
+    if (std::isnan(feature[i])) {
+      bin = num_cells - 1;
+    } else {
+      bin = 0;
+      while (bin < edges.size() && feature[i] > edges[bin]) ++bin;
+    }
+    if (labels[i] > 0.5) {
+      pos[bin] += 1.0;
+      np += 1.0;
+    } else {
+      neg[bin] += 1.0;
+      nn += 1.0;
+    }
+  }
+  double iv = 0.0;
+  for (size_t b = 0; b < num_cells; ++b) {
+    if (pos[b] == 0.0 && neg[b] == 0.0) continue;
+    const double p = (pos[b] > 0.0 ? pos[b] : 0.5) / np;
+    const double q = (neg[b] > 0.0 ? neg[b] : 0.5) / nn;
+    iv += (p - q) * std::log(p / q);
+  }
+  return iv;
+}
+
+/// Eq. 7 computed from scratch with pairwise deletion of NaN rows.
+double PearsonBruteForce(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double sum_a = 0.0, sum_b = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
+    sum_a += a[i];
+    sum_b += b[i];
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  const double mean_a = sum_a / n, mean_b = sum_b / n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
+    cov += (a[i] - mean_a) * (b[i] - mean_b);
+    var_a += (a[i] - mean_a) * (a[i] - mean_a);
+    var_b += (b[i] - mean_b) * (b[i] - mean_b);
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+/// Eqs. 14-15 from scratch: JSD(P,Q) = ½KL(P‖R) + ½KL(Q‖R), R = ½(P+Q).
+double JsdBruteForce(const std::vector<double>& p,
+                     const std::vector<double>& q) {
+  double jsd = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double r = 0.5 * (p[i] + q[i]);
+    if (p[i] > 0.0) jsd += 0.5 * p[i] * std::log(p[i] / r);
+    if (q[i] > 0.0) jsd += 0.5 * q[i] * std::log(q[i] / r);
+  }
+  return jsd;
+}
+
+// ---------------------------------------------------------------------
+// IV (Eq. 6)
+
+TEST(IvOracleTest, TwoCleanBinsClosedForm) {
+  // Bin 0 holds 3 positives / 1 negative, bin 1 the mirror image:
+  // IV = (¾−¼)ln3 + (¼−¾)ln(1/3) = ln 3.
+  const std::vector<double> feature = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<double> labels = {1, 1, 1, 0, 0, 0, 1, 0};
+  BinEdges edges{{0.5}};
+  auto iv = InformationValueWithEdges(feature, labels, edges);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_NEAR(*iv, std::log(3.0), 1e-12);
+}
+
+TEST(IvOracleTest, PerfectSeparationUsesPseudoCount) {
+  // Each bin is single-class; the empty side smooths to 0.5 counts:
+  // per bin (1 − 0.25)·ln(1/0.25) = 0.75·ln4, twice → 3 ln 2.
+  const std::vector<double> feature = {0, 0, 1, 1};
+  const std::vector<double> labels = {1, 1, 0, 0};
+  BinEdges edges{{0.5}};
+  auto iv = InformationValueWithEdges(feature, labels, edges);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_NEAR(*iv, 3.0 * std::log(2.0), 1e-12);
+}
+
+TEST(IvOracleTest, MissingValuesGetTheirOwnBin) {
+  // NaN rows land in the dedicated missing bin. Here the missing bin and
+  // bin 0 each hold one positive and one negative → IV = 0 exactly.
+  const std::vector<double> feature = {kNaN, 0, kNaN, 0};
+  const std::vector<double> labels = {1, 1, 0, 0};
+  BinEdges edges{{0.5}};
+  auto iv = InformationValueWithEdges(feature, labels, edges);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_NEAR(*iv, 0.0, 1e-15);
+}
+
+TEST(IvOracleTest, SingleClassLabelsRejected) {
+  const std::vector<double> feature = {0, 1, 2, 3};
+  const std::vector<double> labels = {1, 1, 1, 1};
+  EXPECT_FALSE(InformationValue(feature, labels, 2).ok());
+}
+
+TEST(IvOracleTest, MatchesBruteForceOnRandomizedInputs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t rows = 50 + rng.NextUint64Below(200);
+    std::vector<double> feature(rows), labels(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      feature[i] = rng.NextDouble() * 10.0 - 5.0;
+      if (rng.NextDouble() < 0.1) feature[i] = kNaN;
+      labels[i] = rng.NextDouble() < 0.4 ? 1.0 : 0.0;
+    }
+    labels[0] = 1.0;
+    labels[1] = 0.0;  // guarantee both classes
+    auto edges = EqualFrequencyEdges(feature, 5);
+    ASSERT_TRUE(edges.ok());
+    auto iv = InformationValueWithEdges(feature, labels, *edges);
+    ASSERT_TRUE(iv.ok());
+    EXPECT_NEAR(*iv, IvBruteForce(feature, labels, edges->edges), 1e-10)
+        << "trial " << trial;
+  }
+}
+
+TEST(IvOracleTest, BatchMatchesSingleColumnBitwise) {
+  Rng rng(7);
+  DataFrame x;
+  std::vector<double> labels(120);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = rng.NextDouble() < 0.5 ? 1.0 : 0.0;
+  }
+  labels[0] = 1.0;
+  labels[1] = 0.0;
+  for (int c = 0; c < 6; ++c) {
+    std::vector<double> v(labels.size());
+    for (double& value : v) {
+      value = rng.NextDouble() * 6.0 - 3.0;
+      if (rng.NextDouble() < 0.05) value = kNaN;
+    }
+    if (c == 5) std::fill(v.begin(), v.end(), 1.0);  // constant → IV 0
+    ASSERT_TRUE(x.AddColumn(Column("c" + std::to_string(c), std::move(v)))
+                    .ok());
+  }
+  ThreadPool pool(3);
+  const auto serial = InformationValueBatch(x, labels, 8, nullptr);
+  const auto parallel = InformationValueBatch(x, labels, 8, &pool);
+  ASSERT_EQ(serial.size(), x.num_columns());
+  ASSERT_EQ(parallel.size(), x.num_columns());
+  for (size_t c = 0; c < x.num_columns(); ++c) {
+    auto single = InformationValue(x.column(c).values(), labels, 8);
+    const double expected = single.ok() ? *single : 0.0;
+    EXPECT_EQ(std::memcmp(&serial[c], &expected, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&serial[c], &parallel[c], sizeof(double)), 0);
+  }
+  EXPECT_EQ(serial.back(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Pearson (Eq. 7)
+
+TEST(PearsonOracleTest, ClosedFormFixtures) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  // Perfect affine relation → exactly ±1 up to rounding.
+  std::vector<double> b(a.size());
+  for (size_t i = 0; i < a.size(); ++i) b[i] = 2.0 * a[i] + 1.0;
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  for (size_t i = 0; i < a.size(); ++i) b[i] = -a[i];
+  EXPECT_NEAR(PearsonCorrelation(a, b), -1.0, 1e-12);
+  // Hand-computed: cov = 3.5, var_a = 5, var_b = 4.75.
+  const std::vector<double> c = {2, 4, 5, 4};
+  EXPECT_NEAR(PearsonCorrelation(a, c), 3.5 / std::sqrt(5.0 * 4.75), 1e-12);
+  // Constant input → 0 by convention (not NaN).
+  const std::vector<double> flat = {3, 3, 3, 3};
+  EXPECT_EQ(PearsonCorrelation(a, flat), 0.0);
+}
+
+TEST(PearsonOracleTest, NanRowsArePairwiseDeleted) {
+  // The NaN rows must be skipped as pairs: the remaining rows of `b`
+  // form an exact affine image of `a`, so r = 1.
+  const std::vector<double> a = {1, kNaN, 2, 3, 4, kNaN};
+  const std::vector<double> b = {2, 100, 4, kNaN, 8, -7};
+  // Complete pairs: (1,2), (2,4), (4,8).
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, b), PearsonBruteForce(a, b), 1e-12);
+}
+
+TEST(PearsonOracleTest, MatchesBruteForceOnRandomizedInputs) {
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t rows = 20 + rng.NextUint64Below(150);
+    std::vector<double> a(rows), b(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      a[i] = rng.NextDouble() * 4.0 - 2.0;
+      b[i] = 0.3 * a[i] + rng.NextDouble();
+      if (rng.NextDouble() < 0.08) a[i] = kNaN;
+      if (rng.NextDouble() < 0.08) b[i] = kNaN;
+    }
+    EXPECT_NEAR(PearsonCorrelation(a, b), PearsonBruteForce(a, b), 1e-10)
+        << "trial " << trial;
+  }
+}
+
+TEST(PearsonOracleTest, AgainstMatchesPairwiseBitwise) {
+  Rng rng(55);
+  DataFrame x;
+  for (int c = 0; c < 7; ++c) {
+    std::vector<double> v(90);
+    for (double& value : v) {
+      value = rng.NextDouble() * 2.0 - 1.0;
+      if (rng.NextDouble() < 0.05) value = kNaN;
+    }
+    ASSERT_TRUE(x.AddColumn(Column("c" + std::to_string(c), std::move(v)))
+                    .ok());
+  }
+  const std::vector<size_t> others = {1, 3, 4, 6};
+  ThreadPool pool(3);
+  const auto serial = PearsonAgainst(x, 0, others, nullptr);
+  const auto parallel = PearsonAgainst(x, 0, others, &pool);
+  ASSERT_EQ(serial.size(), others.size());
+  for (size_t i = 0; i < others.size(); ++i) {
+    const double pairwise = PearsonCorrelation(x.column(0).values(),
+                                               x.column(others[i]).values());
+    EXPECT_EQ(std::memcmp(&serial[i], &pairwise, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&serial[i], &parallel[i], sizeof(double)), 0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// KL / JSD (Eqs. 14-15)
+
+TEST(DivergenceOracleTest, KlClosedForm) {
+  // KL([½,½] ‖ [¼,¾]) = ½ln2 + ½ln(2/3).
+  auto kl = KlDivergence({0.5, 0.5}, {0.25, 0.75});
+  ASSERT_TRUE(kl.ok());
+  EXPECT_NEAR(*kl, 0.5 * std::log(2.0) + 0.5 * std::log(2.0 / 3.0), 1e-12);
+  // KL(P‖P) = 0; a support violation is infinite.
+  auto self = KlDivergence({0.3, 0.7}, {0.3, 0.7});
+  ASSERT_TRUE(self.ok());
+  EXPECT_NEAR(*self, 0.0, 1e-15);
+  auto inf = KlDivergence({0.5, 0.5}, {1.0, 0.0});
+  ASSERT_TRUE(inf.ok());
+  EXPECT_TRUE(std::isinf(*inf));
+}
+
+TEST(DivergenceOracleTest, JsdClosedForm) {
+  // Identical distributions → 0; disjoint supports → the ln 2 maximum.
+  auto same = JsDivergence({0.2, 0.5, 0.3}, {0.2, 0.5, 0.3});
+  ASSERT_TRUE(same.ok());
+  EXPECT_NEAR(*same, 0.0, 1e-15);
+  auto disjoint = JsDivergence({1.0, 0.0}, {0.0, 1.0});
+  ASSERT_TRUE(disjoint.ok());
+  EXPECT_NEAR(*disjoint, std::log(2.0), 1e-12);
+}
+
+TEST(DivergenceOracleTest, JsdMatchesBruteForceAndIsSymmetricBounded) {
+  Rng rng(321);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t k = 2 + rng.NextUint64Below(8);
+    std::vector<double> p(k), q(k);
+    double sp = 0.0, sq = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      p[i] = rng.NextDouble() + 1e-3;
+      q[i] = rng.NextDouble() + 1e-3;
+      sp += p[i];
+      sq += q[i];
+    }
+    for (size_t i = 0; i < k; ++i) {
+      p[i] /= sp;
+      q[i] /= sq;
+    }
+    auto pq = JsDivergence(p, q);
+    auto qp = JsDivergence(q, p);
+    ASSERT_TRUE(pq.ok());
+    ASSERT_TRUE(qp.ok());
+    EXPECT_NEAR(*pq, JsdBruteForce(p, q), 1e-12) << "trial " << trial;
+    EXPECT_NEAR(*pq, *qp, 1e-12);        // symmetry
+    EXPECT_GE(*pq, -1e-15);              // non-negative
+    EXPECT_LE(*pq, std::log(2.0) + 1e-12);  // bounded by ln 2
+  }
+}
+
+}  // namespace
+}  // namespace safe

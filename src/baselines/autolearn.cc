@@ -30,8 +30,7 @@ double SubsetInfoGain(const std::vector<double>& values,
 }  // namespace
 
 Result<FeaturePlan> AutoLearnEngineer::FitPlan(const Dataset& train,
-                                               const Dataset* valid) {
-  (void)valid;
+                                               const Dataset* /*valid*/) {
   if (train.num_rows() == 0 || train.x.num_columns() == 0) {
     return Status::InvalidArgument("autolearn: empty training data");
   }
@@ -124,21 +123,24 @@ Result<FeaturePlan> AutoLearnEngineer::FitPlan(const Dataset& train,
     double info_gain;
     std::string name;
     const GeneratedFeature* feature;  // nullptr = original
+    size_t position;                  // originals first, then kept order
   };
   std::vector<Ranked> ranked;
   for (size_t c = 0; c < m; ++c) {
     ranked.push_back({BinnedInformationGain(train.x.column(c).values(),
                                             labels, params_.info_gain_bins),
-                      train.x.column(c).name(), nullptr});
+                      train.x.column(c).name(), nullptr, ranked.size()});
   }
   for (const auto& scored : kept) {
     ranked.push_back({scored.info_gain, scored.feature.name,
-                      &scored.feature});
+                      &scored.feature, ranked.size()});
   }
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [](const Ranked& a, const Ranked& b) {
-                     return a.info_gain > b.info_gain;
-                   });
+  // Explicit total order: gain desc, then insertion position.
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) {
+              if (a.info_gain != b.info_gain) return a.info_gain > b.info_gain;
+              return a.position < b.position;
+            });
   if (ranked.size() > max_output) ranked.resize(max_output);
 
   std::vector<std::string> selected;

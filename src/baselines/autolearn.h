@@ -48,7 +48,7 @@ class AutoLearnEngineer : public FeatureEngineer {
       : params_(std::move(params)),
         registry_(OperatorRegistry::Default()) {}
 
-  Result<FeaturePlan> FitPlan(const Dataset& train,
+  [[nodiscard]] Result<FeaturePlan> FitPlan(const Dataset& train,
                               const Dataset* valid) override;
   std::string name() const override { return "AUTOLEARN"; }
 

@@ -40,8 +40,7 @@ double SplitInfoGain(const std::vector<double>& values,
 }  // namespace
 
 Result<FeaturePlan> FcTreeEngineer::FitPlan(const Dataset& train,
-                                            const Dataset* valid) {
-  (void)valid;
+                                            const Dataset* /*valid*/) {
   if (train.num_rows() == 0 || train.x.num_columns() == 0) {
     return Status::InvalidArgument("fctree: empty training data");
   }
@@ -68,7 +67,7 @@ Result<FeaturePlan> FcTreeEngineer::FitPlan(const Dataset& train,
   // Candidate store: originals first, constructed appended per level.
   std::vector<CandidateColumn> candidates;
   candidates.reserve(orig_m + params_.ne * params_.max_depth);
-  std::unordered_set<std::string> known_names;
+  std::unordered_set<std::string> known_names;  // lint: unordered-ok(membership-only dedup; never iterated)
   for (const auto& col : train.x.columns()) {
     CandidateColumn candidate;
     candidate.column = col;
@@ -110,7 +109,7 @@ Result<FeaturePlan> FcTreeEngineer::FitPlan(const Dataset& train,
   };
 
   // Level-order tree construction; we only need the split decisions.
-  std::unordered_set<size_t> chosen_constructed;  // candidate indices
+  std::unordered_set<size_t> chosen_constructed;  // candidate indices; lint: unordered-ok(membership checks only; candidates scanned by index)
   {
     std::vector<size_t> all_rows(train.num_rows());
     for (size_t r = 0; r < all_rows.size(); ++r) all_rows[r] = r;
@@ -194,10 +193,13 @@ Result<FeaturePlan> FcTreeEngineer::FitPlan(const Dataset& train,
                                params_.info_gain_bins),
          &candidates[c]});
   }
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [](const Ranked& a, const Ranked& b) {
-                     return a.info_gain > b.info_gain;
-                   });
+  // Explicit total order: gain desc, then candidates-vector position
+  // (entries point into one array, so pointer order is insertion order).
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) {
+              if (a.info_gain != b.info_gain) return a.info_gain > b.info_gain;
+              return a.candidate < b.candidate;
+            });
   if (ranked.size() > max_output) ranked.resize(max_output);
 
   std::vector<std::string> selected;

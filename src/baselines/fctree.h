@@ -43,7 +43,7 @@ class FcTreeEngineer : public FeatureEngineer {
       OperatorRegistry registry = OperatorRegistry::Arithmetic())
       : params_(std::move(params)), registry_(std::move(registry)) {}
 
-  Result<FeaturePlan> FitPlan(const Dataset& train,
+  [[nodiscard]] Result<FeaturePlan> FitPlan(const Dataset& train,
                               const Dataset* valid) override;
   std::string name() const override { return "FCT"; }
 

@@ -4,8 +4,7 @@ namespace safe {
 namespace baselines {
 
 Result<FeaturePlan> OrigEngineer::FitPlan(const Dataset& train,
-                                          const Dataset* valid) {
-  (void)valid;
+                                          const Dataset* /*valid*/) {
   if (train.x.num_columns() == 0) {
     return Status::InvalidArgument("orig: empty training data");
   }

@@ -20,7 +20,7 @@ class FeatureEngineer {
   virtual ~FeatureEngineer() = default;
 
   /// Learns Ψ from training data (valid optional).
-  virtual Result<FeaturePlan> FitPlan(const Dataset& train,
+  [[nodiscard]] virtual Result<FeaturePlan> FitPlan(const Dataset& train,
                                       const Dataset* valid) = 0;
 
   /// Method abbreviation as in the paper's tables ("SAFE", "FCT", ...).
@@ -30,7 +30,7 @@ class FeatureEngineer {
 /// \brief ORIG: the identity plan — original features, untouched.
 class OrigEngineer : public FeatureEngineer {
  public:
-  Result<FeaturePlan> FitPlan(const Dataset& train,
+  [[nodiscard]] Result<FeaturePlan> FitPlan(const Dataset& train,
                               const Dataset* valid) override;
   std::string name() const override { return "ORIG"; }
 };
@@ -44,7 +44,7 @@ class SafeEngineer : public FeatureEngineer {
   SafeEngineer(SafeParams params, OperatorRegistry registry)
       : engine_(std::move(params), std::move(registry)) {}
 
-  Result<FeaturePlan> FitPlan(const Dataset& train,
+  [[nodiscard]] Result<FeaturePlan> FitPlan(const Dataset& train,
                               const Dataset* valid) override;
   std::string name() const override;
 

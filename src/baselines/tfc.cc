@@ -25,8 +25,7 @@ struct ScoredCandidate {
 }  // namespace
 
 Result<FeaturePlan> TfcEngineer::FitPlan(const Dataset& train,
-                                         const Dataset* valid) {
-  (void)valid;
+                                         const Dataset* /*valid*/) {
   if (train.num_rows() == 0 || train.x.num_columns() == 0) {
     return Status::InvalidArgument("tfc: empty training data");
   }
@@ -54,7 +53,7 @@ Result<FeaturePlan> TfcEngineer::FitPlan(const Dataset& train,
 
   std::vector<Column> pool(train.x.columns());
   std::vector<GeneratedFeature> all_generated;
-  std::unordered_set<std::string> known_names;
+  std::unordered_set<std::string> known_names;  // lint: unordered-ok(membership-only dedup; never iterated)
   for (const auto& col : pool) known_names.insert(col.name());
 
   for (size_t iter = 0; iter < params_.num_iterations; ++iter) {
@@ -138,7 +137,7 @@ Result<FeaturePlan> TfcEngineer::FitPlan(const Dataset& train,
   for (const auto& col : pool) selected.push_back(col.name());
 
   // Prune generated features not needed by the final pool.
-  std::unordered_set<std::string> needed(selected.begin(), selected.end());
+  std::unordered_set<std::string> needed(selected.begin(), selected.end());  // lint: unordered-ok(membership-only keep-mark; iteration is over all_generated)
   std::vector<GeneratedFeature> pruned;
   std::vector<char> keep(all_generated.size(), 0);
   for (size_t g = all_generated.size(); g-- > 0;) {

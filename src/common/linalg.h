@@ -12,7 +12,7 @@ namespace safe {
 ///
 /// Sized for the small systems this library needs (kernel-ridge landmark
 /// fits, n <= a few hundred); not a general-purpose LAPACK stand-in.
-Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,
+[[nodiscard]] Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,
                                               std::vector<double> b);
 
 }  // namespace safe

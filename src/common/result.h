@@ -13,8 +13,10 @@ namespace safe {
 /// Mirrors arrow::Result / absl::StatusOr. Accessing the value of an
 /// errored Result aborts (programming error), so callers must check ok()
 /// or use the SAFE_ASSIGN_OR_RETURN macro.
+///
+/// [[nodiscard]] like Status: an ignored Result is an ignored error path.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

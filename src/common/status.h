@@ -27,7 +27,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// The library does not throw exceptions across public API boundaries;
 /// every fallible operation returns a Status (or a Result<T> when it also
 /// produces a value). Statuses are cheap to copy in the OK case.
-class Status {
+///
+/// The class is [[nodiscard]]: dropping a returned Status on the floor is
+/// a compile error under -Werror. Handle it, propagate it with
+/// SAFE_RETURN_NOT_OK, or (exceptionally) discard it with a (void) cast
+/// plus a `// lint: discard-ok(<reason>)` annotation for safe_lint.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -35,26 +40,26 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status NotImplemented(std::string msg) {
+  [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 

@@ -15,10 +15,10 @@ std::vector<std::string> SplitString(std::string_view s, char delim);
 std::string_view StripWhitespace(std::string_view s);
 
 /// Parses a double; "" / "NA" / "nan" / "?" parse as NaN (missing).
-Result<double> ParseDouble(std::string_view s);
+[[nodiscard]] Result<double> ParseDouble(std::string_view s);
 
 /// Parses a base-10 integer.
-Result<int64_t> ParseInt(std::string_view s);
+[[nodiscard]] Result<int64_t> ParseInt(std::string_view s);
 
 /// Formats with `precision` significant decimal digits, no trailing-zero
 /// trimming (stable widths for table output).

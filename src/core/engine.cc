@@ -211,7 +211,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
   }
 
   std::vector<GeneratedFeature> all_generated;
-  std::unordered_set<std::string> known_names;
+  std::unordered_set<std::string> known_names;  // lint: unordered-ok(membership-only dedup; never iterated)
   for (const auto& name : train.x.ColumnNames()) known_names.insert(name);
 
   SafeFitResult result;
@@ -474,7 +474,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
   // Prune generated features the final selection does not need
   // (transitively), so inference pays only for what Ψ outputs.
   const std::vector<std::string> selected_names = current.x.ColumnNames();
-  std::unordered_set<std::string> needed(selected_names.begin(),
+  std::unordered_set<std::string> needed(selected_names.begin(),  // lint: unordered-ok(membership-only keep-mark; iteration is over the all_generated vector)
                                          selected_names.end());
   std::vector<char> keep(all_generated.size(), 0);
   for (size_t g = all_generated.size(); g-- > 0;) {

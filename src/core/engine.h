@@ -127,7 +127,7 @@ class SafeEngine {
 
   /// Learns Ψ from training data. `valid` is optional and only consulted
   /// by the internal boosters (e.g. early stopping when configured).
-  Result<SafeFitResult> Fit(const Dataset& train,
+  [[nodiscard]] Result<SafeFitResult> Fit(const Dataset& train,
                             const Dataset* valid = nullptr) const;
 
   const SafeParams& params() const { return params_; }

@@ -27,7 +27,7 @@ Result<FeaturePlan> FeaturePlan::Create(
   plan.generated_ = std::move(generated);
   plan.selected_ = std::move(selected);
 
-  std::unordered_map<std::string, size_t> slots;
+  std::unordered_map<std::string, size_t> slots;  // lint: unordered-ok(name-to-slot lookup; outputs follow the input/generated vectors)
   for (size_t i = 0; i < plan.input_columns_.size(); ++i) {
     auto [it, inserted] = slots.emplace(plan.input_columns_[i], i);
     if (!inserted) {

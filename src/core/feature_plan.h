@@ -37,21 +37,21 @@ class FeaturePlan {
   /// \param generated      constructed features in dependency order.
   /// \param selected       final output column names; each must be an
   ///                       input column or a generated feature.
-  static Result<FeaturePlan> Create(std::vector<std::string> input_columns,
+  [[nodiscard]] static Result<FeaturePlan> Create(std::vector<std::string> input_columns,
                                     std::vector<GeneratedFeature> generated,
                                     std::vector<std::string> selected);
 
   /// Applies Ψ to a frame whose columns match the input schema (by name).
   /// Output columns appear in `selected()` order.
-  Result<DataFrame> Transform(const DataFrame& x,
+  [[nodiscard]] Result<DataFrame> Transform(const DataFrame& x,
                               const OperatorRegistry& registry) const;
-  Result<DataFrame> Transform(const DataFrame& x) const;
+  [[nodiscard]] Result<DataFrame> Transform(const DataFrame& x) const;
 
   /// Applies Ψ to one dense row ordered like the input schema — the
   /// real-time path: no frame materialization, O(plan size) work.
-  Result<std::vector<double>> TransformRow(
+  [[nodiscard]] Result<std::vector<double>> TransformRow(
       const std::vector<double>& row, const OperatorRegistry& registry) const;
-  Result<std::vector<double>> TransformRow(
+  [[nodiscard]] Result<std::vector<double>> TransformRow(
       const std::vector<double>& row) const;
 
   const std::vector<std::string>& input_columns() const {
@@ -66,7 +66,7 @@ class FeaturePlan {
   size_t NumSelectedGenerated() const;
 
   std::string Serialize() const;
-  static Result<FeaturePlan> Deserialize(const std::string& text);
+  [[nodiscard]] static Result<FeaturePlan> Deserialize(const std::string& text);
 
  private:
   std::vector<std::string> input_columns_;

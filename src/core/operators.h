@@ -39,9 +39,8 @@ class Operator {
 
   /// Learns operator parameters from training parent columns
   /// (default: none). Columns are parallel, length = rows.
-  virtual Result<std::vector<double>> FitParams(
-      const std::vector<const std::vector<double>*>& parents) const {
-    (void)parents;
+  [[nodiscard]] virtual Result<std::vector<double>> FitParams(
+      const std::vector<const std::vector<double>*>& /*parents*/) const {
     return std::vector<double>{};
   }
 
@@ -52,7 +51,7 @@ class Operator {
 };
 
 /// Applies an operator across full columns (NaN in, NaN out).
-Result<std::vector<double>> ApplyOperator(
+[[nodiscard]] Result<std::vector<double>> ApplyOperator(
     const Operator& op, const std::vector<double>& params,
     const std::vector<const std::vector<double>*>& parents);
 
@@ -75,10 +74,10 @@ class OperatorRegistry {
   static OperatorRegistry Empty();
 
   /// Adds an operator; fails on duplicate names.
-  Status Register(std::shared_ptr<const Operator> op);
+  [[nodiscard]] Status Register(std::shared_ptr<const Operator> op);
 
   /// Looks an operator up by name.
-  Result<std::shared_ptr<const Operator>> Find(const std::string& name) const;
+  [[nodiscard]] Result<std::shared_ptr<const Operator>> Find(const std::string& name) const;
 
   /// All registered operators of the given arity.
   std::vector<std::shared_ptr<const Operator>> OfArity(size_t arity) const;

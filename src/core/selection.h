@@ -61,7 +61,7 @@ std::vector<size_t> RedundancyFilterIndices(
 /// returns up to `max_output` of them ranked by average split gain.
 /// Candidates the model never splits on rank after ranked ones, by
 /// descending IV (ties broken by candidate-list order).
-Result<std::vector<size_t>> ImportanceRankIndices(
+[[nodiscard]] Result<std::vector<size_t>> ImportanceRankIndices(
     const Dataset& train, const std::vector<size_t>& candidates,
     const std::vector<double>& ivs, const gbdt::GbdtParams& params,
     size_t max_output);

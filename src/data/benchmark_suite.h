@@ -31,12 +31,12 @@ struct BenchmarkDatasetInfo {
 const std::vector<BenchmarkDatasetInfo>& BenchmarkSuite();
 
 /// Looks a suite entry up by name.
-Result<BenchmarkDatasetInfo> FindBenchmarkDataset(const std::string& name);
+[[nodiscard]] Result<BenchmarkDatasetInfo> FindBenchmarkDataset(const std::string& name);
 
 /// Generates the synthetic analogue of a suite entry and splits it into
 /// the paper's train/valid/test sizes. `row_scale` in (0,1] shrinks every
 /// split proportionally (for quick runs); the shape knobs are untouched.
-Result<DatasetSplit> MakeBenchmarkSplit(const BenchmarkDatasetInfo& info,
+[[nodiscard]] Result<DatasetSplit> MakeBenchmarkSplit(const BenchmarkDatasetInfo& info,
                                         double row_scale = 1.0,
                                         uint64_t seed_offset = 0);
 

@@ -30,7 +30,7 @@ const std::vector<BusinessDatasetInfo>& BusinessSuite();
 /// Generates the analogue with every split scaled by `row_scale`
 /// (default 1/20: the paper's 8M-row sets are infeasible on a single
 /// core; the bench prints both row counts).
-Result<DatasetSplit> MakeBusinessSplit(const BusinessDatasetInfo& info,
+[[nodiscard]] Result<DatasetSplit> MakeBusinessSplit(const BusinessDatasetInfo& info,
                                        double row_scale = 0.05);
 
 }  // namespace data

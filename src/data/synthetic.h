@@ -50,12 +50,12 @@ struct SyntheticSpec {
 
 /// Generates a dataset per the spec. Columns are named f0..f{M-1}; the
 /// mapping from columns to roles is internal (and seed-deterministic).
-Result<Dataset> MakeSyntheticDataset(const SyntheticSpec& spec);
+[[nodiscard]] Result<Dataset> MakeSyntheticDataset(const SyntheticSpec& spec);
 
 /// \brief Generates and splits in one call: `n_train`+`n_valid`+`n_test`
 /// rows, split deterministically from `spec.seed`. A zero `n_valid`
 /// mirrors the paper's small datasets (train doubles as validation).
-Result<DatasetSplit> MakeSyntheticSplit(SyntheticSpec spec, size_t n_train,
+[[nodiscard]] Result<DatasetSplit> MakeSyntheticSplit(SyntheticSpec spec, size_t n_train,
                                         size_t n_valid, size_t n_test);
 
 }  // namespace data

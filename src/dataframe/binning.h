@@ -26,18 +26,18 @@ struct BinEdges {
 /// Equal-frequency (quantile) cut points. Duplicated quantiles collapse,
 /// so the result may have fewer than `num_bins - 1` edges. Requires
 /// num_bins >= 2 and at least one non-missing value.
-Result<BinEdges> EqualFrequencyEdges(const std::vector<double>& values,
+[[nodiscard]] Result<BinEdges> EqualFrequencyEdges(const std::vector<double>& values,
                                      size_t num_bins);
 
 /// Equal-width cut points over [min, max] of the non-missing values.
-Result<BinEdges> EqualWidthEdges(const std::vector<double>& values,
+[[nodiscard]] Result<BinEdges> EqualWidthEdges(const std::vector<double>& values,
                                  size_t num_bins);
 
 /// 1-D k-means (Lloyd) clustering binning — the paper's Section III
 /// "clustering binning". Clusters the non-missing values into up to
 /// `num_bins` clusters starting from quantile centers; cut points are the
 /// midpoints between adjacent cluster centers. Deterministic.
-Result<BinEdges> KMeansEdges(const std::vector<double>& values,
+[[nodiscard]] Result<BinEdges> KMeansEdges(const std::vector<double>& values,
                              size_t num_bins, size_t max_iterations = 50);
 
 /// Maps every value to its bin index (as double, for use as a feature).

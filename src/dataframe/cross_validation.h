@@ -16,13 +16,13 @@ struct CvFold {
 
 /// K-fold partition of a dataset with shuffled row assignment. Each row
 /// lands in exactly one holdout; folds differ in size by at most 1.
-Result<std::vector<CvFold>> KFoldSplit(const Dataset& data, size_t k,
+[[nodiscard]] Result<std::vector<CvFold>> KFoldSplit(const Dataset& data, size_t k,
                                        uint64_t seed);
 
 /// Stratified variant: positive and negative rows are sheared into folds
 /// separately, preserving the class ratio per fold — essential for the
 /// heavily imbalanced fraud workloads of the paper's Section V-B.
-Result<std::vector<CvFold>> StratifiedKFoldSplit(const Dataset& data,
+[[nodiscard]] Result<std::vector<CvFold>> StratifiedKFoldSplit(const Dataset& data,
                                                  size_t k, uint64_t seed);
 
 }  // namespace safe

@@ -18,16 +18,16 @@ struct CsvReadOptions {
 /// Reads an all-numeric CSV into a DataFrame. Empty fields, "NA", "nan"
 /// and "?" become NaN; any other non-numeric field is an error naming the
 /// offending line.
-Result<DataFrame> ReadCsv(const std::string& path,
+[[nodiscard]] Result<DataFrame> ReadCsv(const std::string& path,
                           const CsvReadOptions& options = {});
 
 /// Writes a DataFrame as CSV (header + rows). NaN is written as "".
-Status WriteCsv(const DataFrame& frame, const std::string& path,
+[[nodiscard]] Status WriteCsv(const DataFrame& frame, const std::string& path,
                 char delimiter = ',');
 
 /// Reads a CSV and pops `label_column` out as the dataset labels
 /// (which must be binary {0,1}).
-Result<Dataset> ReadCsvDataset(const std::string& path,
+[[nodiscard]] Result<Dataset> ReadCsvDataset(const std::string& path,
                                const std::string& label_column,
                                const CsvReadOptions& options = {});
 

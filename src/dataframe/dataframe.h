@@ -21,7 +21,7 @@ class DataFrame {
 
   /// Appends a column. Fails if the name already exists or the length
   /// disagrees with existing columns.
-  Status AddColumn(Column column);
+  [[nodiscard]] Status AddColumn(Column column);
 
   size_t num_columns() const { return columns_.size(); }
   size_t num_rows() const {
@@ -32,7 +32,7 @@ class DataFrame {
   const std::vector<Column>& columns() const { return columns_; }
 
   /// Index of the column with `name`, or NotFound.
-  Result<size_t> ColumnIndex(const std::string& name) const;
+  [[nodiscard]] Result<size_t> ColumnIndex(const std::string& name) const;
 
   bool HasColumn(const std::string& name) const {
     return index_.find(name) != index_.end();
@@ -43,7 +43,7 @@ class DataFrame {
   /// New frame holding the given columns (zero-copy). Indices may repeat
   /// only if renaming elsewhere prevents a duplicate-name clash; a
   /// duplicate name fails.
-  Result<DataFrame> Select(const std::vector<size_t>& indices) const;
+  [[nodiscard]] Result<DataFrame> Select(const std::vector<size_t>& indices) const;
 
   /// New frame with the given rows gathered (copies data).
   DataFrame TakeRows(const std::vector<size_t>& rows) const;
@@ -59,7 +59,7 @@ class DataFrame {
 
   /// Horizontally concatenates `other` onto a copy of this frame
   /// (zero-copy per column). Fails on duplicate names or row mismatch.
-  Result<DataFrame> Concat(const DataFrame& other) const;
+  [[nodiscard]] Result<DataFrame> Concat(const DataFrame& other) const;
 
  private:
   std::vector<Column> columns_;
@@ -77,6 +77,6 @@ struct Dataset {
 
 /// Builds a Dataset from parallel containers, validating shape and that
 /// labels are binary {0,1}.
-Result<Dataset> MakeDataset(DataFrame x, std::vector<double> y);
+[[nodiscard]] Result<Dataset> MakeDataset(DataFrame x, std::vector<double> y);
 
 }  // namespace safe

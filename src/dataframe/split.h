@@ -17,12 +17,12 @@ struct DatasetSplit {
 /// Randomly partitions `data` into train/valid/test with the given row
 /// counts (they must sum to <= data rows; a zero valid count mirrors the
 /// paper's small datasets, where training data doubles as validation).
-Result<DatasetSplit> SplitDataset(const Dataset& data, size_t n_train,
+[[nodiscard]] Result<DatasetSplit> SplitDataset(const Dataset& data, size_t n_train,
                                   size_t n_valid, size_t n_test,
                                   uint64_t seed);
 
 /// Fraction-based convenience wrapper (fractions must sum to <= 1).
-Result<DatasetSplit> SplitDatasetByFraction(const Dataset& data,
+[[nodiscard]] Result<DatasetSplit> SplitDatasetByFraction(const Dataset& data,
                                             double train_frac,
                                             double valid_frac,
                                             double test_frac, uint64_t seed);

@@ -33,14 +33,14 @@ class Booster {
   Booster() = default;
 
   /// Trains an ensemble. `valid` may be null; early stopping requires it.
-  static Result<Booster> Fit(const Dataset& train, const Dataset* valid,
+  [[nodiscard]] static Result<Booster> Fit(const Dataset& train, const Dataset* valid,
                              const GbdtParams& params);
 
   /// Raw additive margins for a frame (column count must match training).
-  Result<std::vector<double>> PredictMargin(const DataFrame& x) const;
+  [[nodiscard]] Result<std::vector<double>> PredictMargin(const DataFrame& x) const;
 
   /// Margins passed through the objective's link (sigmoid for logistic).
-  Result<std::vector<double>> PredictProba(const DataFrame& x) const;
+  [[nodiscard]] Result<std::vector<double>> PredictProba(const DataFrame& x) const;
 
   /// Single dense row (real-time inference path).
   double PredictRowMargin(const std::vector<double>& row) const;
@@ -64,7 +64,7 @@ class Booster {
   size_t best_iteration() const { return best_iteration_; }
 
   std::string Serialize() const;
-  static Result<Booster> Deserialize(const std::string& text);
+  [[nodiscard]] static Result<Booster> Deserialize(const std::string& text);
 
  private:
   std::vector<RegressionTree> trees_;

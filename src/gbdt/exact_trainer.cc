@@ -27,10 +27,12 @@ ExactTreeTrainer::ExactTreeTrainer(const DataFrame* frame,
     for (uint32_t r = 0; r < values.size(); ++r) {
       if (!std::isnan(values[r])) order.push_back(r);
     }
-    std::stable_sort(order.begin(), order.end(),
-                     [&](uint32_t a, uint32_t b) {
-                       return values[a] < values[b];
-                     });
+    // Explicit total order: value, then row index. order[] starts in
+    // ascending row order, so this matches the old stable_sort exactly.
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (values[a] != values[b]) return values[a] < values[b];
+      return a < b;
+    });
   });
 }
 
@@ -45,7 +47,6 @@ ExactTreeTrainer::SplitCandidate ExactTreeTrainer::FindBestSplit(
   // Node membership mask over the full dataset.
   std::vector<char> in_node(frame_->num_rows(), 0);
   for (size_t r : rows) in_node[r] = 1;
-  const double node_size = static_cast<double>(rows.size());
 
   for (int f : features) {
     const auto& values = frame_->column(static_cast<size_t>(f)).values();
@@ -103,7 +104,6 @@ ExactTreeTrainer::SplitCandidate ExactTreeTrainer::FindBestSplit(
       prev_value = value;
       have_prev = true;
     }
-    (void)node_size;
   }
   return best;
 }

@@ -37,12 +37,12 @@ class FeatureQuantizer {
   /// Features fan out over `pool` (nullptr = the process-wide pool);
   /// each feature's edges are computed independently, so the result is
   /// identical at any thread count.
-  static Result<FeatureQuantizer> Fit(const DataFrame& frame,
+  [[nodiscard]] static Result<FeatureQuantizer> Fit(const DataFrame& frame,
                                       size_t max_bins,
                                       ThreadPool* pool = nullptr);
 
   /// Quantizes a frame with the learned edges (column count must match).
-  Result<BinnedMatrix> Transform(const DataFrame& frame,
+  [[nodiscard]] Result<BinnedMatrix> Transform(const DataFrame& frame,
                                  ThreadPool* pool = nullptr) const;
 
   const std::vector<BinEdges>& edges() const { return edges_; }

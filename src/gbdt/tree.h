@@ -60,7 +60,7 @@ class RegressionTree {
   std::string Serialize() const;
 
   /// Parses a block produced by Serialize.
-  static Result<RegressionTree> Deserialize(const std::string& text);
+  [[nodiscard]] static Result<RegressionTree> Deserialize(const std::string& text);
 
  private:
   std::vector<TreeNode> nodes_;

@@ -1,0 +1,77 @@
+#include <cctype>
+
+#include "src/lint/lint.h"
+
+namespace safe {
+namespace lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+size_t SkipSpace(const std::string& s, size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+/// Consumes a balanced `<...>` starting at the '<' at `i`. `>>` closes two
+/// levels (nested template argument lists). Returns the offset one past the
+/// closing '>', or npos when unbalanced.
+size_t SkipTemplateArgs(const std::string& s, size_t i) {
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '<') {
+      ++depth;
+    } else if (s[i] == '>') {
+      if (--depth == 0) return i + 1;
+    } else if (s[i] == ';' || s[i] == '{') {
+      return std::string::npos;  // ran off the declaration — not a template
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+void DeclIndex::AddHeader(const std::string& content) {
+  const SourceFile file = SourceFile::Parse("<header>", content);
+  const std::string& s = file.scrubbed();
+  size_t i = 0;
+  while (i < s.size()) {
+    if (!IsIdentStart(s[i]) || (i > 0 && IsIdentChar(s[i - 1]))) {
+      ++i;
+      continue;
+    }
+    size_t end = i;
+    while (end < s.size() && IsIdentChar(s[end])) ++end;
+    const std::string token = s.substr(i, end - i);
+    i = end;
+    if (token != "Status" && token != "Result") continue;
+
+    size_t j = SkipSpace(s, i);
+    if (token == "Result") {
+      if (j >= s.size() || s[j] != '<') continue;
+      j = SkipTemplateArgs(s, j);
+      if (j == std::string::npos) continue;
+      j = SkipSpace(s, j);
+    }
+    // Reference/pointer returns don't produce a discardable temporary the
+    // way by-value returns do; skip them.
+    if (j < s.size() && (s[j] == '&' || s[j] == '*')) continue;
+    if (j >= s.size() || !IsIdentStart(s[j])) continue;
+    size_t name_end = j;
+    while (name_end < s.size() && IsIdentChar(s[name_end])) ++name_end;
+    const std::string name = s.substr(j, name_end - j);
+    const size_t paren = SkipSpace(s, name_end);
+    if (paren < s.size() && s[paren] == '(') names_.insert(name);
+  }
+}
+
+}  // namespace lint
+}  // namespace safe

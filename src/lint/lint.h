@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace safe {
+namespace lint {
+
+/// safe_lint — repo-specific determinism / error-discipline static analysis.
+///
+/// The rules encode invariants earlier PRs bought with tests:
+///   SL001 nondeterminism  — raw entropy/time sources outside src/common/
+///   SL002 unordered       — unordered_map/set declarations and range-for
+///                           iteration in deterministic dirs
+///   SL003 stable-sort     — std::stable_sort (use an explicit total order)
+///   SL004 fp-atomic       — std::atomic over floating-point
+///   SL005 discard         — discarded call to a Status/Result-returning
+///                           function (declaration index from headers)
+///
+/// Escape hatch grammar (one per line; a comment-only line covers the next
+/// line): `// lint: <key>-ok(<reason>)` with key in {nondeterminism,
+/// unordered, stable-sort, fp-atomic, discard}. The reason is mandatory;
+/// an empty reason leaves the violation in force.
+
+/// One rule violation at a file location.
+struct Finding {
+  std::string rule;     // "SL001".."SL005"
+  std::string file;     // repo-relative path, e.g. "src/core/engine.cc"
+  size_t line = 0;      // 1-based
+  std::string message;  // human-readable description
+
+  /// "file:line: [rule] message" — the CLI output format the self test
+  /// asserts against.
+  std::string ToString() const;
+};
+
+/// A parsed `lint: <key>-ok(<reason>)` escape annotation.
+struct Annotation {
+  std::string key;     // "unordered", "discard", ...
+  std::string reason;  // non-empty; empty reasons are dropped at parse time
+  size_t line = 0;     // line the annotation suppresses (already resolved:
+                       // comment-only lines point at the next line)
+};
+
+/// A source file with comments and string/char literals blanked out
+/// (newlines preserved, so offsets and line numbers survive), plus the
+/// escape annotations harvested from the comments before blanking.
+class SourceFile {
+ public:
+  static SourceFile Parse(std::string path, const std::string& content);
+
+  const std::string& path() const { return path_; }
+
+  /// Same length as the original content; comment/string bytes are spaces.
+  const std::string& scrubbed() const { return scrubbed_; }
+
+  /// 1-based line of a byte offset into scrubbed().
+  size_t LineOf(size_t offset) const;
+
+  /// True when an annotation with `key` covers `line`.
+  bool Allows(const std::string& key, size_t line) const;
+
+  const std::vector<Annotation>& annotations() const { return annotations_; }
+
+ private:
+  std::string path_;
+  std::string scrubbed_;
+  std::vector<size_t> line_starts_;  // byte offset of each line start
+  std::vector<Annotation> annotations_;
+};
+
+/// Names of functions declared in headers with a Status or Result<...>
+/// return type. Drives SL005 (discarded-status).
+class DeclIndex {
+ public:
+  /// Scans header text for `Status name(` / `Result<...> name(`
+  /// declarations (multi-line tolerant) and records the names.
+  void AddHeader(const std::string& content);
+
+  bool Contains(const std::string& name) const {
+    return names_.count(name) > 0;
+  }
+  size_t size() const { return names_.size(); }
+  const std::set<std::string>& names() const { return names_; }
+
+ private:
+  std::set<std::string> names_;
+};
+
+/// Runs every rule over one file. `repo_relative_path` selects rule scopes
+/// (e.g. "src/common/" is exempt from SL001).
+std::vector<Finding> AnalyzeSource(const std::string& repo_relative_path,
+                                   const std::string& content,
+                                   const DeclIndex& index);
+
+/// Builds the Status/Result declaration index from every .h under
+/// `root`/src (sorted walk, so the index is reproducible).
+DeclIndex IndexHeaders(const std::string& root);
+
+/// Walks `root`/`subdir` for each subdir, indexes every header under
+/// `root`/src, then analyzes all .h/.cc files found. Paths in findings are
+/// relative to `root`. Returns findings sorted by (file, line, rule).
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& subdirs);
+
+}  // namespace lint
+}  // namespace safe

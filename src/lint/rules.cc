@@ -1,0 +1,461 @@
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "src/lint/lint.h"
+
+namespace safe {
+namespace lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+size_t SkipSpace(const std::string& s, size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+/// Offset of the last non-space character strictly before `i`, or npos.
+size_t PrevNonSpace(const std::string& s, size_t i) {
+  while (i > 0) {
+    --i;
+    if (!std::isspace(static_cast<unsigned char>(s[i]))) return i;
+  }
+  return std::string::npos;
+}
+
+/// Consumes a balanced `<...>` starting at the '<' at `i` (see decl_index).
+size_t SkipTemplateArgs(const std::string& s, size_t i) {
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '<') {
+      ++depth;
+    } else if (s[i] == '>') {
+      if (--depth == 0) return i + 1;
+    } else if (s[i] == ';' || s[i] == '{') {
+      return std::string::npos;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Offset one past the ')' matching the '(' at `i`, or npos.
+size_t MatchParen(const std::string& s, size_t i) {
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '(') {
+      ++depth;
+    } else if (s[i] == ')') {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Offset of the '(' matching the ')' at `close`, or npos.
+size_t MatchParenBack(const std::string& s, size_t close) {
+  int depth = 0;
+  for (size_t i = close + 1; i > 0;) {
+    --i;
+    if (s[i] == ')') {
+      ++depth;
+    } else if (s[i] == '(') {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Start offset of the identifier whose last character is at `end`.
+size_t IdentBegin(const std::string& s, size_t end) {
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(s[begin - 1])) --begin;
+  return begin;
+}
+
+/// True when the first non-space character of `offset`'s line is '#'
+/// (preprocessor line — #include <unordered_set> is not a declaration).
+bool OnPreprocessorLine(const std::string& s, size_t offset) {
+  size_t begin = offset;
+  while (begin > 0 && s[begin - 1] != '\n') --begin;
+  begin = SkipSpace(s, begin);
+  return begin < s.size() && s[begin] == '#';
+}
+
+/// Calls fn(token, begin_offset) for every identifier token.
+template <typename Fn>
+void ForEachToken(const std::string& s, Fn fn) {
+  size_t i = 0;
+  while (i < s.size()) {
+    if (IsIdentStart(s[i]) && (i == 0 || !IsIdentChar(s[i - 1]))) {
+      size_t end = i;
+      while (end < s.size() && IsIdentChar(s[end])) ++end;
+      fn(s.substr(i, end - i), i);
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+}
+
+/// Directory component right under src/ ("core" for src/core/engine.cc),
+/// empty when the path is not under src/.
+std::string SrcSubdir(const std::string& path) {
+  const std::string prefix = "src/";
+  if (path.compare(0, prefix.size(), prefix) != 0) return "";
+  const size_t slash = path.find('/', prefix.size());
+  if (slash == std::string::npos) return "";
+  return path.substr(prefix.size(), slash - prefix.size());
+}
+
+struct RuleContext {
+  const SourceFile& file;
+  const DeclIndex& index;
+  std::vector<Finding>* findings;
+
+  void Report(const char* rule, const std::string& key, size_t offset,
+              std::string message) {
+    const size_t line = file.LineOf(offset);
+    if (file.Allows(key, line)) return;
+    findings->push_back(Finding{rule, file.path(), line, std::move(message)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SL001 — nondeterminism sources outside src/common/. The engine's only
+// entropy source is common::Rng; raw rand()/time()/random_device anywhere
+// else breaks the bit-identical-at-any-thread-count guarantee.
+void RuleNondeterminism(RuleContext& ctx) {
+  if (ctx.file.path().compare(0, 11, "src/common/") == 0) return;
+  const std::string& s = ctx.file.scrubbed();
+  ForEachToken(s, [&](const std::string& token, size_t begin) {
+    const bool banned_always =
+        token == "rand" || token == "srand" || token == "random_device";
+    // `time` only as a call — time_point etc. are distinct tokens already.
+    const bool banned_call =
+        token == "time" && SkipSpace(s, begin + token.size()) < s.size() &&
+        s[SkipSpace(s, begin + token.size())] == '(';
+    if (!banned_always && !banned_call) return;
+    if (OnPreprocessorLine(s, begin)) return;
+    ctx.Report("SL001", "nondeterminism", begin,
+               "nondeterminism source '" + token +
+                   "' outside src/common/ — use common::Rng (seeded) instead");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SL002 — unordered containers in deterministic directories. Declarations
+// must carry `// lint: unordered-ok(<reason>)` stating why bucket order
+// cannot reach serialized output; range-for iteration over one is flagged
+// unconditionally (annotatable, but should be a sorted copy instead).
+void RuleUnordered(RuleContext& ctx) {
+  const std::string dir = SrcSubdir(ctx.file.path());
+  if (dir != "core" && dir != "stats" && dir != "gbdt" && dir != "baselines") {
+    return;
+  }
+  const std::string& s = ctx.file.scrubbed();
+  std::vector<std::string> declared;
+
+  ForEachToken(s, [&](const std::string& token, size_t begin) {
+    if (token != "unordered_map" && token != "unordered_set" &&
+        token != "unordered_multimap" && token != "unordered_multiset") {
+      return;
+    }
+    if (OnPreprocessorLine(s, begin)) return;
+    size_t j = SkipSpace(s, begin + token.size());
+    if (j < s.size() && s[j] == '<') {
+      j = SkipTemplateArgs(s, j);
+      if (j == std::string::npos) return;
+      j = SkipSpace(s, j);
+    }
+    while (j < s.size() && (s[j] == '&' || s[j] == '*')) {
+      j = SkipSpace(s, j + 1);
+    }
+    if (j >= s.size() || !IsIdentStart(s[j])) return;  // temporary / alias
+    size_t name_end = j;
+    while (name_end < s.size() && IsIdentChar(s[name_end])) ++name_end;
+    declared.push_back(s.substr(j, name_end - j));
+    ctx.Report("SL002", "unordered", begin,
+               "unordered container '" + declared.back() + "' in src/" + dir +
+                   " — declare order-freedom with // lint: "
+                   "unordered-ok(<reason>) or use a sorted container");
+  });
+
+  // Range-for whose range expression names an unordered variable (or any
+  // unordered_* temporary) iterates in bucket order.
+  ForEachToken(s, [&](const std::string& token, size_t begin) {
+    if (token != "for") return;
+    const size_t open = SkipSpace(s, begin + 3);
+    if (open >= s.size() || s[open] != '(') return;
+    const size_t close = MatchParen(s, open);
+    if (close == std::string::npos) return;
+    // Top-level ':' that is not part of '::'.
+    size_t colon = std::string::npos;
+    int depth = 0;
+    for (size_t k = open + 1; k < close - 1; ++k) {
+      if (s[k] == '(' || s[k] == '[' || s[k] == '{') ++depth;
+      if (s[k] == ')' || s[k] == ']' || s[k] == '}') --depth;
+      if (depth == 0 && s[k] == ':' && s[k - 1] != ':' &&
+          (k + 1 >= close || s[k + 1] != ':')) {
+        colon = k;
+        break;
+      }
+    }
+    if (colon == std::string::npos) return;
+    const std::string range = s.substr(colon + 1, close - 1 - (colon + 1));
+    bool hits = range.find("unordered_") != std::string::npos;
+    for (const std::string& name : declared) {
+      if (hits) break;
+      size_t pos = range.find(name);
+      while (pos != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsIdentChar(range[pos - 1]);
+        const bool right_ok = pos + name.size() >= range.size() ||
+                              !IsIdentChar(range[pos + name.size()]);
+        if (left_ok && right_ok) {
+          hits = true;
+          break;
+        }
+        pos = range.find(name, pos + 1);
+      }
+    }
+    if (hits) {
+      ctx.Report("SL002", "unordered", begin,
+                 "range-for over an unordered container iterates in bucket "
+                 "order — copy keys out and sort them first");
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SL003 — std::stable_sort. PR 3 replaced every stable_sort on a
+// deterministic path with an explicit total order (value, then index);
+// stability as a tie-break hides the ordering contract.
+void RuleStableSort(RuleContext& ctx) {
+  const std::string& s = ctx.file.scrubbed();
+  ForEachToken(s, [&](const std::string& token, size_t begin) {
+    if (token != "stable_sort") return;
+    ctx.Report("SL003", "stable-sort", begin,
+               "std::stable_sort — spell out the full total order "
+               "(value, then index) with std::sort instead");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SL004 — std::atomic over floating point. PR 2's parallel trainer forbids
+// FP atomics: atomic FP accumulation is ordering-dependent, so results
+// would vary with thread interleaving. Reduce per-thread, combine in a
+// fixed order.
+void RuleFpAtomic(RuleContext& ctx) {
+  const std::string& s = ctx.file.scrubbed();
+  ForEachToken(s, [&](const std::string& token, size_t begin) {
+    if (token != "atomic") return;
+    const size_t open = SkipSpace(s, begin + token.size());
+    if (open >= s.size() || s[open] != '<') return;
+    const size_t close = SkipTemplateArgs(s, open);
+    if (close == std::string::npos) return;
+    const std::string args = s.substr(open, close - open);
+    bool fp = false;
+    ForEachToken(args, [&](const std::string& t, size_t) {
+      if (t == "float" || t == "double") fp = true;
+    });
+    if (fp) {
+      ctx.Report("SL004", "fp-atomic", begin,
+                 "std::atomic over floating point — accumulation order "
+                 "depends on interleaving; reduce per-thread and combine "
+                 "in fixed order");
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SL005 — discarded Status/Result. A statement-level call to an indexed
+// Status/Result-returning function whose value is dropped (bare or behind
+// a (void) cast) silently ignores an error path.
+void RuleDiscardedStatus(RuleContext& ctx) {
+  const std::string& s = ctx.file.scrubbed();
+  ForEachToken(s, [&](const std::string& token, size_t name_begin) {
+    if (!ctx.index.Contains(token)) return;
+    const size_t name_end = name_begin + token.size();
+    const size_t open = SkipSpace(s, name_end);
+    if (open >= s.size() || s[open] != '(') return;
+    const size_t after_call = MatchParen(s, open);
+    if (after_call == std::string::npos) return;
+    // The value is consumed unless the statement ends right after the call.
+    const size_t next = SkipSpace(s, after_call);
+    if (next >= s.size() || s[next] != ';') return;
+
+    // Walk back over the callee chain: a.b->c::Name( ... chain elements are
+    // identifiers only; anything else (e.g. Foo(x).Name) is left alone.
+    size_t chain_begin = name_begin;
+    while (true) {
+      const size_t p = PrevNonSpace(s, chain_begin);
+      if (p == std::string::npos) break;
+      size_t sep_begin;
+      if (s[p] == '.') {
+        sep_begin = p;
+      } else if (s[p] == '>' && p > 0 && s[p - 1] == '-') {
+        sep_begin = p - 1;
+      } else if (s[p] == ':' && p > 0 && s[p - 1] == ':') {
+        sep_begin = p - 1;
+      } else {
+        break;
+      }
+      const size_t q = PrevNonSpace(s, sep_begin);
+      if (q == std::string::npos || !IsIdentChar(s[q])) return;  // unknown
+      chain_begin = IdentBegin(s, q);
+    }
+
+    const size_t before = PrevNonSpace(s, chain_begin);
+    bool discarded = false;
+    bool void_cast = false;
+    if (before == std::string::npos || s[before] == ';' || s[before] == '{' ||
+        s[before] == '}') {
+      discarded = true;
+    } else if (s[before] == ')') {
+      const size_t cast_open = MatchParenBack(s, before);
+      if (cast_open != std::string::npos) {
+        const std::string inner =
+            s.substr(cast_open + 1, before - cast_open - 1);
+        size_t a = SkipSpace(inner, 0);
+        if (inner.compare(a, 4, "void") == 0 &&
+            SkipSpace(inner, a + 4) >= inner.size()) {
+          // (void)Name(...): a discard, unless the cast itself opens a
+          // consumed expression (checked below via its own context).
+          const size_t before_cast = PrevNonSpace(s, cast_open);
+          if (before_cast == std::string::npos || s[before_cast] == ';' ||
+              s[before_cast] == '{' || s[before_cast] == '}') {
+            discarded = true;
+            void_cast = true;
+          }
+        } else {
+          // `if (...) Name();` / `while (...) Name();` — statement body.
+          const size_t kw_end = PrevNonSpace(s, cast_open);
+          if (kw_end != std::string::npos && IsIdentChar(s[kw_end])) {
+            const size_t kw_begin = IdentBegin(s, kw_end);
+            const std::string kw = s.substr(kw_begin, kw_end + 1 - kw_begin);
+            if (kw == "if" || kw == "while" || kw == "for" || kw == "switch") {
+              discarded = true;
+            }
+          }
+        }
+      }
+    } else if (IsIdentChar(s[before])) {
+      const size_t kw_begin = IdentBegin(s, before);
+      const std::string kw = s.substr(kw_begin, before + 1 - kw_begin);
+      if (kw == "else" || kw == "do") discarded = true;
+    }
+    if (!discarded) return;
+    ctx.Report("SL005", "discard", name_begin,
+               std::string(void_cast ? "(void)-discarded" : "discarded") +
+                   " Status/Result from '" + token +
+                   "' — handle the error or annotate // lint: "
+                   "discard-ok(<reason>)");
+  });
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  std::ostringstream out;
+  out << file << ":" << line << ": [" << rule << "] " << message;
+  return out.str();
+}
+
+std::vector<Finding> AnalyzeSource(const std::string& repo_relative_path,
+                                   const std::string& content,
+                                   const DeclIndex& index) {
+  const SourceFile file = SourceFile::Parse(repo_relative_path, content);
+  std::vector<Finding> findings;
+  RuleContext ctx{file, index, &findings};
+  RuleNondeterminism(ctx);
+  RuleUnordered(ctx);
+  RuleStableSort(ctx);
+  RuleFpAtomic(ctx);
+  RuleDiscardedStatus(ctx);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+namespace {
+
+std::string ReadFileOrEmpty(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+DeclIndex IndexHeaders(const std::string& root) {
+  namespace fs = std::filesystem;
+  DeclIndex index;
+  std::vector<fs::path> headers;
+  const fs::path src = fs::path(root) / "src";
+  if (fs::exists(src)) {
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".h") {
+        headers.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(headers.begin(), headers.end());
+  for (const auto& header : headers) {
+    index.AddHeader(ReadFileOrEmpty(header));
+  }
+  return index;
+}
+
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& subdirs) {
+  namespace fs = std::filesystem;
+  const fs::path root_path(root);
+  const DeclIndex index = IndexHeaders(root);
+
+  std::vector<fs::path> files;
+  for (const std::string& subdir : subdirs) {
+    const fs::path dir = root_path / subdir;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    const std::string rel =
+        fs::relative(file, root_path).generic_string();
+    auto file_findings = AnalyzeSource(rel, ReadFileOrEmpty(file), index);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace safe

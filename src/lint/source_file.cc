@@ -1,0 +1,165 @@
+#include <algorithm>
+#include <cctype>
+
+#include "src/lint/lint.h"
+
+namespace safe {
+namespace lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses `lint: <key>-ok(<reason>)` out of one comment's text. Returns
+/// true and fills key/reason on success; an empty reason does not parse
+/// (the escape hatch requires a stated justification).
+bool ParseAnnotation(const std::string& comment, std::string* key,
+                     std::string* reason) {
+  const size_t tag = comment.find("lint:");
+  if (tag == std::string::npos) return false;
+  size_t i = tag + 5;
+  while (i < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[i]))) {
+    ++i;
+  }
+  const size_t key_begin = i;
+  while (i < comment.size() && (IsIdentChar(comment[i]) || comment[i] == '-')) {
+    ++i;
+  }
+  std::string raw_key = comment.substr(key_begin, i - key_begin);
+  const std::string suffix = "-ok";
+  if (raw_key.size() <= suffix.size() ||
+      raw_key.compare(raw_key.size() - suffix.size(), suffix.size(), suffix) !=
+          0) {
+    return false;
+  }
+  raw_key.resize(raw_key.size() - suffix.size());
+  if (i >= comment.size() || comment[i] != '(') return false;
+  const size_t close = comment.find(')', i + 1);
+  if (close == std::string::npos) return false;
+  std::string raw_reason = comment.substr(i + 1, close - i - 1);
+  // Trim; a blank reason leaves the violation in force.
+  const auto not_space = [](char c) {
+    return !std::isspace(static_cast<unsigned char>(c));
+  };
+  raw_reason.erase(raw_reason.begin(),
+                   std::find_if(raw_reason.begin(), raw_reason.end(),
+                                not_space));
+  raw_reason.erase(
+      std::find_if(raw_reason.rbegin(), raw_reason.rend(), not_space).base(),
+      raw_reason.end());
+  if (raw_reason.empty()) return false;
+  *key = std::move(raw_key);
+  *reason = std::move(raw_reason);
+  return true;
+}
+
+}  // namespace
+
+SourceFile SourceFile::Parse(std::string path, const std::string& content) {
+  SourceFile out;
+  out.path_ = std::move(path);
+  out.scrubbed_ = content;
+  out.line_starts_.push_back(0);
+  for (size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') out.line_starts_.push_back(i + 1);
+  }
+
+  // Records a comment spanning [begin, end) in the original text: parse an
+  // annotation out of it, then decide which line it suppresses (a
+  // comment-only line covers the next line; trailing comments cover their
+  // own line).
+  auto harvest = [&](size_t begin, size_t end) {
+    Annotation ann;
+    if (!ParseAnnotation(content.substr(begin, end - begin), &ann.key,
+                         &ann.reason)) {
+      return;
+    }
+    size_t line = out.LineOf(begin);
+    const size_t line_begin = out.line_starts_[line - 1];
+    bool code_before = false;
+    for (size_t j = line_begin; j < begin; ++j) {
+      if (!std::isspace(static_cast<unsigned char>(out.scrubbed_[j]))) {
+        code_before = true;
+        break;
+      }
+    }
+    ann.line = code_before ? line : line + 1;
+    out.annotations_.push_back(std::move(ann));
+  };
+
+  auto blank = [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end && j < out.scrubbed_.size(); ++j) {
+      if (out.scrubbed_[j] != '\n') out.scrubbed_[j] = ' ';
+    }
+  };
+
+  size_t i = 0;
+  const size_t n = content.size();
+  while (i < n) {
+    const char c = content[i];
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      size_t end = content.find('\n', i);
+      if (end == std::string::npos) end = n;
+      harvest(i, end);
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      size_t end = content.find("*/", i + 2);
+      end = (end == std::string::npos) ? n : end + 2;
+      harvest(i, end);
+      blank(i, end);
+      i = end;
+    } else if (c == '"' && i >= 1 && content[i - 1] == 'R') {
+      // Raw string: R"delim( ... )delim"
+      const size_t paren = content.find('(', i + 1);
+      if (paren == std::string::npos) {
+        ++i;
+        continue;
+      }
+      const std::string delim = content.substr(i + 1, paren - i - 1);
+      const std::string closer = ")" + delim + "\"";
+      size_t end = content.find(closer, paren + 1);
+      end = (end == std::string::npos) ? n : end + closer.size();
+      blank(i, end);
+      i = end;
+    } else if (c == '"') {
+      size_t j = i + 1;
+      while (j < n && content[j] != '"' && content[j] != '\n') {
+        if (content[j] == '\\') ++j;
+        ++j;
+      }
+      blank(i, std::min(j + 1, n));
+      i = j + 1;
+    } else if (c == '\'' && !(i >= 1 && IsIdentChar(content[i - 1]))) {
+      // Not a digit separator (1'000) — those follow an alnum character.
+      size_t j = i + 1;
+      while (j < n && content[j] != '\'' && content[j] != '\n') {
+        if (content[j] == '\\') ++j;
+        ++j;
+      }
+      blank(i, std::min(j + 1, n));
+      i = j + 1;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+size_t SourceFile::LineOf(size_t offset) const {
+  auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  return static_cast<size_t>(it - line_starts_.begin());
+}
+
+bool SourceFile::Allows(const std::string& key, size_t line) const {
+  for (const Annotation& ann : annotations_) {
+    if (ann.key == key && ann.line == line) return true;
+  }
+  return false;
+}
+
+}  // namespace lint
+}  // namespace safe

@@ -47,7 +47,7 @@ class CartTree {
   /// \param weights  per-row sample weights (AdaBoost reweighting).
   /// \param rows     rows to train on (bootstrap sample for RF).
   /// \param rng      used for feature subsets / random thresholds.
-  Status Fit(const std::vector<const std::vector<double>*>& columns,
+  [[nodiscard]] Status Fit(const std::vector<const std::vector<double>*>& columns,
              const std::vector<double>& labels,
              const std::vector<double>& weights,
              const std::vector<size_t>& rows, const CartParams& params,

@@ -19,11 +19,11 @@ class Classifier {
 
   /// Trains on the dataset (binary labels). Implementations must be
   /// re-fittable: a second Fit discards the first model.
-  virtual Status Fit(const Dataset& train) = 0;
+  [[nodiscard]] virtual Status Fit(const Dataset& train) = 0;
 
   /// Per-row ranking scores; requires a prior successful Fit and the same
   /// column count as training.
-  virtual Result<std::vector<double>> PredictScores(
+  [[nodiscard]] virtual Result<std::vector<double>> PredictScores(
       const DataFrame& x) const = 0;
 
   /// Human-readable name ("Random Forest").

@@ -16,8 +16,8 @@ class KnnClassifier : public Classifier {
  public:
   explicit KnnClassifier(uint64_t seed, size_t k = 5)
       : seed_(seed), k_(k) {}
-  Status Fit(const Dataset& train) override;
-  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  [[nodiscard]] Status Fit(const Dataset& train) override;
+  [[nodiscard]] Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
   std::string name() const override { return "kNN"; }
 
  private:

@@ -17,8 +17,8 @@ class LogisticRegressionClassifier : public Classifier {
   explicit LogisticRegressionClassifier(uint64_t seed, size_t max_iters = 300,
                                         double l2 = 1.0)
       : seed_(seed), max_iters_(max_iters), l2_(l2) {}
-  Status Fit(const Dataset& train) override;
-  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  [[nodiscard]] Status Fit(const Dataset& train) override;
+  [[nodiscard]] Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
   std::string name() const override { return "Logistic Regression"; }
 
  private:
@@ -39,8 +39,8 @@ class LinearSvmClassifier : public Classifier {
   explicit LinearSvmClassifier(uint64_t seed, size_t epochs = 20,
                                double reg_lambda = 1e-4)
       : seed_(seed), epochs_(epochs), reg_lambda_(reg_lambda) {}
-  Status Fit(const Dataset& train) override;
-  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  [[nodiscard]] Status Fit(const Dataset& train) override;
+  [[nodiscard]] Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
   std::string name() const override { return "Linear SVM"; }
 
  private:

@@ -23,8 +23,8 @@ class MlpClassifier : public Classifier {
         epochs_(epochs),
         batch_size_(batch_size),
         learning_rate_(learning_rate) {}
-  Status Fit(const Dataset& train) override;
-  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  [[nodiscard]] Status Fit(const Dataset& train) override;
+  [[nodiscard]] Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
   std::string name() const override { return "MLP"; }
 
  private:

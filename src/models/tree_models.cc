@@ -51,7 +51,7 @@ double PredictFromColumns(const CartTree& tree,
 
 }  // namespace
 
-void ImputedColumns::Fit(const DataFrame& frame) {
+void ImputedColumns::FitMeans(const DataFrame& frame) {
   means_.resize(frame.num_columns());
   train_columns_.resize(frame.num_columns());
   for (size_t c = 0; c < frame.num_columns(); ++c) {
@@ -90,7 +90,7 @@ std::vector<const std::vector<double>*> ImputedColumns::TrainColumnPtrs()
 
 Status DecisionTreeClassifier::Fit(const Dataset& train) {
   SAFE_RETURN_NOT_OK(ValidateTrain(train));
-  imputer_.Fit(train.x);
+  imputer_.FitMeans(train.x);
   const size_t n = train.num_rows();
   std::vector<double> weights(n, 1.0);
   std::vector<size_t> rows(n);
@@ -122,7 +122,7 @@ Status ForestClassifier::Fit(const Dataset& train) {
   if (num_trees_ == 0) {
     return Status::InvalidArgument("forest: num_trees must be > 0");
   }
-  imputer_.Fit(train.x);
+  imputer_.FitMeans(train.x);
   const size_t n = train.num_rows();
   const size_t m = train.x.num_columns();
 
@@ -196,7 +196,7 @@ Status AdaBoostClassifier::Fit(const Dataset& train) {
   if (num_rounds_ == 0) {
     return Status::InvalidArgument("adaboost: num_rounds must be > 0");
   }
-  imputer_.Fit(train.x);
+  imputer_.FitMeans(train.x);
   stumps_.clear();
   alphas_.clear();
 

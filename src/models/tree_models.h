@@ -18,7 +18,7 @@ namespace models {
 class ImputedColumns {
  public:
   /// Learns means from `frame` and stores imputed copies of its columns.
-  void Fit(const DataFrame& frame);
+  void FitMeans(const DataFrame& frame);
 
   /// Imputes a new frame with the *training* means.
   std::vector<std::vector<double>> Transform(const DataFrame& frame) const;
@@ -38,8 +38,8 @@ class ImputedColumns {
 class DecisionTreeClassifier : public Classifier {
  public:
   explicit DecisionTreeClassifier(uint64_t seed) : seed_(seed) {}
-  Status Fit(const Dataset& train) override;
-  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  [[nodiscard]] Status Fit(const Dataset& train) override;
+  [[nodiscard]] Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
   std::string name() const override { return "Decision Tree"; }
 
  private:
@@ -59,8 +59,8 @@ class ForestClassifier : public Classifier {
         bootstrap_(bootstrap),
         random_thresholds_(random_thresholds) {}
 
-  Status Fit(const Dataset& train) override;
-  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  [[nodiscard]] Status Fit(const Dataset& train) override;
+  [[nodiscard]] Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
 
   /// Mean-decrease-in-impurity importances, normalized to sum to 1
   /// (the importance score used for the paper's Fig. 3).
@@ -100,8 +100,8 @@ class AdaBoostClassifier : public Classifier {
  public:
   explicit AdaBoostClassifier(uint64_t seed, size_t num_rounds = 50)
       : seed_(seed), num_rounds_(num_rounds) {}
-  Status Fit(const Dataset& train) override;
-  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  [[nodiscard]] Status Fit(const Dataset& train) override;
+  [[nodiscard]] Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
   std::string name() const override { return "AdaBoost"; }
 
  private:

@@ -22,8 +22,8 @@ class XgbClassifier : public Classifier {
   explicit XgbClassifier(gbdt::GbdtParams params)
       : params_(std::move(params)) {}
 
-  Status Fit(const Dataset& train) override;
-  Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
+  [[nodiscard]] Status Fit(const Dataset& train) override;
+  [[nodiscard]] Result<std::vector<double>> PredictScores(const DataFrame& x) const override;
   std::string name() const override { return "XGBoost"; }
 
   /// The trained ensemble (valid after Fit).

@@ -90,7 +90,7 @@ class Gauge {
   void Reset() { Set(0.0); }
 
  private:
-  std::atomic<double> value_{0.0};
+  std::atomic<double> value_{0.0};  // lint: fp-atomic-ok(telemetry gauge; feeds no deterministic output)
 };
 
 /// \brief Fixed-bucket histogram; Observe is lock-free (relaxed atomics),
@@ -107,7 +107,7 @@ class Histogram {
   std::vector<double> upper_bounds_;           // sorted ascending
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds + overflow
   std::atomic<uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
+  std::atomic<double> sum_{0.0};  // lint: fp-atomic-ok(telemetry histogram sum; diagnostics only)
 };
 
 /// \brief Named metric registry. Creation takes a mutex; the returned

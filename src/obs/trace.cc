@@ -72,7 +72,7 @@ Tracer* Tracer::Global() {
   static Tracer* tracer = new Tracer();  // never freed
   // Pin the epoch the first time anyone touches tracing so span starts
   // are small offsets rather than raw steady-clock readings.
-  (void)TraceEpoch();
+  TraceEpoch();
   return tracer;
 }
 

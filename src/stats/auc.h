@@ -12,7 +12,7 @@ namespace safe {
 /// handling, equivalent to trapezoidal ROC integration. Returns
 /// InvalidArgument when sizes mismatch, inputs are empty, or labels are
 /// single-class (AUC undefined).
-Result<double> Auc(const std::vector<double>& scores,
+[[nodiscard]] Result<double> Auc(const std::vector<double>& scores,
                    const std::vector<double>& labels);
 
 }  // namespace safe

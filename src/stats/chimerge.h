@@ -26,7 +26,7 @@ struct ChiMergeOptions {
 /// adjacent pair with the lowest chi-square statistic (i.e., the most
 /// similar class distributions) is merged repeatedly until both stopping
 /// rules hold. Returns interior cut points compatible with BinEdges.
-Result<BinEdges> ChiMergeEdges(const std::vector<double>& values,
+[[nodiscard]] Result<BinEdges> ChiMergeEdges(const std::vector<double>& values,
                                const std::vector<double>& labels,
                                const ChiMergeOptions& options = {});
 

@@ -12,13 +12,13 @@ namespace safe {
 /// Inputs must be same-length distributions (non-negative, each summing
 /// to ~1). Terms with P(i)=0 contribute 0; P(i)>0 with Q(i)=0 makes the
 /// divergence infinite.
-Result<double> KlDivergence(const std::vector<double>& p,
+[[nodiscard]] Result<double> KlDivergence(const std::vector<double>& p,
                             const std::vector<double>& q);
 
 /// Jensen–Shannon divergence (Eq. 14):
 /// ½·KLD(P‖R) + ½·KLD(Q‖R) with R = ½(P+Q). Always finite; bounded by
 /// ln 2. Supports distributions over a shared index space.
-Result<double> JsDivergence(const std::vector<double>& p,
+[[nodiscard]] Result<double> JsDivergence(const std::vector<double>& p,
                             const std::vector<double>& q);
 
 /// \brief Feature-stability score of Section V-A5.
@@ -28,7 +28,7 @@ Result<double> JsDivergence(const std::vector<double>& p,
 /// features. The score is the JSD between the observed occurrence
 /// distribution and the ideal one where the same `features_per_run`
 /// features appear in all runs. Lower is more stable.
-Result<double> FeatureStabilityJsd(const std::vector<size_t>& occurrence_counts,
+[[nodiscard]] Result<double> FeatureStabilityJsd(const std::vector<size_t>& occurrence_counts,
                                    size_t num_runs, size_t features_per_run);
 
 }  // namespace safe

@@ -34,12 +34,12 @@ const char* IvBandName(IvBand band);
 /// adjustment in credit scoring.
 ///
 /// Returns InvalidArgument when labels are single-class or sizes mismatch.
-Result<double> InformationValue(const std::vector<double>& feature,
+[[nodiscard]] Result<double> InformationValue(const std::vector<double>& feature,
                                 const std::vector<double>& labels,
                                 size_t num_bins);
 
 /// IV given precomputed bin edges (missing values get their own bin).
-Result<double> InformationValueWithEdges(const std::vector<double>& feature,
+[[nodiscard]] Result<double> InformationValueWithEdges(const std::vector<double>& feature,
                                          const std::vector<double>& labels,
                                          const BinEdges& edges);
 

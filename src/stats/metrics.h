@@ -8,24 +8,24 @@ namespace safe {
 
 /// Mean binary log-loss of probability scores against {0,1} labels;
 /// probabilities are clamped to [1e-15, 1-1e-15].
-Result<double> LogLoss(const std::vector<double>& probabilities,
+[[nodiscard]] Result<double> LogLoss(const std::vector<double>& probabilities,
                        const std::vector<double>& labels);
 
 /// Accuracy of thresholded scores (score > threshold -> positive).
-Result<double> Accuracy(const std::vector<double>& scores,
+[[nodiscard]] Result<double> Accuracy(const std::vector<double>& scores,
                         const std::vector<double>& labels,
                         double threshold = 0.5);
 
 /// F1 of the positive class at the given threshold. Returns 0 when there
 /// are no predicted and no actual positives.
-Result<double> F1Score(const std::vector<double>& scores,
+[[nodiscard]] Result<double> F1Score(const std::vector<double>& scores,
                        const std::vector<double>& labels,
                        double threshold = 0.5);
 
 /// Kolmogorov–Smirnov statistic: max |TPR − FPR| over all thresholds.
 /// The standard industry acceptance metric for fraud / credit scores
 /// (the deployment domain of the paper's Section V-B).
-Result<double> KsStatistic(const std::vector<double>& scores,
+[[nodiscard]] Result<double> KsStatistic(const std::vector<double>& scores,
                            const std::vector<double>& labels);
 
 }  // namespace safe

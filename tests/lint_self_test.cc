@@ -1,0 +1,318 @@
+// Fixture-driven self test for safe_lint: one violating and one clean
+// snippet per rule (plus the annotation escape hatches), asserting exact
+// rule IDs and line numbers, and a whole-tree run that must be clean.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/lint/lint.h"
+
+namespace safe {
+namespace lint {
+namespace {
+
+/// Index over a fixture header declaring one Status and one Result
+/// function — used by the SL005 cases.
+DeclIndex FixtureIndex() {
+  DeclIndex index;
+  index.AddHeader(
+      "Status SaveModel(const std::string& path);\n"
+      "Result<std::vector<double>> Scores(int k);\n"
+      "class Db {\n"
+      " public:\n"
+      "  Status Flush();\n"
+      "};\n");
+  return index;
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+// ---------------------------------------------------------------- SL001
+
+TEST(NondeterminismRule, FlagsRawEntropyOutsideCommon) {
+  const DeclIndex index;
+  const auto findings = AnalyzeSource("src/core/engine.cc",
+                                      "int x = std::rand();\n"
+                                      "std::random_device rd;\n"
+                                      "long t = time(nullptr);\n",
+                                      index);
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].rule, "SL001");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[1].line, 2u);
+  EXPECT_EQ(findings[2].line, 3u);
+}
+
+TEST(NondeterminismRule, CleanInCommonAndOnLookalikes) {
+  const DeclIndex index;
+  // src/common/ hosts the seeded RNG — exempt by design.
+  EXPECT_TRUE(AnalyzeSource("src/common/random.cc",
+                            "std::random_device rd;\n", index)
+                  .empty());
+  // time_point / randomize are different tokens; time without a call is a
+  // plain identifier.
+  EXPECT_TRUE(AnalyzeSource("src/core/engine.cc",
+                            "SteadyClock::time_point tp;\n"
+                            "int randomize = 0;\n"
+                            "double time_budget = time_limit;\n",
+                            index)
+                  .empty());
+}
+
+TEST(NondeterminismRule, AnnotationEscape) {
+  const DeclIndex index;
+  EXPECT_TRUE(AnalyzeSource("src/core/engine.cc",
+                            "// lint: nondeterminism-ok(wall time for the "
+                            "run report only)\n"
+                            "long t = time(nullptr);\n",
+                            index)
+                  .empty());
+}
+
+// ---------------------------------------------------------------- SL002
+
+TEST(UnorderedRule, FlagsUnannotatedDeclaration) {
+  const DeclIndex index;
+  const auto findings = AnalyzeSource(
+      "src/gbdt/trainer.cc",
+      "#include <unordered_map>\n"
+      "std::unordered_map<std::string, int> counts;\n",
+      index);
+  ASSERT_EQ(Rules(findings), std::vector<std::string>({"SL002"}));
+  EXPECT_EQ(findings[0].line, 2u);  // the #include line is exempt
+}
+
+TEST(UnorderedRule, FlagsRangeForIteration) {
+  const DeclIndex index;
+  const auto findings = AnalyzeSource(
+      "src/core/engine.cc",
+      "std::unordered_set<int> seen;  // lint: unordered-ok(test decl)\n"
+      "void F() {\n"
+      "  for (int v : seen) {\n"
+      "  }\n"
+      "}\n",
+      index);
+  ASSERT_EQ(Rules(findings), std::vector<std::string>({"SL002"}));
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(UnorderedRule, CleanWhenAnnotatedOrOutOfScope) {
+  const DeclIndex index;
+  EXPECT_TRUE(AnalyzeSource("src/stats/iv.cc",
+                            "std::unordered_set<int> seen;  // lint: "
+                            "unordered-ok(membership only)\n",
+                            index)
+                  .empty());
+  // src/obs is outside the deterministic scope dirs.
+  EXPECT_TRUE(AnalyzeSource("src/obs/metrics.cc",
+                            "std::unordered_map<std::string, int> m;\n",
+                            index)
+                  .empty());
+  // Ordered containers never trigger.
+  EXPECT_TRUE(AnalyzeSource("src/core/engine.cc",
+                            "std::map<std::string, int> ordered;\n"
+                            "for (const auto& kv : ordered) Use(kv);\n",
+                            index)
+                  .empty());
+}
+
+// ---------------------------------------------------------------- SL003
+
+TEST(StableSortRule, FlagsStableSort) {
+  const DeclIndex index;
+  const auto findings = AnalyzeSource(
+      "src/core/selection.cc",
+      "void F(std::vector<int>& v) {\n"
+      "  std::stable_sort(v.begin(), v.end());\n"
+      "}\n",
+      index);
+  ASSERT_EQ(Rules(findings), std::vector<std::string>({"SL003"}));
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(StableSortRule, CleanOnPlainSortAndAnnotated) {
+  const DeclIndex index;
+  EXPECT_TRUE(AnalyzeSource("src/core/selection.cc",
+                            "std::sort(v.begin(), v.end(), ByGainThenIdx);\n",
+                            index)
+                  .empty());
+  EXPECT_TRUE(AnalyzeSource("src/core/selection.cc",
+                            "// lint: stable-sort-ok(input order is itself "
+                            "a documented total order here)\n"
+                            "std::stable_sort(v.begin(), v.end());\n",
+                            index)
+                  .empty());
+}
+
+// ---------------------------------------------------------------- SL004
+
+TEST(FpAtomicRule, FlagsFloatingPointAtomics) {
+  const DeclIndex index;
+  const auto findings = AnalyzeSource(
+      "src/gbdt/trainer.cc",
+      "std::atomic<double> sum{0.0};\n"
+      "std::atomic< float > partial{0.f};\n",
+      index);
+  ASSERT_EQ(Rules(findings),
+            std::vector<std::string>({"SL004", "SL004"}));
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[1].line, 2u);
+}
+
+TEST(FpAtomicRule, CleanOnIntegerAtomicsAndAnnotated) {
+  const DeclIndex index;
+  EXPECT_TRUE(AnalyzeSource("src/gbdt/trainer.cc",
+                            "std::atomic<uint64_t> rows{0};\n"
+                            "std::atomic<bool> done{false};\n",
+                            index)
+                  .empty());
+  EXPECT_TRUE(AnalyzeSource("src/obs/metrics.h",
+                            "std::atomic<double> v;  // lint: "
+                            "fp-atomic-ok(telemetry gauge)\n",
+                            index)
+                  .empty());
+}
+
+// ---------------------------------------------------------------- SL005
+
+TEST(DiscardRule, IndexesStatusAndResultDeclarations) {
+  const DeclIndex index = FixtureIndex();
+  EXPECT_TRUE(index.Contains("SaveModel"));
+  EXPECT_TRUE(index.Contains("Scores"));
+  EXPECT_TRUE(index.Contains("Flush"));
+  EXPECT_FALSE(index.Contains("Db"));
+  EXPECT_EQ(index.size(), 3u);
+}
+
+TEST(DiscardRule, FlagsBareAndVoidCastDiscards) {
+  const DeclIndex index = FixtureIndex();
+  const auto findings = AnalyzeSource(
+      "src/core/engine.cc",
+      "void F(Db& db) {\n"
+      "  SaveModel(\"m.bin\");\n"
+      "  (void)Scores(3);\n"
+      "  db.Flush();\n"
+      "  if (dirty) db.Flush();\n"
+      "}\n",
+      index);
+  ASSERT_EQ(Rules(findings),
+            std::vector<std::string>({"SL005", "SL005", "SL005", "SL005"}));
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[1].line, 3u);
+  EXPECT_EQ(findings[2].line, 4u);
+  EXPECT_EQ(findings[3].line, 5u);
+  EXPECT_NE(findings[1].message.find("(void)-discarded"), std::string::npos);
+}
+
+TEST(DiscardRule, CleanWhenConsumed) {
+  const DeclIndex index = FixtureIndex();
+  EXPECT_TRUE(AnalyzeSource(
+                  "src/core/engine.cc",
+                  "Status G(Db& db) {\n"
+                  "  Status st = SaveModel(\"m.bin\");\n"
+                  "  if (!st.ok()) return st;\n"
+                  "  SAFE_RETURN_NOT_OK(db.Flush());\n"
+                  "  auto scores = Scores(3);\n"
+                  "  return SaveModel(\"again.bin\");\n"
+                  "}\n",
+                  index)
+                  .empty());
+}
+
+TEST(DiscardRule, AnnotationEscape) {
+  const DeclIndex index = FixtureIndex();
+  EXPECT_TRUE(AnalyzeSource("src/core/engine.cc",
+                            "void F(Db& db) {\n"
+                            "  (void)db.Flush();  // lint: discard-ok("
+                            "best-effort flush on shutdown path)\n"
+                            "}\n",
+                            index)
+                  .empty());
+}
+
+// ------------------------------------------------------ annotation grammar
+
+TEST(AnnotationGrammar, EmptyReasonDoesNotSuppress) {
+  const DeclIndex index;
+  const auto findings = AnalyzeSource(
+      "src/core/selection.cc",
+      "std::stable_sort(v.begin(), v.end());  // lint: stable-sort-ok()\n",
+      index);
+  EXPECT_EQ(Rules(findings), std::vector<std::string>({"SL003"}));
+}
+
+TEST(AnnotationGrammar, WrongKeyDoesNotSuppress) {
+  const DeclIndex index;
+  const auto findings = AnalyzeSource(
+      "src/core/selection.cc",
+      "std::stable_sort(v.begin(), v.end());  // lint: unordered-ok(nope)\n",
+      index);
+  EXPECT_EQ(Rules(findings), std::vector<std::string>({"SL003"}));
+}
+
+TEST(AnnotationGrammar, CommentOnlyLineCoversNextLine) {
+  const DeclIndex index;
+  EXPECT_TRUE(AnalyzeSource("src/core/selection.cc",
+                            "// lint: stable-sort-ok(fixture)\n"
+                            "std::stable_sort(v.begin(), v.end());\n",
+                            index)
+                  .empty());
+  // ...but not the line after next.
+  const auto findings = AnalyzeSource(
+      "src/core/selection.cc",
+      "// lint: stable-sort-ok(fixture)\n"
+      "int unrelated = 0;\n"
+      "std::stable_sort(v.begin(), v.end());\n",
+      index);
+  EXPECT_EQ(Rules(findings), std::vector<std::string>({"SL003"}));
+}
+
+TEST(Findings, ToStringFormat) {
+  Finding f{"SL003", "src/core/selection.cc", 12, "msg"};
+  EXPECT_EQ(f.ToString(), "src/core/selection.cc:12: [SL003] msg");
+}
+
+TEST(Scrubbing, IgnoresCommentsAndStrings) {
+  const DeclIndex index;
+  EXPECT_TRUE(AnalyzeSource("src/core/engine.cc",
+                            "// std::stable_sort(v.begin(), v.end());\n"
+                            "const char* s = \"std::rand()\";\n"
+                            "/* std::atomic<double> a; */\n",
+                            index)
+                  .empty());
+}
+
+// ------------------------------------------------------------- whole tree
+
+#ifdef SAFE_REPO_ROOT
+TEST(WholeTree, SrcIsClean) {
+  const auto findings = LintTree(SAFE_REPO_ROOT, {"src"});
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.ToString();
+  }
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(WholeTree, IndexCoversKnownDeclarations) {
+  const DeclIndex index = IndexHeaders(SAFE_REPO_ROOT);
+  // Spot checks across subsystems: the SL005 rule is only as good as the
+  // declaration index feeding it.
+  for (const char* name :
+       {"ReadCsv", "WriteCsv", "AddColumn", "Register", "Fit",
+        "PredictScores", "InformationValue", "Auc", "ApplyOperator",
+        "Transform", "ParseDouble", "KFoldSplit"}) {
+    EXPECT_TRUE(index.Contains(name)) << name;
+  }
+}
+#endif
+
+}  // namespace
+}  // namespace lint
+}  // namespace safe

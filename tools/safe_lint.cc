@@ -1,0 +1,64 @@
+// safe_lint — repo-specific determinism / error-discipline linter.
+//
+// Usage: safe_lint [--root <dir>] [--print-index] [subdir...]
+//
+// Scans <root>/<subdir> (default: src) for .h/.cc files, builds the
+// Status/Result declaration index from every header under <root>/src, and
+// reports violations of rules SL001–SL005 (see src/lint/lint.h). Exits 0
+// when the tree is clean, 1 on violations, 2 on usage errors.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool print_index = false;
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "safe_lint: --root needs a directory" << std::endl;
+        return 2;
+      }
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--print-index") == 0) {
+      print_index = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: safe_lint [--root <dir>] [--print-index] "
+                   "[subdir...]"
+                << std::endl;
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::cerr << "safe_lint: unknown flag " << argv[i] << std::endl;
+      return 2;
+    } else {
+      subdirs.push_back(argv[i]);
+    }
+  }
+  if (subdirs.empty()) subdirs.push_back("src");
+
+  if (print_index) {
+    const safe::lint::DeclIndex index = safe::lint::IndexHeaders(root);
+    for (const auto& name : index.names()) std::cout << name << "\n";
+    std::cout << "safe_lint: " << index.size()
+              << " indexed Status/Result declarations" << std::endl;
+    return 0;
+  }
+
+  const std::vector<safe::lint::Finding> findings =
+      safe::lint::LintTree(root, subdirs);
+  for (const auto& finding : findings) {
+    std::cout << finding.ToString() << std::endl;
+  }
+  if (!findings.empty()) {
+    std::cout << "safe_lint: " << findings.size() << " violation"
+              << (findings.size() == 1 ? "" : "s") << std::endl;
+    return 1;
+  }
+  std::cout << "safe_lint: clean" << std::endl;
+  return 0;
+}

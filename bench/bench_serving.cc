@@ -1,0 +1,119 @@
+// Serving-path benchmark: compiled FeaturePlan executor + fused GBDT
+// scorer (src/serve/) against the naive two-step path
+// (FeaturePlan::TransformRow + Booster::PredictRowProba). Emits a
+// machine-readable BENCH_serving.json with per-path p50/p99 latency and
+// rows/s, and — when --gate points at a committed baseline file — exits
+// non-zero if the fused/naive speedup falls below its "min_speedup".
+// The run aborts outright if any scored row is not bit-identical across
+// the two paths (the equivalence contract of DESIGN.md "Serving path").
+//
+// Flags: --quick --train_rows=N --features=M --rows=N --repeats=K
+//        --batch=B --seed=S --out=BENCH_serving.json
+//        --gate=bench/baselines/serving.json --report=path
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/common/stopwatch.h"
+#include "src/common/string_util.h"
+#include "src/serve/serve_bench.h"
+
+namespace safe {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Stopwatch total_watch;
+  Flags flags(argc, argv);
+
+  serve::ServeBenchOptions options;
+  options.quick = flags.GetBool("quick", false);
+  options.train_rows = static_cast<size_t>(
+      flags.GetInt("train_rows", static_cast<int64_t>(options.train_rows)));
+  options.features = static_cast<size_t>(
+      flags.GetInt("features", static_cast<int64_t>(options.features)));
+  options.score_rows = static_cast<size_t>(
+      flags.GetInt("rows", static_cast<int64_t>(options.score_rows)));
+  options.repeats = static_cast<size_t>(
+      flags.GetInt("repeats", static_cast<int64_t>(options.repeats)));
+  options.batch_size = static_cast<size_t>(
+      flags.GetInt("batch", static_cast<int64_t>(options.batch_size)));
+  options.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<int64_t>(options.seed)));
+
+  auto report = serve::RunServeBench(options);
+  if (!report.ok()) {
+    std::cerr << "bench_serving: " << report.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "=== Serving: fused scorer vs naive TransformRow+Predict ===\n";
+  std::cout << "workload: " << report->features << " input features -> "
+            << report->generated << " generated -> " << report->outputs
+            << " served, " << report->trees << " trees, "
+            << report->score_rows << " rows x " << report->repeats
+            << " passes\n";
+  std::cout << "bit-identical outputs: "
+            << (report->outputs_identical ? "yes" : "NO") << "\n\n";
+  TablePrinter table({"path", "p50 us", "p99 us", "rows/s"}, {16, 9, 9, 12});
+  table.PrintHeader();
+  table.PrintRow({"naive", FormatDouble(report->naive.p50_us, 2),
+                  FormatDouble(report->naive.p99_us, 2),
+                  FormatDouble(report->naive.rows_per_s, 0)});
+  table.PrintRow({"fused", FormatDouble(report->fused.p50_us, 2),
+                  FormatDouble(report->fused.p99_us, 2),
+                  FormatDouble(report->fused.rows_per_s, 0)});
+  table.PrintRow({"fused batch", "-", "-",
+                  FormatDouble(report->batch_rows_per_s, 0)});
+  table.PrintSeparator();
+  std::cout << "speedup per-row " << FormatDouble(report->speedup, 2)
+            << "x, batch " << FormatDouble(report->batch_speedup, 2)
+            << "x\n";
+
+  const std::string out_path = flags.GetString("out", "BENCH_serving.json");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "bench_serving: cannot write '" << out_path << "'\n";
+      return 1;
+    }
+    out << report->ToJson().Serialize();
+    std::cout << "wrote " << out_path << "\n";
+  }
+
+  std::vector<std::pair<std::string, obs::JsonValue>> sections;
+  sections.emplace_back("serving", report->ToJson());
+  EmitRunReport(flags, "bench_serving", total_watch.ElapsedSeconds(),
+                nullptr, false, &sections);
+
+  const std::string gate_path = flags.GetString("gate", "");
+  if (!gate_path.empty()) {
+    auto min_speedup = serve::ReadMinSpeedup(gate_path);
+    if (!min_speedup.ok()) {
+      std::cerr << "bench_serving: " << min_speedup.status().ToString()
+                << "\n";
+      return 1;
+    }
+    if (report->speedup < *min_speedup) {
+      std::cerr << "bench_serving: GATE FAILED — fused/naive speedup "
+                << FormatDouble(report->speedup, 2) << "x is below the "
+                << FormatDouble(*min_speedup, 2) << "x floor from '"
+                << gate_path << "'\n";
+      return 1;
+    }
+    std::cout << "gate ok: " << FormatDouble(report->speedup, 2)
+              << "x >= " << FormatDouble(*min_speedup, 2) << "x ("
+              << gate_path << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace safe
+
+int main(int argc, char** argv) { return safe::bench::Main(argc, argv); }

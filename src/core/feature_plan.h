@@ -62,6 +62,22 @@ class FeaturePlan {
   }
   const std::vector<std::string>& selected() const { return selected_; }
 
+  // Resolved slot indices — the serving compiler's entry point
+  // (serve::CompiledPlan::Compile flattens these into a linear program;
+  // see DESIGN.md "Serving path"). Slots index the evaluation workspace:
+  // inputs occupy [0, input_columns().size()), generated feature g lives
+  // at input_columns().size() + g.
+
+  /// Per generated feature: workspace slots of its parents, in operator
+  /// argument order.
+  const std::vector<std::vector<size_t>>& parent_slots() const {
+    return parent_slots_;
+  }
+  /// Workspace slot of each selected output, in selected() order.
+  const std::vector<size_t>& selected_slots() const {
+    return selected_slots_;
+  }
+
   /// How many selected outputs are generated (vs original) features.
   size_t NumSelectedGenerated() const;
 

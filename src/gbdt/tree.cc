@@ -10,6 +10,10 @@ namespace safe {
 namespace gbdt {
 
 double RegressionTree::PredictRow(const std::vector<double>& row) const {
+  return PredictRow(row.data());
+}
+
+double RegressionTree::PredictRow(const double* row) const {
   if (nodes_.empty()) return 0.0;
   int idx = 0;
   while (!nodes_[idx].is_leaf()) {

@@ -52,6 +52,11 @@ class RegressionTree {
   /// Prediction for one dense feature row (NaN follows default_left).
   double PredictRow(const std::vector<double>& row) const;
 
+  /// Pointer form of PredictRow for allocation-free callers (the serving
+  /// path traverses compiled scratch buffers directly). `row` must hold
+  /// at least max-split-feature + 1 values.
+  double PredictRow(const double* row) const;
+
   /// All root→leaf paths. Paths to pure leaves of a stump (root == leaf)
   /// yield an empty path and are skipped.
   std::vector<TreePath> ExtractPaths() const;

@@ -160,7 +160,8 @@ void RuleNondeterminism(RuleContext& ctx) {
 // unconditionally (annotatable, but should be a sorted copy instead).
 void RuleUnordered(RuleContext& ctx) {
   const std::string dir = SrcSubdir(ctx.file.path());
-  if (dir != "core" && dir != "stats" && dir != "gbdt" && dir != "baselines") {
+  if (dir != "core" && dir != "stats" && dir != "gbdt" &&
+      dir != "baselines" && dir != "serve") {
     return;
   }
   const std::string& s = ctx.file.scrubbed();

@@ -1,0 +1,193 @@
+#include "src/serve/scorer.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/gbdt/loss.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace safe {
+namespace serve {
+
+namespace {
+
+obs::Histogram* LatencyHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global()->histogram(
+          "serve.latency_us", obs::DefaultLatencyBucketsUs());
+  return histogram;
+}
+
+obs::Counter* RowsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global()->counter("serve.rows");
+  return counter;
+}
+
+}  // namespace
+
+Result<RowScorer> RowScorer::Create(const FeaturePlan& plan,
+                                    const gbdt::Booster& booster,
+                                    const OperatorRegistry& registry) {
+  RowScorer scorer;
+  SAFE_ASSIGN_OR_RETURN(scorer.plan_, CompiledPlan::Compile(plan, registry));
+  if (booster.num_features() != scorer.plan_.num_outputs()) {
+    return Status::InvalidArgument(
+        "scorer: booster expects " + std::to_string(booster.num_features()) +
+        " features, plan produces " +
+        std::to_string(scorer.plan_.num_outputs()));
+  }
+  scorer.base_score_ = booster.base_score();
+  scorer.objective_ = booster.objective();
+
+  const int32_t num_features =
+      static_cast<int32_t>(scorer.plan_.num_outputs());
+  scorer.roots_.reserve(booster.trees().size());
+  for (const gbdt::RegressionTree& tree : booster.trees()) {
+    scorer.roots_.push_back(static_cast<uint32_t>(scorer.nodes_.size()));
+    if (tree.empty()) {
+      // RegressionTree::PredictRow returns 0.0 for an empty tree; a single
+      // zero leaf reproduces that contribution exactly.
+      scorer.nodes_.push_back(FlatNode{});
+      continue;
+    }
+    for (const gbdt::TreeNode& node : tree.nodes()) {
+      FlatNode flat;
+      flat.left = node.left;
+      flat.right = node.right;
+      flat.feature = node.feature;
+      flat.threshold = node.threshold;
+      flat.value = node.value;
+      flat.default_left = node.default_left;
+      if (!node.is_leaf() &&
+          (node.feature < 0 || node.feature >= num_features)) {
+        return Status::InvalidArgument(
+            "scorer: tree split on feature " + std::to_string(node.feature) +
+            " outside the plan's " + std::to_string(num_features) +
+            " outputs");
+      }
+      scorer.nodes_.push_back(flat);
+    }
+  }
+  return scorer;
+}
+
+Result<RowScorer> RowScorer::Create(const FeaturePlan& plan,
+                                    const gbdt::Booster& booster) {
+  static const OperatorRegistry registry = OperatorRegistry::Default();
+  return Create(plan, booster, registry);
+}
+
+RowScorer::Scratch RowScorer::MakeScratch() const {
+  Scratch scratch;
+  scratch.slots.resize(plan_.scratch_size());
+  scratch.features.resize(plan_.num_outputs());
+  return scratch;
+}
+
+double RowScorer::ForestMargin(const double* features) const {
+  // Same traversal and the same accumulation order as
+  // Booster::PredictRowMargin (base score, then trees in order), so the
+  // fused margin is bit-identical to the interpreted one.
+  double margin = base_score_;
+  for (uint32_t root : roots_) {
+    const FlatNode* tree = nodes_.data() + root;
+    int32_t idx = 0;
+    while (!tree[idx].is_leaf()) {
+      const FlatNode& node = tree[idx];
+      const double v = features[node.feature];
+      if (std::isnan(v)) {
+        idx = node.default_left ? node.left : node.right;
+      } else {
+        idx = (v <= node.threshold) ? node.left : node.right;
+      }
+    }
+    margin += tree[idx].value;
+  }
+  return margin;
+}
+
+double RowScorer::ScoreRowMargin(const double* row, Scratch* scratch) const {
+  plan_.Execute(row, scratch->slots.data(), scratch->features.data());
+  return ForestMargin(scratch->features.data());
+}
+
+double RowScorer::ScoreRow(const double* row, Scratch* scratch) const {
+  return gbdt::TransformMargin(objective_, ScoreRowMargin(row, scratch));
+}
+
+RowScorer::Scratch* RowScorer::LocalScratch() const {
+  // Per-thread scratch keyed by scorer identity: threads never share a
+  // buffer, so concurrent Score calls on one shared scorer are race-free.
+  // The vector is tiny (one entry per live scorer the thread has used);
+  // lookups are a pointer scan, steady state allocates nothing.
+  thread_local std::vector<std::pair<const RowScorer*, std::unique_ptr<Scratch>>>
+      cache;
+  for (auto& [key, scratch] : cache) {
+    if (key == this) {
+      // Guard against address reuse after another scorer's destruction.
+      if (scratch->slots.size() != plan_.scratch_size() ||
+          scratch->features.size() != plan_.num_outputs()) {
+        *scratch = MakeScratch();
+      }
+      return scratch.get();
+    }
+  }
+  cache.emplace_back(this, std::make_unique<Scratch>(MakeScratch()));
+  return cache.back().second.get();
+}
+
+Result<double> RowScorer::Score(const std::vector<double>& row) const {
+  const uint64_t start_ns = obs::NowNanos();
+  if (row.size() != plan_.num_inputs()) {
+    return Status::InvalidArgument(
+        "scorer: expected " + std::to_string(plan_.num_inputs()) +
+        " values, got " + std::to_string(row.size()));
+  }
+  const double proba = ScoreRow(row.data(), LocalScratch());
+  RowsCounter()->Increment();
+  LatencyHistogram()->Observe(
+      static_cast<double>(obs::NowNanos() - start_ns) / 1e3);
+  return proba;
+}
+
+Result<double> RowScorer::ScoreMargin(const std::vector<double>& row) const {
+  if (row.size() != plan_.num_inputs()) {
+    return Status::InvalidArgument(
+        "scorer: expected " + std::to_string(plan_.num_inputs()) +
+        " values, got " + std::to_string(row.size()));
+  }
+  return ScoreRowMargin(row.data(), LocalScratch());
+}
+
+Status RowScorer::ScoreBatch(const std::vector<std::vector<double>>& rows,
+                             std::vector<double>* out) const {
+  SAFE_TRACE_SPAN("serve.score_batch");
+  const uint64_t start_ns = obs::NowNanos();
+  if (out == nullptr) {
+    return Status::InvalidArgument("scorer: null output vector");
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != plan_.num_inputs()) {
+      return Status::InvalidArgument(
+          "scorer: row " + std::to_string(r) + " has " +
+          std::to_string(rows[r].size()) + " values, expected " +
+          std::to_string(plan_.num_inputs()));
+    }
+  }
+  out->resize(rows.size());
+  Scratch* scratch = LocalScratch();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    (*out)[r] = ScoreRow(rows[r].data(), scratch);
+  }
+  RowsCounter()->Increment(rows.size());
+  LatencyHistogram()->Observe(
+      static_cast<double>(obs::NowNanos() - start_ns) / 1e3);
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace safe

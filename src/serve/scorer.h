@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/feature_plan.h"
+#include "src/core/operators.h"
+#include "src/gbdt/booster.h"
+#include "src/serve/compiled_plan.h"
+
+namespace safe {
+namespace serve {
+
+/// \brief One node of the flattened forest. Same fields and traversal
+/// semantics as gbdt::TreeNode, stored contiguously across all trees so
+/// scoring walks one array instead of a vector-of-trees-of-vectors.
+struct FlatNode {
+  int32_t left = -1;
+  int32_t right = -1;     // children, tree-relative
+  int32_t feature = -1;   // split column into the transformed features
+  double threshold = 0.0;
+  double value = 0.0;
+  bool default_left = true;
+
+  bool is_leaf() const { return left < 0; }
+};
+
+/// \brief Fused low-latency scorer: compiled FeaturePlan program + GBDT
+/// leaf traversal in one pass over a reusable scratch buffer
+/// (DESIGN.md "Serving path").
+///
+/// Built once from a fitted plan and booster, then immutable — safe for
+/// any number of concurrent callers. The convenience APIs (Score /
+/// ScoreMargin / ScoreBatch) keep a per-thread Scratch internally, so the
+/// steady-state path performs zero heap allocations; latency-critical
+/// callers can instead hold their own Scratch and use the unchecked
+/// ScoreRow* core.
+///
+/// Output contract: ScoreRow(row) is bit-identical to
+/// booster.PredictRowProba(*plan.TransformRow(row)) — the interpreted
+/// two-step path — for every row (serve_equivalence_test).
+class RowScorer {
+ public:
+  /// Reusable per-caller buffers: the compiled plan's scratch slots plus
+  /// the transformed feature vector the forest traverses.
+  struct Scratch {
+    std::vector<double> slots;
+    std::vector<double> features;
+  };
+
+  RowScorer() = default;
+
+  /// Compiles `plan` and flattens `booster`. Fails when the booster's
+  /// feature count differs from the plan's selected output count, or when
+  /// a tree references a feature outside that range.
+  [[nodiscard]] static Result<RowScorer> Create(
+      const FeaturePlan& plan, const gbdt::Booster& booster,
+      const OperatorRegistry& registry);
+  [[nodiscard]] static Result<RowScorer> Create(const FeaturePlan& plan,
+                                                const gbdt::Booster& booster);
+
+  size_t num_inputs() const { return plan_.num_inputs(); }
+  size_t num_features() const { return plan_.num_outputs(); }
+  const CompiledPlan& plan() const { return plan_; }
+
+  Scratch MakeScratch() const;
+
+  /// Allocation-free fused core: compiled program into scratch->slots,
+  /// gather into scratch->features, forest margin over features. `row`
+  /// must hold num_inputs() doubles.
+  double ScoreRowMargin(const double* row, Scratch* scratch) const;
+  /// Margin passed through the objective's link (sigmoid for logistic).
+  double ScoreRow(const double* row, Scratch* scratch) const;
+
+  /// Checked single-row probability. Thread-safe: each calling thread
+  /// reuses its own cached Scratch. Records serve.latency_us and
+  /// serve.rows telemetry.
+  [[nodiscard]] Result<double> Score(const std::vector<double>& row) const;
+  [[nodiscard]] Result<double> ScoreMargin(
+      const std::vector<double>& row) const;
+
+  /// Checked micro-batch probability scoring. `out` is resized to
+  /// rows.size() (reusing its capacity), so a caller looping over batches
+  /// allocates nothing in steady state. Thread-safe for concurrent
+  /// callers. Records one serve.latency_us observation for the batch and
+  /// counts rows.size() into serve.rows.
+  [[nodiscard]] Status ScoreBatch(const std::vector<std::vector<double>>& rows,
+                                  std::vector<double>* out) const;
+
+ private:
+  double ForestMargin(const double* features) const;
+  Scratch* LocalScratch() const;
+
+  CompiledPlan plan_;
+  std::vector<FlatNode> nodes_;   // all trees, concatenated
+  std::vector<uint32_t> roots_;   // offset of each tree's root in nodes_
+  double base_score_ = 0.0;
+  gbdt::Objective objective_ = gbdt::Objective::kLogistic;
+};
+
+}  // namespace serve
+}  // namespace safe

@@ -1,0 +1,247 @@
+#include "src/serve/serve_bench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/data/synthetic.h"
+#include "src/gbdt/booster.h"
+#include "src/serve/scorer.h"
+
+namespace safe {
+namespace serve {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// NaN-aware bitwise agreement (NaN payload bits are not contractual).
+bool SameOutput(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  return Bits(a) == Bits(b);
+}
+
+PathStats SummarizeSamples(std::vector<uint64_t>* samples_ns) {
+  PathStats stats;
+  if (samples_ns->empty()) return stats;
+  std::sort(samples_ns->begin(), samples_ns->end());
+  const size_t n = samples_ns->size();
+  stats.p50_us = static_cast<double>((*samples_ns)[n / 2]) / 1e3;
+  stats.p99_us =
+      static_cast<double>((*samples_ns)[std::min(n - 1, (n * 99) / 100)]) /
+      1e3;
+  uint64_t total_ns = 0;
+  for (uint64_t s : *samples_ns) total_ns += s;
+  if (total_ns > 0) {
+    stats.rows_per_s =
+        static_cast<double>(n) / (static_cast<double>(total_ns) / 1e9);
+  }
+  return stats;
+}
+
+obs::JsonValue PathStatsToJson(const PathStats& stats) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("p50_us", obs::JsonValue(stats.p50_us));
+  out.Set("p99_us", obs::JsonValue(stats.p99_us));
+  out.Set("rows_per_s", obs::JsonValue(stats.rows_per_s));
+  return out;
+}
+
+}  // namespace
+
+obs::JsonValue ServeBenchReport::ToJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  obs::JsonValue config = obs::JsonValue::Object();
+  config.Set("score_rows", obs::JsonValue(uint64_t{score_rows}));
+  config.Set("repeats", obs::JsonValue(uint64_t{repeats}));
+  config.Set("features", obs::JsonValue(uint64_t{features}));
+  config.Set("outputs", obs::JsonValue(uint64_t{outputs}));
+  config.Set("generated", obs::JsonValue(uint64_t{generated}));
+  config.Set("trees", obs::JsonValue(uint64_t{trees}));
+  out.Set("config", std::move(config));
+  out.Set("naive_per_row", PathStatsToJson(naive));
+  out.Set("fused_per_row", PathStatsToJson(fused));
+  obs::JsonValue batch = obs::JsonValue::Object();
+  batch.Set("rows_per_s", obs::JsonValue(batch_rows_per_s));
+  out.Set("fused_batch", std::move(batch));
+  out.Set("speedup_per_row", obs::JsonValue(speedup));
+  out.Set("speedup_batch", obs::JsonValue(batch_speedup));
+  out.Set("outputs_identical", obs::JsonValue(outputs_identical));
+  return out;
+}
+
+Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
+  ServeBenchOptions opts = options;
+  if (opts.quick) {
+    opts.train_rows = std::min<size_t>(opts.train_rows, 1000);
+    opts.score_rows = std::min<size_t>(opts.score_rows, 8000);
+  }
+  if (opts.train_rows == 0 || opts.score_rows == 0 || opts.repeats == 0 ||
+      opts.features == 0 || opts.batch_size == 0) {
+    return Status::InvalidArgument("serve bench: all sizes must be > 0");
+  }
+
+  // Fit a SAFE plan and a GBDT on a synthetic workload.
+  data::SyntheticSpec spec;
+  spec.num_rows = opts.train_rows;
+  spec.num_features = opts.features;
+  spec.num_informative = std::max<size_t>(1, opts.features / 2);
+  spec.num_interactions = 3;
+  spec.seed = opts.seed;
+  SAFE_ASSIGN_OR_RETURN(Dataset train, data::MakeSyntheticDataset(spec));
+
+  SafeParams safe_params;
+  safe_params.seed = opts.seed;
+  SafeEngine engine(safe_params);
+  SAFE_ASSIGN_OR_RETURN(SafeFitResult fit, engine.Fit(train));
+  const FeaturePlan& plan = fit.plan;
+
+  SAFE_ASSIGN_OR_RETURN(DataFrame engineered, plan.Transform(train.x));
+  gbdt::GbdtParams gbdt_params;
+  gbdt_params.seed = opts.seed;
+  Dataset engineered_train{std::move(engineered), train.y};
+  SAFE_ASSIGN_OR_RETURN(
+      gbdt::Booster booster,
+      gbdt::Booster::Fit(engineered_train, nullptr, gbdt_params));
+
+  SAFE_ASSIGN_OR_RETURN(RowScorer scorer, RowScorer::Create(plan, booster));
+
+  // Fresh rows from the same distribution for scoring.
+  data::SyntheticSpec score_spec = spec;
+  score_spec.num_rows = opts.score_rows;
+  score_spec.seed = opts.seed + 1;
+  SAFE_ASSIGN_OR_RETURN(Dataset score_data,
+                        data::MakeSyntheticDataset(score_spec));
+  std::vector<std::vector<double>> rows;
+  rows.reserve(opts.score_rows);
+  for (size_t r = 0; r < opts.score_rows; ++r) {
+    rows.push_back(score_data.x.Row(r));
+  }
+
+  ServeBenchReport report;
+  report.score_rows = opts.score_rows;
+  report.repeats = opts.repeats;
+  report.features = opts.features;
+  report.outputs = plan.selected().size();
+  report.generated = plan.generated().size();
+  report.trees = booster.trees().size();
+
+  // Bit-identity sweep (doubles as warmup for both paths).
+  RowScorer::Scratch scratch = scorer.MakeScratch();
+  report.outputs_identical = true;
+  for (const std::vector<double>& row : rows) {
+    SAFE_ASSIGN_OR_RETURN(std::vector<double> transformed,
+                          plan.TransformRow(row));
+    const double naive = booster.PredictRowProba(transformed);
+    const double fused = scorer.ScoreRow(row.data(), &scratch);
+    if (!SameOutput(naive, fused)) {
+      report.outputs_identical = false;
+      break;
+    }
+  }
+  if (!report.outputs_identical) {
+    return Status::Internal(
+        "serve bench: fused scorer diverged from the naive path");
+  }
+
+  // Batch chunks are staged (and warmed once, untimed) before any timing
+  // so neither path pays their construction.
+  std::vector<std::vector<std::vector<double>>> chunks;
+  for (size_t begin = 0; begin < rows.size(); begin += opts.batch_size) {
+    const size_t end = std::min(rows.size(), begin + opts.batch_size);
+    chunks.emplace_back(rows.begin() + static_cast<long>(begin),
+                        rows.begin() + static_cast<long>(end));
+  }
+  std::vector<double> batch_out;
+  for (const auto& chunk : chunks) {
+    SAFE_RETURN_NOT_OK(scorer.ScoreBatch(chunk, &batch_out));
+  }
+
+  // The three paths are timed interleaved, pass by pass, so slow clock
+  // drift (thermal / frequency scaling) biases the speedup ratio as
+  // little as possible on a shared machine.
+  std::vector<uint64_t> naive_samples;
+  std::vector<uint64_t> fused_samples;
+  naive_samples.reserve(opts.score_rows * opts.repeats);
+  fused_samples.reserve(opts.score_rows * opts.repeats);
+  uint64_t batch_ns = 0;
+  for (size_t pass = 0; pass < opts.repeats; ++pass) {
+    // Naive per-row path: interpreted TransformRow + booster row predict.
+    for (const std::vector<double>& row : rows) {
+      const uint64_t t0 = NowNs();
+      auto transformed = plan.TransformRow(row);
+      if (!transformed.ok()) return transformed.status();
+      const double proba = booster.PredictRowProba(*transformed);
+      naive_samples.push_back(NowNs() - t0);
+      (void)proba;  // the call's cost is the subject; value unused
+    }
+    // Fused per-row path over one reusable scratch.
+    for (const std::vector<double>& row : rows) {
+      const uint64_t t0 = NowNs();
+      const double proba = scorer.ScoreRow(row.data(), &scratch);
+      fused_samples.push_back(NowNs() - t0);
+      (void)proba;
+    }
+    // Fused micro-batch path.
+    const uint64_t batch_t0 = NowNs();
+    for (const auto& chunk : chunks) {
+      SAFE_RETURN_NOT_OK(scorer.ScoreBatch(chunk, &batch_out));
+    }
+    batch_ns += NowNs() - batch_t0;
+  }
+  report.naive = SummarizeSamples(&naive_samples);
+  report.fused = SummarizeSamples(&fused_samples);
+  if (batch_ns > 0) {
+    report.batch_rows_per_s =
+        static_cast<double>(opts.score_rows * opts.repeats) /
+        (static_cast<double>(batch_ns) / 1e9);
+  }
+
+  if (report.naive.rows_per_s > 0.0) {
+    report.speedup = report.fused.rows_per_s / report.naive.rows_per_s;
+    report.batch_speedup = report.batch_rows_per_s / report.naive.rows_per_s;
+  }
+  return report;
+}
+
+Result<double> ReadMinSpeedup(const std::string& baseline_path) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    return Status::IoError("cannot open gate baseline '" + baseline_path +
+                           "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  obs::JsonValue doc;
+  std::string error;
+  if (!obs::JsonValue::Parse(buffer.str(), &doc, &error)) {
+    return Status::InvalidArgument("gate baseline '" + baseline_path +
+                                   "': " + error);
+  }
+  const obs::JsonValue* min_speedup = doc.Find("min_speedup");
+  if (min_speedup == nullptr ||
+      min_speedup->type() != obs::JsonValue::Type::kNumber) {
+    return Status::InvalidArgument("gate baseline '" + baseline_path +
+                                   "' lacks a numeric min_speedup");
+  }
+  return min_speedup->number_value();
+}
+
+}  // namespace serve
+}  // namespace safe

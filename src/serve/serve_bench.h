@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/obs/json.h"
+
+namespace safe {
+namespace serve {
+
+/// \brief Configuration of the serving benchmark (shared by
+/// bench/bench_serving.cc and `safe_cli serve-bench`).
+struct ServeBenchOptions {
+  /// Rows used to fit the SAFE plan and the GBDT.
+  size_t train_rows = 2000;
+  /// Original feature count of the synthetic workload. The default is
+  /// transform-heavy enough (2x features generated downstream) that the
+  /// fused/naive ratio is a stable gate subject.
+  size_t features = 24;
+  /// Rows scored per timing pass.
+  size_t score_rows = 20000;
+  /// Timing passes over the scoring rows (latency samples accumulate).
+  size_t repeats = 3;
+  /// Rows per ScoreBatch call in the micro-batch measurement.
+  size_t batch_size = 256;
+  uint64_t seed = 42;
+  /// Shrinks every knob for CI smoke runs (a few seconds end to end).
+  bool quick = false;
+};
+
+/// \brief Per-path latency/throughput summary.
+struct PathStats {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double rows_per_s = 0.0;
+};
+
+/// \brief Machine-readable result of one serving benchmark run.
+struct ServeBenchReport {
+  size_t score_rows = 0;
+  /// Effective timing passes (after any --quick clamping).
+  size_t repeats = 0;
+  size_t features = 0;
+  size_t outputs = 0;
+  size_t generated = 0;
+  size_t trees = 0;
+  /// Naive per-row path: FeaturePlan::TransformRow + PredictRowProba.
+  PathStats naive;
+  /// Fused per-row path: RowScorer::ScoreRow over reusable scratch.
+  PathStats fused;
+  /// Fused micro-batch path: RowScorer::ScoreBatch.
+  double batch_rows_per_s = 0.0;
+  /// fused.rows_per_s / naive.rows_per_s (the CI gate's subject).
+  double speedup = 0.0;
+  double batch_speedup = 0.0;
+  /// Every scored row was bit-identical across naive and fused paths.
+  bool outputs_identical = false;
+
+  /// Serializes to the BENCH_serving.json schema.
+  obs::JsonValue ToJson() const;
+};
+
+/// Runs the benchmark: fits a SAFE plan + GBDT on a synthetic workload,
+/// verifies the fused scorer is bit-identical to the naive path over
+/// every scoring row, then times both per-row paths (p50/p99/rows-per-s)
+/// and the fused micro-batch path.
+[[nodiscard]] Result<ServeBenchReport> RunServeBench(
+    const ServeBenchOptions& options);
+
+/// Reads the committed gate file (bench/baselines/serving.json) and
+/// returns its "min_speedup" number.
+[[nodiscard]] Result<double> ReadMinSpeedup(const std::string& baseline_path);
+
+}  // namespace serve
+}  // namespace safe

@@ -103,6 +103,23 @@ TEST(UnorderedRule, FlagsRangeForIteration) {
   EXPECT_EQ(findings[0].line, 3u);
 }
 
+TEST(UnorderedRule, ServeIsADeterministicDirectory) {
+  // src/serve/ compiles plans whose instruction order is contractual, so
+  // it sits inside the SL002 scan like core/stats/gbdt/baselines.
+  const DeclIndex index;
+  const auto findings = AnalyzeSource(
+      "src/serve/compiled_plan.cc",
+      "std::unordered_map<std::string, int> opcode_of;\n",
+      index);
+  ASSERT_EQ(Rules(findings), std::vector<std::string>({"SL002"}));
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_TRUE(AnalyzeSource("src/serve/scorer.cc",
+                            "std::unordered_set<int> seen;  // lint: "
+                            "unordered-ok(membership only)\n",
+                            index)
+                  .empty());
+}
+
 TEST(UnorderedRule, CleanWhenAnnotatedOrOutOfScope) {
   const DeclIndex index;
   EXPECT_TRUE(AnalyzeSource("src/stats/iv.cc",

@@ -1,0 +1,185 @@
+// Concurrency suite for the fused serving path: one shared RowScorer,
+// many threads, outputs byte-identical to a serial pass. The checked
+// Score/ScoreBatch APIs keep per-thread scratch internally, so hammering
+// them concurrently is exactly the pattern a serving process runs; the
+// tsan preset re-runs this suite under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/gbdt/booster.h"
+#include "src/serve/scorer.h"
+#include "tests/property_util.h"
+
+namespace safe {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  FeaturePlan plan;
+  gbdt::Booster booster;
+  serve::RowScorer scorer;
+  std::vector<std::vector<double>> rows;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  Fixture f;
+  f.data = testutil::MakePropertyDataset(seed);
+  SafeParams params;
+  params.seed = seed;
+  SafeEngine engine(params);
+  auto fit = engine.Fit(f.data);
+  SAFE_CHECK(fit.ok()) << fit.status().ToString();
+  f.plan = std::move(fit->plan);
+  auto engineered = f.plan.Transform(f.data.x);
+  SAFE_CHECK(engineered.ok()) << engineered.status().ToString();
+  gbdt::GbdtParams gbdt_params;
+  gbdt_params.seed = seed;
+  gbdt_params.num_trees = 15;
+  Dataset engineered_train{std::move(*engineered), f.data.y};
+  auto booster = gbdt::Booster::Fit(engineered_train, nullptr, gbdt_params);
+  SAFE_CHECK(booster.ok()) << booster.status().ToString();
+  f.booster = std::move(*booster);
+  auto scorer = serve::RowScorer::Create(f.plan, f.booster);
+  SAFE_CHECK(scorer.ok()) << scorer.status().ToString();
+  f.scorer = std::move(*scorer);
+  for (size_t r = 0; r < f.data.num_rows(); ++r) {
+    f.rows.push_back(f.data.x.Row(r));
+  }
+  return f;
+}
+
+bool SameBytes(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(ServeConcurrencyTest, ConcurrentScoreMatchesSerial) {
+  Fixture f = MakeFixture(21);
+  const size_t n = f.rows.size();
+
+  std::vector<double> serial(n);
+  for (size_t r = 0; r < n; ++r) {
+    auto score = f.scorer.Score(f.rows[r]);
+    ASSERT_TRUE(score.ok()) << score.status().ToString();
+    serial[r] = *score;
+  }
+
+  // Each thread scores every row into its own stripe-checked copy; the
+  // scorer is shared, the per-thread scratch is the scorer's own.
+  const size_t num_threads = 8;
+  std::vector<std::vector<double>> per_thread(num_threads,
+                                              std::vector<double>(n));
+  std::vector<int> failures(num_threads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t r = 0; r < n; ++r) {
+        auto score = f.scorer.Score(f.rows[r]);
+        if (!score.ok()) {
+          failures[t] += 1;
+          return;
+        }
+        per_thread[t][r] = *score;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (size_t t = 0; t < num_threads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+    EXPECT_TRUE(SameBytes(serial, per_thread[t])) << "thread " << t;
+  }
+}
+
+TEST(ServeConcurrencyTest, ConcurrentScoreBatchMatchesSerial) {
+  Fixture f = MakeFixture(22);
+  std::vector<double> serial;
+  ASSERT_TRUE(f.scorer.ScoreBatch(f.rows, &serial).ok());
+
+  const size_t num_threads = 6;
+  std::vector<std::vector<double>> per_thread(num_threads);
+  std::vector<int> failures(num_threads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      // Repeat to stress scratch reuse across calls on one thread.
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        if (!f.scorer.ScoreBatch(f.rows, &per_thread[t]).ok()) {
+          failures[t] += 1;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (size_t t = 0; t < num_threads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+    EXPECT_TRUE(SameBytes(serial, per_thread[t])) << "thread " << t;
+  }
+}
+
+TEST(ServeConcurrencyTest, TwoScorersShareThreadsWithoutCrosstalk) {
+  // Two live scorers exercised from the same threads: the per-thread
+  // scratch cache must key on scorer identity, not clobber across them.
+  Fixture f1 = MakeFixture(23);
+  Fixture f2 = MakeFixture(24);
+
+  std::vector<double> serial1(f1.rows.size());
+  for (size_t r = 0; r < f1.rows.size(); ++r) {
+    auto score = f1.scorer.Score(f1.rows[r]);
+    ASSERT_TRUE(score.ok());
+    serial1[r] = *score;
+  }
+  std::vector<double> serial2(f2.rows.size());
+  for (size_t r = 0; r < f2.rows.size(); ++r) {
+    auto score = f2.scorer.Score(f2.rows[r]);
+    ASSERT_TRUE(score.ok());
+    serial2[r] = *score;
+  }
+
+  const size_t num_threads = 4;
+  std::vector<std::vector<double>> out1(num_threads,
+                                        std::vector<double>(f1.rows.size()));
+  std::vector<std::vector<double>> out2(num_threads,
+                                        std::vector<double>(f2.rows.size()));
+  std::vector<int> failures(num_threads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      const size_t iterations =
+          std::max(f1.rows.size(), f2.rows.size());
+      for (size_t r = 0; r < iterations; ++r) {
+        if (r < f1.rows.size()) {
+          auto score = f1.scorer.Score(f1.rows[r]);
+          if (!score.ok()) {
+            failures[t] += 1;
+            return;
+          }
+          out1[t][r] = *score;
+        }
+        if (r < f2.rows.size()) {
+          auto score = f2.scorer.Score(f2.rows[r]);
+          if (!score.ok()) {
+            failures[t] += 1;
+            return;
+          }
+          out2[t][r] = *score;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (size_t t = 0; t < num_threads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+    EXPECT_TRUE(SameBytes(serial1, out1[t])) << "thread " << t;
+    EXPECT_TRUE(SameBytes(serial2, out2[t])) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace safe

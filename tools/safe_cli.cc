@@ -16,6 +16,10 @@
 //     safe_cli inspect --plan=plan.txt
 //   demo       end-to-end run on a synthetic workload (no files needed)
 //     safe_cli demo [--rows=2000] [--features=10] [--seed=42]
+//   serve-bench  compiled+fused serving path vs the naive two-step path
+//     safe_cli serve-bench [--quick] [--train_rows=2000] [--features=24]
+//              [--rows=20000] [--repeats=3] [--batch=256] [--seed=42]
+//              [--out=BENCH_serving.json] [--gate=bench/baselines/serving.json]
 //
 // Every subcommand accepts --report=<path>: at exit the telemetry run
 // report (metrics, trace spans, and — for fit/demo — the per-iteration
@@ -41,6 +45,7 @@
 #include "src/data/synthetic.h"
 #include "src/dataframe/csv.h"
 #include "src/gbdt/booster.h"
+#include "src/serve/serve_bench.h"
 #include "src/stats/auc.h"
 
 namespace safe {
@@ -201,6 +206,68 @@ int RunDemo(const bench::Flags& flags) {
   return 0;
 }
 
+int RunServeBench(const bench::Flags& flags) {
+  serve::ServeBenchOptions options;
+  options.quick = flags.GetBool("quick", false);
+  options.train_rows = static_cast<size_t>(
+      flags.GetInt("train_rows", static_cast<int64_t>(options.train_rows)));
+  options.features = static_cast<size_t>(
+      flags.GetInt("features", static_cast<int64_t>(options.features)));
+  options.score_rows = static_cast<size_t>(
+      flags.GetInt("rows", static_cast<int64_t>(options.score_rows)));
+  options.repeats = static_cast<size_t>(
+      flags.GetInt("repeats", static_cast<int64_t>(options.repeats)));
+  options.batch_size = static_cast<size_t>(
+      flags.GetInt("batch", static_cast<int64_t>(options.batch_size)));
+  options.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<int64_t>(options.seed)));
+
+  Stopwatch watch;
+  auto report = serve::RunServeBench(options);
+  if (!report.ok()) return Fail(report.status());
+
+  std::cout << "serving: " << report->features << " inputs -> "
+            << report->generated << " generated -> " << report->outputs
+            << " served, " << report->trees << " trees\n";
+  std::cout << "  naive:  p50 " << FormatDouble(report->naive.p50_us, 2)
+            << "us  p99 " << FormatDouble(report->naive.p99_us, 2) << "us  "
+            << FormatDouble(report->naive.rows_per_s, 0) << " rows/s\n";
+  std::cout << "  fused:  p50 " << FormatDouble(report->fused.p50_us, 2)
+            << "us  p99 " << FormatDouble(report->fused.p99_us, 2) << "us  "
+            << FormatDouble(report->fused.rows_per_s, 0) << " rows/s\n";
+  std::cout << "  batch:  " << FormatDouble(report->batch_rows_per_s, 0)
+            << " rows/s\n";
+  std::cout << "  speedup per-row " << FormatDouble(report->speedup, 2)
+            << "x, batch " << FormatDouble(report->batch_speedup, 2)
+            << "x, bit-identical "
+            << (report->outputs_identical ? "yes" : "NO") << "\n";
+
+  const std::string out_path = flags.GetString("out", "");
+  if (!out_path.empty()) {
+    Status st = WriteWholeFile(out_path, report->ToJson().Serialize());
+    if (!st.ok()) return Fail(st);
+    std::cout << "wrote " << out_path << "\n";
+  }
+  if (!bench::EmitRunReport(flags, "safe_cli serve-bench",
+                            watch.ElapsedSeconds(), nullptr,
+                            /*print_table=*/true)) {
+    return 1;
+  }
+  const std::string gate_path = flags.GetString("gate", "");
+  if (!gate_path.empty()) {
+    auto min_speedup = serve::ReadMinSpeedup(gate_path);
+    if (!min_speedup.ok()) return Fail(min_speedup.status());
+    if (report->speedup < *min_speedup) {
+      return Fail("serving gate failed: speedup " +
+                  FormatDouble(report->speedup, 2) + "x < " +
+                  FormatDouble(*min_speedup, 2) + "x (" + gate_path + ")");
+    }
+    std::cout << "gate ok: " << FormatDouble(report->speedup, 2)
+              << "x >= " << FormatDouble(*min_speedup, 2) << "x\n";
+  }
+  return 0;
+}
+
 int RunTransform(const bench::Flags& flags) {
   const std::string input_path = flags.GetString("input", "");
   const std::string plan_path = flags.GetString("plan", "plan.txt");
@@ -345,7 +412,8 @@ int RunInspect(const bench::Flags& flags) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: safe_cli <fit|transform|evaluate|inspect|demo> "
+    std::cerr << "usage: safe_cli "
+                 "<fit|transform|evaluate|inspect|demo|serve-bench> "
                  "[--flags]\n"
                  "(see the header comment of tools/safe_cli.cc)\n";
     return 1;
@@ -357,6 +425,7 @@ int Main(int argc, char** argv) {
   if (command == "evaluate") return RunEvaluate(flags);
   if (command == "inspect") return RunInspect(flags);
   if (command == "demo") return RunDemo(flags);
+  if (command == "serve-bench") return RunServeBench(flags);
   return Fail("unknown command '" + command + "'");
 }
 

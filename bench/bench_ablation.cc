@@ -24,6 +24,7 @@ namespace {
 int Main(int argc, char** argv) {
   Stopwatch total_watch;
   Flags flags(argc, argv);
+  ArmTraceFromFlags(flags);
   const bool quick = flags.GetBool("quick", false);
   const double row_scale = flags.GetDouble("row_scale", quick ? 0.05 : 0.15);
   const size_t repeats =

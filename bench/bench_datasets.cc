@@ -87,6 +87,7 @@ void PrintBands() {
 int Main(int argc, char** argv) {
   Stopwatch total_watch;
   Flags flags(argc, argv);
+  ArmTraceFromFlags(flags);
   const double row_scale = flags.GetDouble("row_scale", 0.1);
   const double business_scale = flags.GetDouble("business_scale", 0.005);
   PrintBands();

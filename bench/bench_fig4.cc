@@ -15,6 +15,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ArmTraceFromFlags(flags);
   const bool quick = flags.GetBool("quick", false);
   const double row_scale = flags.GetDouble("row_scale", quick ? 0.1 : 0.25);
   const size_t max_iters =

@@ -186,6 +186,7 @@ obs::JsonValue EngineThreadSweep(const Flags& flags, bool quick) {
 int Main(int argc, char** argv) {
   Stopwatch total_watch;
   Flags flags(argc, argv);
+  ArmTraceFromFlags(flags);
   const bool quick = flags.GetBool("quick", false);
   const double scale = quick ? 0.2 : 1.0;
 

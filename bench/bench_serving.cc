@@ -7,9 +7,14 @@
 // The run aborts outright if any scored row is not bit-identical across
 // the two paths (the equivalence contract of DESIGN.md "Serving path").
 //
+// The run also re-times the fused path with the flight recorder armed vs
+// disarmed; when the gate file carries "max_recorder_overhead_pct" (and
+// the build has SAFE_TELEMETRY=ON), overhead above that ceiling fails
+// the gate the same way a speedup shortfall does.
+//
 // Flags: --quick --train_rows=N --features=M --rows=N --repeats=K
 //        --batch=B --seed=S --out=BENCH_serving.json
-//        --gate=bench/baselines/serving.json --report=path
+//        --gate=bench/baselines/serving.json --report=path --trace=path
 
 #include <fstream>
 #include <iostream>
@@ -29,6 +34,7 @@ namespace {
 int Main(int argc, char** argv) {
   Stopwatch total_watch;
   Flags flags(argc, argv);
+  ArmTraceFromFlags(flags);
 
   serve::ServeBenchOptions options;
   options.quick = flags.GetBool("quick", false);
@@ -73,6 +79,16 @@ int Main(int argc, char** argv) {
   std::cout << "speedup per-row " << FormatDouble(report->speedup, 2)
             << "x, batch " << FormatDouble(report->batch_speedup, 2)
             << "x\n";
+  if (report->recorder_enabled) {
+    std::cout << "recorder overhead (fused, armed vs disarmed): "
+              << FormatDouble(report->recorder_overhead_pct, 2) << "% ("
+              << FormatDouble(report->fused_armed_rows_per_s, 0)
+              << " vs "
+              << FormatDouble(report->fused_disarmed_rows_per_s, 0)
+              << " rows/s)\n";
+  } else {
+    std::cout << "recorder overhead: n/a (SAFE_TELEMETRY=OFF build)\n";
+  }
 
   const std::string out_path = flags.GetString("out", "BENCH_serving.json");
   if (!out_path.empty()) {
@@ -92,22 +108,36 @@ int Main(int argc, char** argv) {
 
   const std::string gate_path = flags.GetString("gate", "");
   if (!gate_path.empty()) {
-    auto min_speedup = serve::ReadMinSpeedup(gate_path);
-    if (!min_speedup.ok()) {
-      std::cerr << "bench_serving: " << min_speedup.status().ToString()
-                << "\n";
+    auto gate = serve::ReadServingGate(gate_path);
+    if (!gate.ok()) {
+      std::cerr << "bench_serving: " << gate.status().ToString() << "\n";
       return 1;
     }
-    if (report->speedup < *min_speedup) {
+    if (report->speedup < gate->min_speedup) {
       std::cerr << "bench_serving: GATE FAILED — fused/naive speedup "
                 << FormatDouble(report->speedup, 2) << "x is below the "
-                << FormatDouble(*min_speedup, 2) << "x floor from '"
+                << FormatDouble(gate->min_speedup, 2) << "x floor from '"
                 << gate_path << "'\n";
       return 1;
     }
     std::cout << "gate ok: " << FormatDouble(report->speedup, 2)
-              << "x >= " << FormatDouble(*min_speedup, 2) << "x ("
+              << "x >= " << FormatDouble(gate->min_speedup, 2) << "x ("
               << gate_path << ")\n";
+    if (gate->max_recorder_overhead_pct > 0.0 && report->recorder_enabled) {
+      if (report->recorder_overhead_pct > gate->max_recorder_overhead_pct) {
+        std::cerr << "bench_serving: GATE FAILED — recorder-armed overhead "
+                  << FormatDouble(report->recorder_overhead_pct, 2)
+                  << "% exceeds the "
+                  << FormatDouble(gate->max_recorder_overhead_pct, 2)
+                  << "% budget from '" << gate_path << "'\n";
+        return 1;
+      }
+      std::cout << "gate ok: recorder overhead "
+                << FormatDouble(report->recorder_overhead_pct, 2)
+                << "% <= "
+                << FormatDouble(gate->max_recorder_overhead_pct, 2)
+                << "% (" << gate_path << ")\n";
+    }
   }
   return 0;
 }

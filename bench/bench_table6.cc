@@ -22,6 +22,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ArmTraceFromFlags(flags);
   const bool quick = flags.GetBool("quick", false);
   const double row_scale = flags.GetDouble("row_scale", quick ? 0.05 : 0.10);
   const size_t repeats =

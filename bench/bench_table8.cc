@@ -21,6 +21,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ArmTraceFromFlags(flags);
   const bool quick = flags.GetBool("quick", false);
   const double explicit_scale = flags.GetDouble("row_scale", 0.0);
   const double target_rows =

@@ -10,7 +10,9 @@
 #include "src/models/mlp.h"
 #include "src/models/tree_models.h"
 #include "src/models/xgb.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/report.h"
+#include "src/obs/trace_export.h"
 #include "src/stats/auc.h"
 
 namespace safe {
@@ -199,8 +201,23 @@ bool EmitRunReport(const Flags& flags, const std::string& tool,
                    bool print_table,
                    const std::vector<std::pair<std::string, obs::JsonValue>>*
                        sections) {
+  // Flight-recorder export is independent of --report: drain the trace
+  // first so it reflects the run even when no report was requested.
+  bool ok = true;
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    obs::FlightRecorder::Disarm();
+    std::string trace_error;
+    if (!obs::WriteChromeTrace(trace_path, &trace_error)) {
+      std::cerr << "trace: " << trace_error << "\n";
+      ok = false;
+    } else {
+      std::cout << "trace written to " << trace_path
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+  }
   const std::string path = flags.GetString("report", "");
-  if (path.empty()) return true;
+  if (path.empty()) return ok;
   obs::RunReport report(tool);
   report.CaptureTelemetry();
   report.set_wall_seconds(wall_seconds);
@@ -221,6 +238,13 @@ bool EmitRunReport(const Flags& flags, const std::string& tool,
     return false;
   }
   std::cout << "report written to " << path << "\n";
+  return ok;
+}
+
+bool ArmTraceFromFlags(const Flags& flags) {
+  if (flags.GetString("trace", "").empty()) return false;
+  obs::FlightRecorder::Global()->SetCurrentThreadLabel("main");
+  obs::FlightRecorder::Arm();
   return true;
 }
 

@@ -94,5 +94,12 @@ bool EmitRunReport(const Flags& flags, const std::string& tool,
                    const std::vector<std::pair<std::string, obs::JsonValue>>*
                        sections = nullptr);
 
+/// \brief Arms the global flight recorder when `--trace=<path>` is set,
+/// labelling the calling thread "main". Call at the top of a bench main;
+/// EmitRunReport later disarms and drains every thread's timeline to the
+/// flagged path as Chrome trace-event JSON (chrome://tracing / Perfetto).
+/// Returns true when the recorder was armed.
+bool ArmTraceFromFlags(const Flags& flags);
+
 }  // namespace bench
 }  // namespace safe

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -39,9 +41,13 @@ struct PoolMetrics {
 thread_local const ThreadPool* t_worker_pool = nullptr;
 thread_local int t_worker_index = -1;
 
+/// Dense pool ids for flight-recorder worker labels.
+std::atomic<uint32_t> g_next_pool_id{0};
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  pool_id_ = g_next_pool_id.fetch_add(1, std::memory_order_relaxed);
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
@@ -93,6 +99,11 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WorkerLoop(size_t worker_index) {
   t_worker_pool = this;
   t_worker_index = static_cast<int>(worker_index);
+  // Flight-recorder timelines carry the pool/worker identity so traces
+  // attribute task grains to specific workers (no-op with telemetry off).
+  obs::FlightRecorder::Global()->SetCurrentThreadLabel(
+      "pool" + std::to_string(pool_id_) + ".worker" +
+      std::to_string(worker_index));
   const PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
     PendingTask pending;
@@ -149,6 +160,7 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
     const size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
     futures.push_back(pool->Submit([lo, hi, &fn] {
+      SAFE_FR_SCOPE("pool.block");
       for (size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
@@ -176,6 +188,7 @@ void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
   if (workers <= 1 || num_chunks == 1) {
     for (size_t c = 0; c < num_chunks; ++c) {
       const size_t lo = begin + c * grain;
+      SAFE_FR_SCOPE("pool.chunk");
       fn(c, lo, std::min(end, lo + grain));
     }
     return;
@@ -185,7 +198,10 @@ void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t lo = begin + c * grain;
     const size_t hi = std::min(end, lo + grain);
-    futures.push_back(pool->Submit([c, lo, hi, &fn] { fn(c, lo, hi); }));
+    futures.push_back(pool->Submit([c, lo, hi, &fn] {
+      SAFE_FR_SCOPE("pool.chunk");
+      fn(c, lo, hi);
+    }));
   }
   for (auto& f : futures) f.wait();
 }

@@ -38,6 +38,11 @@ class ThreadPool {
 
   size_t num_threads() const { return num_threads_; }
 
+  /// Process-unique id assigned at construction; worker threads register
+  /// flight-recorder timelines as "pool<id>.worker<index>" so traces
+  /// distinguish the global pool from dedicated ones.
+  uint32_t pool_id() const { return pool_id_; }
+
   /// Enqueues a task; the future resolves when it has run. Called from a
   /// worker thread of this same pool, the task runs inline (see above).
   std::future<void> Submit(std::function<void()> task);
@@ -63,6 +68,7 @@ class ThreadPool {
   void WorkerLoop(size_t worker_index);
 
   size_t num_threads_;
+  uint32_t pool_id_ = 0;
   std::vector<std::thread> workers_;
   std::queue<PendingTask> queue_;
   std::mutex mutex_;

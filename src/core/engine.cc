@@ -11,6 +11,7 @@
 #include "src/core/combination.h"
 #include "src/core/selection.h"
 #include "src/gbdt/booster.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -188,6 +189,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
                                       : 2 * orig_m;
 
   SAFE_TRACE_SPAN("engine.fit");
+  SAFE_FR_SCOPE("engine.fit");
   Stopwatch total_watch;
   Rng rng(params_.seed);
 
@@ -222,6 +224,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
       break;
     }
     SAFE_TRACE_SPAN("engine.iteration");
+    SAFE_FR_SCOPE("engine.iteration");
     Stopwatch iter_watch;
     IterationDiagnostics diag;
     // Closes the stage opened at `start` and appends its timing; stages
@@ -236,6 +239,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
     const double mine_start = iter_watch.ElapsedSeconds();
     {
     SAFE_TRACE_SPAN("engine.mine_combinations");
+    SAFE_FR_SCOPE("engine.mine_combinations");
     if (params_.strategy == MiningStrategy::kTreePaths ||
         params_.strategy == MiningStrategy::kSplitFeaturePairs ||
         params_.strategy == MiningStrategy::kNonSplitPairs) {
@@ -252,8 +256,11 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
         CombinationMinerOptions options;
         options.max_arity = params_.max_arity;
         combos = MineCombinations(paths, options, pool);
-        combos = RankCombinations(combos, current.x, current.labels(), gamma,
-                                  pool);
+        {
+          SAFE_FR_SCOPE("engine.rank_combinations");
+          combos = RankCombinations(combos, current.x, current.labels(),
+                                    gamma, pool);
+        }
       } else {
         std::vector<int> pool;
         if (params_.strategy == MiningStrategy::kSplitFeaturePairs) {
@@ -295,6 +302,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
     const double generate_start = iter_watch.ElapsedSeconds();
     {
     SAFE_TRACE_SPAN("engine.generate_features");
+    SAFE_FR_SCOPE("engine.generate_features");
     // Enumerate candidate columns serially in combination order (the
     // order a serial run would generate them in), evaluate each one as
     // an independent pool task, then assemble survivors in enumeration
@@ -401,6 +409,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
     std::vector<size_t> after_iv;
     {
       SAFE_TRACE_SPAN("engine.iv_filter");
+      SAFE_FR_SCOPE("engine.iv_filter");
       ivs = ComputeIvs(candidates.x, candidates.labels(), params_.iv_bins,
                        pool);
       after_iv = IvFilterIndices(ivs, params_.iv_threshold);
@@ -419,6 +428,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
     std::vector<size_t> after_redundancy;
     {
       SAFE_TRACE_SPAN("engine.redundancy_filter");
+      SAFE_FR_SCOPE("engine.redundancy_filter");
       after_redundancy = RedundancyFilterIndices(
           candidates.x, ivs, after_iv, params_.pearson_threshold, pool);
     }
@@ -433,6 +443,7 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
     std::vector<size_t> selected;
     {
       SAFE_TRACE_SPAN("engine.importance_rank");
+      SAFE_FR_SCOPE("engine.importance_rank");
       SAFE_ASSIGN_OR_RETURN(
           selected, ImportanceRankIndices(candidates, after_redundancy, ivs,
                                           ranker_params, max_output));

@@ -14,6 +14,7 @@
 #include "src/gbdt/loss.h"
 #include "src/gbdt/quantizer.h"
 #include "src/gbdt/trainer.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -91,6 +92,7 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
   }
 
   SAFE_TRACE_SPAN("gbdt.fit");
+  SAFE_FR_SCOPE("gbdt.fit");
   FitsCounter()->Increment();
 
   // Worker pool for this fit: 0 = the shared process-wide pool, 1 =
@@ -105,6 +107,7 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
   BinnedMatrix matrix;
   if (params.tree_method == TreeMethod::kHist) {
     SAFE_TRACE_SPAN("gbdt.quantize");
+    SAFE_FR_SCOPE("gbdt.quantize");
     SAFE_ASSIGN_OR_RETURN(
         FeatureQuantizer quantizer,
         FeatureQuantizer::Fit(train.x, params.max_bins, pool));
@@ -138,6 +141,7 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
 
   for (size_t round = 0; round < params.num_trees; ++round) {
     SAFE_TRACE_SPAN("gbdt.train_tree");
+    SAFE_FR_SCOPE("gbdt.train_tree");
     const uint64_t tree_start_ns = obs::NowNanos();
     ComputeGradients(params.objective, margins, *train.y, &grad, &hess,
                      pool);

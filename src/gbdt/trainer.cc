@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -227,6 +228,16 @@ RegressionTree TreeTrainer::Train(const std::vector<double>& grad,
   const double lambda = params_->reg_lambda;
   const double lr = params_->learning_rate;
 
+  // Flight-recorder view of every histogram build, tagged with the tree
+  // depth it serves so traces show the per-depth cost decay as sibling
+  // subtraction kicks in.
+  auto build_hist_at_depth = [&](const std::vector<size_t>& node_rows,
+                                 size_t depth) {
+    SAFE_FR_SCOPE("gbdt.build_histograms");
+    SAFE_FR_COUNTER("gbdt.hist_depth", static_cast<double>(depth));
+    return BuildHistograms(grad, hess, node_rows, features);
+  };
+
   while (!stack.empty()) {
     NodeTask task = std::move(stack.back());
     stack.pop_back();
@@ -241,7 +252,7 @@ RegressionTree TreeTrainer::Train(const std::vector<double>& grad,
       continue;
     }
     if (task.hist.empty()) {
-      task.hist = BuildHistograms(grad, hess, task.rows, features);
+      task.hist = build_hist_at_depth(task.rows, task.depth);
     }
     SplitCandidate split =
         FindBestSplit(task.hist, features, task.sum_grad, task.sum_hess);
@@ -334,8 +345,8 @@ RegressionTree TreeTrainer::Train(const std::vector<double>& grad,
     NodeHistograms right_hist;
     if (left_needs && right_needs) {
       const bool left_smaller = left_rows.size() <= right_rows.size();
-      NodeHistograms small_hist = BuildHistograms(
-          grad, hess, left_smaller ? left_rows : right_rows, features);
+      NodeHistograms small_hist = build_hist_at_depth(
+          left_smaller ? left_rows : right_rows, child_depth);
       SubtractHistograms(&task.hist, small_hist);
       if (left_smaller) {
         left_hist = std::move(small_hist);
@@ -345,9 +356,9 @@ RegressionTree TreeTrainer::Train(const std::vector<double>& grad,
         left_hist = std::move(task.hist);
       }
     } else if (left_needs) {
-      left_hist = BuildHistograms(grad, hess, left_rows, features);
+      left_hist = build_hist_at_depth(left_rows, child_depth);
     } else if (right_needs) {
-      right_hist = BuildHistograms(grad, hess, right_rows, features);
+      right_hist = build_hist_at_depth(right_rows, child_depth);
     }
 
     stack.push_back(NodeTask{right_index, child_depth,

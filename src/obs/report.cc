@@ -6,6 +6,13 @@
 #include <map>
 #include <sstream>
 
+#include "src/obs/flight_recorder.h"
+#include "src/obs/trace_export.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace safe {
 namespace obs {
 
@@ -75,8 +82,34 @@ JsonValue SpansToJson(const std::vector<SpanRecord>& spans) {
 }
 
 void RunReport::CaptureTelemetry() {
+#if defined(__unix__) || defined(__APPLE__)
+  // Peak RSS at emission time, so bench reports record memory next to
+  // time (groundwork for out-of-core work, ROADMAP item 3).
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    const double peak_bytes = static_cast<double>(usage.ru_maxrss);
+#else
+    const double peak_bytes = static_cast<double>(usage.ru_maxrss) * 1024.0;
+#endif
+    MetricsRegistry::Global()->gauge("process.peak_rss_bytes")
+        ->Set(peak_bytes);
+  }
+#endif
   metrics_ = MetricsRegistry::Global()->Snapshot();
   spans_ = Tracer::Global()->Snapshot();
+  // The flight-recorder summary rides along whenever anything was
+  // recorded (or dropped), so reports show event volume per thread
+  // without embedding the full trace.
+  const std::vector<ThreadTimeline> timelines =
+      FlightRecorder::Global()->Snapshot();
+  uint64_t total = 0;
+  for (const ThreadTimeline& timeline : timelines) {
+    total += timeline.events.size() + timeline.dropped;
+  }
+  if (total > 0) {
+    AddSection("flight_recorder", FlightRecorderSummaryJson(timelines));
+  }
 }
 
 void RunReport::AddSection(const std::string& key, JsonValue value) {

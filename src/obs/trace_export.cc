@@ -1,0 +1,128 @@
+#include "src/obs/trace_export.h"
+
+#include <fstream>
+#include <utility>
+
+namespace safe {
+namespace obs {
+
+namespace {
+
+JsonValue EventRecord(const char* phase, const char* name, uint64_t ts_ns,
+                      uint32_t tid) {
+  JsonValue record = JsonValue::Object();
+  record.Set("name", JsonValue(name != nullptr ? name : ""));
+  record.Set("ph", JsonValue(phase));
+  record.Set("ts", JsonValue(static_cast<double>(ts_ns) / 1e3));
+  record.Set("pid", JsonValue(1));
+  record.Set("tid", JsonValue(static_cast<uint64_t>(tid)));
+  return record;
+}
+
+std::string TrackName(const ThreadTimeline& timeline) {
+  if (!timeline.label.empty()) return timeline.label;
+  return "thread" + std::to_string(timeline.thread_index);
+}
+
+}  // namespace
+
+JsonValue ChromeTraceJson(const std::vector<ThreadTimeline>& timelines) {
+  JsonValue events = JsonValue::Array();
+  for (const ThreadTimeline& timeline : timelines) {
+    const uint32_t tid = timeline.thread_index;
+    JsonValue meta = JsonValue::Object();
+    meta.Set("name", JsonValue("thread_name"));
+    meta.Set("ph", JsonValue("M"));
+    meta.Set("pid", JsonValue(1));
+    meta.Set("tid", JsonValue(static_cast<uint64_t>(tid)));
+    JsonValue meta_args = JsonValue::Object();
+    meta_args.Set("name", JsonValue(TrackName(timeline)));
+    meta.Set("args", std::move(meta_args));
+    events.Append(std::move(meta));
+
+    // Track open begins so the emitted stream stays well-nested even
+    // when the ring dropped an end event; unmatched begins are closed
+    // at the track's last timestamp after the walk.
+    std::vector<const char*> open;
+    uint64_t last_ts_ns = 0;
+    for (const TraceEvent& event : timeline.events) {
+      if (event.ts_ns > last_ts_ns) last_ts_ns = event.ts_ns;
+      switch (event.type) {
+        case TraceEventType::kBegin:
+          open.push_back(event.name);
+          events.Append(EventRecord("B", event.name, event.ts_ns, tid));
+          break;
+        case TraceEventType::kEnd:
+          if (open.empty()) break;  // begin lost to a drop: skip the end
+          open.pop_back();
+          events.Append(EventRecord("E", event.name, event.ts_ns, tid));
+          break;
+        case TraceEventType::kInstant: {
+          JsonValue record = EventRecord("i", event.name, event.ts_ns, tid);
+          record.Set("s", JsonValue("t"));  // thread-scoped instant
+          events.Append(std::move(record));
+          break;
+        }
+        case TraceEventType::kCounter: {
+          JsonValue record = EventRecord("C", event.name, event.ts_ns, tid);
+          JsonValue args = JsonValue::Object();
+          args.Set("value", JsonValue(event.value));
+          record.Set("args", std::move(args));
+          events.Append(std::move(record));
+          break;
+        }
+      }
+    }
+    while (!open.empty()) {
+      events.Append(EventRecord("E", open.back(), last_ts_ns, tid));
+      open.pop_back();
+    }
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", JsonValue("ms"));
+  return doc;
+}
+
+JsonValue FlightRecorderSummaryJson(
+    const std::vector<ThreadTimeline>& timelines) {
+  uint64_t total_events = 0;
+  uint64_t total_dropped = 0;
+  JsonValue threads = JsonValue::Array();
+  for (const ThreadTimeline& timeline : timelines) {
+    total_events += timeline.events.size();
+    total_dropped += timeline.dropped;
+    JsonValue entry = JsonValue::Object();
+    entry.Set("thread", JsonValue(static_cast<uint64_t>(timeline.thread_index)));
+    entry.Set("label", JsonValue(TrackName(timeline)));
+    entry.Set("events", JsonValue(static_cast<uint64_t>(timeline.events.size())));
+    entry.Set("dropped", JsonValue(timeline.dropped));
+    threads.Append(std::move(entry));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("events", JsonValue(total_events));
+  out.Set("dropped", JsonValue(total_dropped));
+  out.Set("threads", std::move(threads));
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path, std::string* error) {
+  const JsonValue doc =
+      ChromeTraceJson(FlightRecorder::Global()->Snapshot());
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << doc.Serialize(/*indent=*/-1) << "\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "failed writing trace to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace safe

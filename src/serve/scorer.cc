@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/gbdt/loss.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -26,6 +27,31 @@ obs::Counter* RowsCounter() {
       obs::MetricsRegistry::Global()->counter("serve.rows");
   return counter;
 }
+
+obs::Histogram* BatchLatencyHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global()->histogram(
+          "serve.batch_latency_us", obs::DefaultLatencyBucketsUs());
+  return histogram;
+}
+
+obs::Histogram* BatchRowsHistogram() {
+  static obs::Histogram* histogram = [] {
+    // Power-of-two batch-size buckets up to 4096 rows (typical batches
+    // are tens to hundreds; larger ones land in the overflow bucket).
+    std::vector<double> bounds;
+    for (double b = 1.0; b <= 4096.0; b *= 2.0) bounds.push_back(b);
+    return obs::MetricsRegistry::Global()->histogram("serve.batch_rows",
+                                                     std::move(bounds));
+  }();
+  return histogram;
+}
+
+/// 1-in-N request sampling for flight-recorder spans on the per-row hot
+/// path: keeps armed-recorder overhead within the serving budget
+/// (bench_serving measures and gates it) while still populating the
+/// timeline with representative requests.
+constexpr uint32_t kScoreRowSampleOneInN = 64;
 
 }  // namespace
 
@@ -116,6 +142,7 @@ double RowScorer::ScoreRowMargin(const double* row, Scratch* scratch) const {
 }
 
 double RowScorer::ScoreRow(const double* row, Scratch* scratch) const {
+  SAFE_FR_SAMPLED_SCOPE("serve.score_row", kScoreRowSampleOneInN);
   return gbdt::TransformMargin(objective_, ScoreRowMargin(row, scratch));
 }
 
@@ -166,6 +193,7 @@ Result<double> RowScorer::ScoreMargin(const std::vector<double>& row) const {
 Status RowScorer::ScoreBatch(const std::vector<std::vector<double>>& rows,
                              std::vector<double>* out) const {
   SAFE_TRACE_SPAN("serve.score_batch");
+  SAFE_FR_SCOPE("serve.score_batch");
   const uint64_t start_ns = obs::NowNanos();
   if (out == nullptr) {
     return Status::InvalidArgument("scorer: null output vector");
@@ -184,7 +212,10 @@ Status RowScorer::ScoreBatch(const std::vector<std::vector<double>>& rows,
     (*out)[r] = ScoreRow(rows[r].data(), scratch);
   }
   RowsCounter()->Increment(rows.size());
-  LatencyHistogram()->Observe(
+  // Batch-level series: serve.latency_us stays per-row (Score) so batch
+  // totals no longer pollute its distribution.
+  BatchRowsHistogram()->Observe(static_cast<double>(rows.size()));
+  BatchLatencyHistogram()->Observe(
       static_cast<double>(obs::NowNanos() - start_ns) / 1e3);
   return Status::OK();
 }

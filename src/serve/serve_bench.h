@@ -56,6 +56,16 @@ struct ServeBenchReport {
   double batch_speedup = 0.0;
   /// Every scored row was bit-identical across naive and fused paths.
   bool outputs_identical = false;
+  /// Whether this binary compiled the flight recorder in
+  /// (SAFE_TELEMETRY=ON); the overhead gate only applies when true.
+  bool recorder_enabled = false;
+  /// Fused path re-timed with the flight recorder armed (sampled
+  /// serve.score_row spans) vs disarmed, alternating pass by pass.
+  double fused_armed_rows_per_s = 0.0;
+  double fused_disarmed_rows_per_s = 0.0;
+  /// Median per-pass armed/disarmed time ratio minus one, in percent
+  /// (slightly negative values are timing noise).
+  double recorder_overhead_pct = 0.0;
 
   /// Serializes to the BENCH_serving.json schema.
   obs::JsonValue ToJson() const;
@@ -68,9 +78,21 @@ struct ServeBenchReport {
 [[nodiscard]] Result<ServeBenchReport> RunServeBench(
     const ServeBenchOptions& options);
 
-/// Reads the committed gate file (bench/baselines/serving.json) and
-/// returns its "min_speedup" number.
-[[nodiscard]] Result<double> ReadMinSpeedup(const std::string& baseline_path);
+/// \brief Committed CI thresholds for the serving benchmark
+/// (bench/baselines/serving.json).
+struct ServingGate {
+  /// Minimum fused/naive per-row speedup.
+  double min_speedup = 0.0;
+  /// Ceiling on recorder_overhead_pct (armed vs disarmed fused path);
+  /// <= 0 disables that check. Only enforced when the binary was built
+  /// with SAFE_TELEMETRY=ON (report.recorder_enabled).
+  double max_recorder_overhead_pct = 0.0;
+};
+
+/// Reads the committed gate file: "min_speedup" (required) and
+/// "max_recorder_overhead_pct" (optional, default 0 = disabled).
+[[nodiscard]] Result<ServingGate> ReadServingGate(
+    const std::string& baseline_path);
 
 }  // namespace serve
 }  // namespace safe

@@ -10,7 +10,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
@@ -22,6 +24,7 @@
 #include "src/core/operators.h"
 #include "src/dataframe/dataframe.h"
 #include "src/gbdt/booster.h"
+#include "src/obs/report.h"
 #include "src/serve/compiled_plan.h"
 #include "src/serve/scorer.h"
 #include "src/serve/serve_bench.h"
@@ -285,6 +288,24 @@ void CheckFusedPipeline(uint64_t seed) {
         SameBits(scorer->ScoreRow(rows[r].data(), &scratch), batch_out[r]))
         << "batch row " << r;
   }
+
+#if SAFE_TELEMETRY_ENABLED
+  // ScoreBatch must surface its batch shape in telemetry: the
+  // serve.batch_rows and serve.batch_latency_us histograms land in the
+  // global registry, so any RunReport (including the bench harness's)
+  // picks them up via CaptureTelemetry.
+  obs::RunReport report("serve_equivalence_test");
+  report.CaptureTelemetry();
+  EXPECT_EQ(report.metrics().histograms.count("serve.batch_rows"), 1u);
+  EXPECT_EQ(report.metrics().histograms.count("serve.batch_latency_us"), 1u);
+  const obs::JsonValue doc = report.ToJson();
+  const obs::JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const obs::JsonValue* histograms = metrics->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  EXPECT_NE(histograms->Find("serve.batch_rows"), nullptr);
+  EXPECT_NE(histograms->Find("serve.batch_latency_us"), nullptr);
+#endif
 }
 
 TEST(RowScorerTest, FusedPipelineMatchesNaiveOnPropertyDatasets) {
@@ -330,7 +351,28 @@ TEST(RowScorerTest, RejectsMismatchedBoosterAndRow) {
 }
 
 TEST(ServeBenchTest, GateBaselineIsReadable) {
-  EXPECT_FALSE(serve::ReadMinSpeedup("/nonexistent/serving.json").ok());
+  EXPECT_FALSE(serve::ReadServingGate("/nonexistent/serving.json").ok());
+
+  // A baseline in the committed format parses both gate knobs; the
+  // overhead budget stays optional (0 = disabled) for older baselines.
+  const std::string path = ::testing::TempDir() + "/serving_gate.json";
+  {
+    std::ofstream out(path);
+    out << R"({"min_speedup": 2.0, "max_recorder_overhead_pct": 3.0})";
+  }
+  auto gate = serve::ReadServingGate(path);
+  ASSERT_TRUE(gate.ok()) << gate.status().ToString();
+  EXPECT_EQ(gate->min_speedup, 2.0);
+  EXPECT_EQ(gate->max_recorder_overhead_pct, 3.0);
+  {
+    std::ofstream out(path);
+    out << R"({"min_speedup": 1.5})";
+  }
+  auto legacy = serve::ReadServingGate(path);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->min_speedup, 1.5);
+  EXPECT_EQ(legacy->max_recorder_overhead_pct, 0.0);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 """Verifies that a SAFE_TELEMETRY=OFF build contains no telemetry symbols.
 
 The obs headers replace MetricsRegistry/Tracer/TraceSpan/Counter/Gauge/
-Histogram with inline no-op stubs when SAFE_TELEMETRY_ENABLED is 0, and
-metrics.cc/trace.cc compile to empty translation units. If that gating
+Histogram — and the flight recorder (FlightRecorder/FlightScope/
+SampledFlightScope and its internal EventBuffer) — with inline no-op
+stubs when SAFE_TELEMETRY_ENABLED is 0, and metrics.cc/trace.cc/
+flight_recorder.cc compile to empty translation units. If that gating
 regresses (say a .cc file grows an unguarded definition), the real
 implementations sneak back into telemetry-off binaries. This check runs
 `nm -C` over the given binaries/archives and fails when any of the gated
@@ -22,7 +24,9 @@ import sys
 # inline stubs are trivial enough to be inlined away; any out-of-line
 # definition of these names means the real implementation leaked in.
 GATED_PATTERN = re.compile(
-    r"safe::obs::(MetricsRegistry|Tracer|TraceSpan|Counter|Gauge|Histogram)"
+    r"safe::obs::(?:internal::)?"
+    r"(MetricsRegistry|Tracer|TraceSpan|Counter|Gauge|Histogram"
+    r"|FlightRecorder|FlightScope|SampledFlightScope|EventBuffer)"
     r"::"
 )
 

@@ -20,11 +20,17 @@
 //     safe_cli serve-bench [--quick] [--train_rows=2000] [--features=24]
 //              [--rows=20000] [--repeats=3] [--batch=256] [--seed=42]
 //              [--out=BENCH_serving.json] [--gate=bench/baselines/serving.json]
+//   trace      demo workload with the flight recorder armed; writes a
+//              Chrome trace-event JSON for chrome://tracing / Perfetto
+//     safe_cli trace [--rows=2000] [--features=10] [--seed=42]
+//              [--out=trace.json]
 //
 // Every subcommand accepts --report=<path>: at exit the telemetry run
 // report (metrics, trace spans, and — for fit/demo — the per-iteration
 // funnel diagnostics) is written there as JSON and a summary table is
-// printed (see DESIGN.md "Observability").
+// printed (see DESIGN.md "Observability"). --trace=<path> likewise arms
+// the flight recorder for the run and drains every thread's event
+// timeline to that path (DESIGN.md "Flight recorder").
 //
 // Exit code 0 on success; errors print the Status message to stderr.
 
@@ -45,6 +51,8 @@
 #include "src/data/synthetic.h"
 #include "src/dataframe/csv.h"
 #include "src/gbdt/booster.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/trace_export.h"
 #include "src/serve/serve_bench.h"
 #include "src/stats/auc.h"
 
@@ -255,16 +263,44 @@ int RunServeBench(const bench::Flags& flags) {
   }
   const std::string gate_path = flags.GetString("gate", "");
   if (!gate_path.empty()) {
-    auto min_speedup = serve::ReadMinSpeedup(gate_path);
-    if (!min_speedup.ok()) return Fail(min_speedup.status());
-    if (report->speedup < *min_speedup) {
+    auto gate = serve::ReadServingGate(gate_path);
+    if (!gate.ok()) return Fail(gate.status());
+    if (report->speedup < gate->min_speedup) {
       return Fail("serving gate failed: speedup " +
                   FormatDouble(report->speedup, 2) + "x < " +
-                  FormatDouble(*min_speedup, 2) + "x (" + gate_path + ")");
+                  FormatDouble(gate->min_speedup, 2) + "x (" + gate_path +
+                  ")");
     }
     std::cout << "gate ok: " << FormatDouble(report->speedup, 2)
-              << "x >= " << FormatDouble(*min_speedup, 2) << "x\n";
+              << "x >= " << FormatDouble(gate->min_speedup, 2) << "x\n";
+    if (gate->max_recorder_overhead_pct > 0.0 && report->recorder_enabled &&
+        report->recorder_overhead_pct > gate->max_recorder_overhead_pct) {
+      return Fail("serving gate failed: recorder overhead " +
+                  FormatDouble(report->recorder_overhead_pct, 2) + "% > " +
+                  FormatDouble(gate->max_recorder_overhead_pct, 2) + "% (" +
+                  gate_path + ")");
+    }
   }
+  return 0;
+}
+
+int RunTrace(const bench::Flags& flags) {
+  // Demo workload under an armed recorder: the resulting timeline shows
+  // engine stages, pool task grains and GBDT histogram builds end to end
+  // without requiring any input files.
+  obs::FlightRecorder::Global()->SetCurrentThreadLabel("main");
+  obs::FlightRecorder::Arm();
+  const int rc = RunDemo(flags);
+  obs::FlightRecorder::Disarm();
+  if (rc != 0) return rc;
+  const std::string out_path = flags.GetString("out", "trace.json");
+  std::string error;
+  if (!obs::WriteChromeTrace(out_path, &error)) return Fail(error);
+#if !SAFE_TELEMETRY_ENABLED
+  std::cout << "note: SAFE_TELEMETRY=OFF build — the trace is empty\n";
+#endif
+  std::cout << "trace written to " << out_path
+            << " (load in chrome://tracing or ui.perfetto.dev)\n";
   return 0;
 }
 
@@ -413,19 +449,24 @@ int RunInspect(const bench::Flags& flags) {
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: safe_cli "
-                 "<fit|transform|evaluate|inspect|demo|serve-bench> "
+                 "<fit|transform|evaluate|inspect|demo|serve-bench|trace> "
                  "[--flags]\n"
                  "(see the header comment of tools/safe_cli.cc)\n";
     return 1;
   }
   const std::string command = argv[1];
   bench::Flags flags(argc, argv);
+  // --trace=<path> arms the recorder for any subcommand; EmitRunReport
+  // (via --report handling) drains it. The `trace` subcommand arms
+  // unconditionally and writes to --out instead.
+  bench::ArmTraceFromFlags(flags);
   if (command == "fit") return RunFit(flags);
   if (command == "transform") return RunTransform(flags);
   if (command == "evaluate") return RunEvaluate(flags);
   if (command == "inspect") return RunInspect(flags);
   if (command == "demo") return RunDemo(flags);
   if (command == "serve-bench") return RunServeBench(flags);
+  if (command == "trace") return RunTrace(flags);
   return Fail("unknown command '" + command + "'");
 }
 

@@ -2,8 +2,11 @@
 // scorer (src/serve/) against the naive two-step path
 // (FeaturePlan::TransformRow + Booster::PredictRowProba). Emits a
 // machine-readable BENCH_serving.json with per-path p50/p99 latency and
-// rows/s, and — when --gate points at a committed baseline file — exits
-// non-zero if the fused/naive speedup falls below its "min_speedup".
+// rows/s (including the naive-loop batch pass, the vectorized ScoreBatch
+// pass, and a batch-size sweep), and — when --gate points at a committed
+// baseline file — exits non-zero if the fused/naive speedup falls below
+// its "min_speedup" or the vectorized-batch/naive speedup falls below
+// its "min_batch_speedup".
 // The run aborts outright if any scored row is not bit-identical across
 // the two paths (the equivalence contract of DESIGN.md "Serving path").
 //
@@ -73,12 +76,26 @@ int Main(int argc, char** argv) {
   table.PrintRow({"fused", FormatDouble(report->fused.p50_us, 2),
                   FormatDouble(report->fused.p99_us, 2),
                   FormatDouble(report->fused.rows_per_s, 0)});
-  table.PrintRow({"fused batch", "-", "-",
+  table.PrintRow({"loop batch", "-", "-",
+                  FormatDouble(report->loop_batch_rows_per_s, 0)});
+  table.PrintRow({"vector batch", "-", "-",
                   FormatDouble(report->batch_rows_per_s, 0)});
   table.PrintSeparator();
   std::cout << "speedup per-row " << FormatDouble(report->speedup, 2)
             << "x, batch " << FormatDouble(report->batch_speedup, 2)
-            << "x\n";
+            << "x (vs naive), "
+            << FormatDouble(report->loop_batch_rows_per_s > 0.0
+                                ? report->batch_rows_per_s /
+                                      report->loop_batch_rows_per_s
+                                : 0.0,
+                            2)
+            << "x (vs per-row loop)\n";
+  std::cout << "batch sweep (block=" << report->block_rows << "):";
+  for (const auto& point : report->sweep) {
+    std::cout << " " << point.batch_size << "->"
+              << FormatDouble(point.rows_per_s / 1000.0, 0) << "K/s";
+  }
+  std::cout << "\n";
   if (report->recorder_enabled) {
     std::cout << "recorder overhead (fused, armed vs disarmed): "
               << FormatDouble(report->recorder_overhead_pct, 2) << "% ("
@@ -123,6 +140,19 @@ int Main(int argc, char** argv) {
     std::cout << "gate ok: " << FormatDouble(report->speedup, 2)
               << "x >= " << FormatDouble(gate->min_speedup, 2) << "x ("
               << gate_path << ")\n";
+    if (gate->min_batch_speedup > 0.0) {
+      if (report->batch_speedup < gate->min_batch_speedup) {
+        std::cerr << "bench_serving: GATE FAILED — batch/naive speedup "
+                  << FormatDouble(report->batch_speedup, 2)
+                  << "x is below the "
+                  << FormatDouble(gate->min_batch_speedup, 2)
+                  << "x floor from '" << gate_path << "'\n";
+        return 1;
+      }
+      std::cout << "gate ok: batch " << FormatDouble(report->batch_speedup, 2)
+                << "x >= " << FormatDouble(gate->min_batch_speedup, 2)
+                << "x (" << gate_path << ")\n";
+    }
     if (gate->max_recorder_overhead_pct > 0.0 && report->recorder_enabled) {
       if (report->recorder_overhead_pct > gate->max_recorder_overhead_pct) {
         std::cerr << "bench_serving: GATE FAILED — recorder-armed overhead "

@@ -1,0 +1,271 @@
+#include "src/gbdt/forest_layout.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <string>
+
+namespace safe {
+namespace gbdt {
+
+namespace {
+
+/// Counts leaves of the subtree rooted at `idx`.
+size_t CountLeaves(const std::vector<TreeNode>& nodes, int idx) {
+  const TreeNode& node = nodes[static_cast<size_t>(idx)];
+  if (node.is_leaf()) return 1;
+  return CountLeaves(nodes, node.left) + CountLeaves(nodes, node.right);
+}
+
+/// Longest root->leaf hop count of the subtree rooted at `idx`.
+uint32_t MaxDepth(const std::vector<TreeNode>& nodes, int idx) {
+  const TreeNode& node = nodes[static_cast<size_t>(idx)];
+  if (node.is_leaf()) return 0;
+  return 1 + std::max(MaxDepth(nodes, node.left), MaxDepth(nodes, node.right));
+}
+
+}  // namespace
+
+Result<PackedForest> PackedForest::Build(
+    const std::vector<RegressionTree>& trees, size_t num_features) {
+  return Build(trees, num_features, nullptr);
+}
+
+Result<PackedForest> PackedForest::Build(
+    const std::vector<RegressionTree>& trees, size_t num_features,
+    const std::vector<uint32_t>* feature_map) {
+  if (feature_map != nullptr && feature_map->size() < num_features) {
+    return Status::InvalidArgument(
+        "forest layout: feature map covers " +
+        std::to_string(feature_map->size()) + " of " +
+        std::to_string(num_features) + " features");
+  }
+  PackedForest forest;
+  forest.trees_.reserve(trees.size());
+
+  for (size_t t = 0; t < trees.size(); ++t) {
+    const std::vector<TreeNode>& src = trees[t].nodes();
+    // Validate split features once, for both layouts.
+    for (const TreeNode& node : src) {
+      if (!node.is_leaf() &&
+          (node.feature < 0 ||
+           static_cast<size_t>(node.feature) >= num_features)) {
+        return Status::InvalidArgument(
+            "forest layout: tree " + std::to_string(t) +
+            " splits on feature " + std::to_string(node.feature) +
+            " outside [0, " + std::to_string(num_features) + ")");
+      }
+    }
+    auto remap = [&](int feature) {
+      return feature_map == nullptr
+                 ? static_cast<uint32_t>(feature)
+                 : (*feature_map)[static_cast<size_t>(feature)];
+    };
+
+    // Stepped (level-synchronous) copy, built for every tree regardless
+    // of size: leaves self-loop so a traversal is exactly `depth`
+    // branch-free steps.
+    SteppedTree stepped;
+    stepped.node_begin = static_cast<uint32_t>(forest.step_nodes_.size());
+    if (src.empty()) {
+      stepped.depth = 0;
+      forest.step_nodes_.push_back(StepNode{});  // self-loop at index 0
+      forest.step_values_.push_back(0.0);
+    } else {
+      stepped.depth = MaxDepth(src, 0);
+      for (size_t i = 0; i < src.size(); ++i) {
+        const TreeNode& node = src[i];
+        StepNode step;
+        if (node.is_leaf()) {
+          step.child[0] = step.child[1] = static_cast<int32_t>(i);  // self-loop
+        } else {
+          step.threshold = node.threshold;
+          step.child[0] = node.left;
+          step.child[1] = node.right;
+          step.feature = remap(node.feature);
+          step.right_on_missing = node.default_left ? 0 : 1;
+        }
+        forest.step_nodes_.push_back(step);
+        forest.step_values_.push_back(node.value);
+      }
+    }
+    forest.stepped_.push_back(stepped);
+
+    TreeRef ref;
+    if (src.empty()) {
+      // PredictRow returns 0.0 for an empty tree; a single zero leaf and
+      // no conditions reproduce that contribution exactly.
+      ref.bitvector = true;
+      ref.node_begin = ref.node_end = static_cast<uint32_t>(forest.nodes_.size());
+      ref.leaf_begin = static_cast<uint32_t>(forest.leaf_values_.size());
+      forest.leaf_values_.push_back(0.0);
+      forest.trees_.push_back(ref);
+      continue;
+    }
+
+    const size_t leaves = CountLeaves(src, 0);
+    if (leaves <= kMaxBitvectorLeaves) {
+      ref.bitvector = true;
+      ref.node_begin = static_cast<uint32_t>(forest.nodes_.size());
+      ref.leaf_begin = static_cast<uint32_t>(forest.leaf_values_.size());
+      // In-order DFS: assign leaf ids left-to-right, emit one condition
+      // per internal node whose mask clears its left subtree's leaf bits.
+      // (Any node order works — masks commute under AND — DFS keeps the
+      // layout deterministic.) The exit-leaf theorem: ANDing the masks of
+      // every node whose condition routes RIGHT leaves the true exit leaf
+      // as the lowest set bit, because each right turn removes exactly
+      // the left-subtree leaves that turn makes unreachable, and any
+      // surviving bit below the exit leaf would have been cleared by the
+      // right turn that skipped it.
+      size_t next_leaf = 0;
+      auto dfs = [&](auto&& self, int idx) -> void {
+        const TreeNode& node = src[static_cast<size_t>(idx)];
+        if (node.is_leaf()) {
+          forest.leaf_values_.push_back(node.value);
+          ++next_leaf;
+          return;
+        }
+        const size_t left_first = next_leaf;
+        Node packed;  // placeholder; mask patched after the left subtree
+        packed.threshold = node.threshold;
+        packed.feature = remap(node.feature);
+        packed.right_on_missing = node.default_left ? 0 : 1;
+        const size_t slot = forest.nodes_.size();
+        forest.nodes_.push_back(packed);
+        self(self, node.left);
+        const size_t width = next_leaf - left_first;
+        // width < 64 always: the right sibling subtree holds >= 1 of the
+        // <= 64 leaves, so the shift below never reaches 64.
+        forest.nodes_[slot].mask =
+            ~(((uint64_t{1} << width) - 1) << left_first);
+        self(self, node.right);
+      };
+      dfs(dfs, 0);
+      ref.node_end = static_cast<uint32_t>(forest.nodes_.size());
+    } else {
+      // Deep tree: keep a conventional packed copy and walk it per row.
+      ref.bitvector = false;
+      ref.node_begin = static_cast<uint32_t>(forest.fallback_.size());
+      for (const TreeNode& node : src) {
+        FallbackNode fallback;
+        fallback.left = node.left;
+        fallback.right = node.right;
+        fallback.feature =
+            node.is_leaf() ? -1 : static_cast<int32_t>(remap(node.feature));
+        fallback.threshold = node.threshold;
+        fallback.value = node.value;
+        fallback.default_left = node.default_left;
+        forest.fallback_.push_back(fallback);
+      }
+      ref.node_end = static_cast<uint32_t>(forest.fallback_.size());
+    }
+    forest.trees_.push_back(ref);
+  }
+  return forest;
+}
+
+double PackedForest::TreeMargin(size_t t, const double* features,
+                                size_t stride, size_t lane) const {
+  const TreeRef& ref = trees_[t];
+  if (ref.bitvector) {
+    uint64_t bv = ~0ULL;
+    for (uint32_t i = ref.node_begin; i < ref.node_end; ++i) {
+      const Node& node = nodes_[i];
+      const double v = features[node.feature * stride + lane];
+      const bool right =
+          std::isnan(v) ? node.right_on_missing != 0 : v > node.threshold;
+      if (right) bv &= node.mask;
+    }
+    return leaf_values_[ref.leaf_begin +
+                        static_cast<uint32_t>(std::countr_zero(bv))];
+  }
+  const FallbackNode* tree = fallback_.data() + ref.node_begin;
+  int32_t idx = 0;
+  while (!tree[idx].is_leaf()) {
+    const FallbackNode& node = tree[idx];
+    const double v = features[static_cast<uint32_t>(node.feature) * stride +
+                              lane];
+    if (std::isnan(v)) {
+      idx = node.default_left ? node.left : node.right;
+    } else {
+      idx = (v <= node.threshold) ? node.left : node.right;
+    }
+  }
+  return tree[idx].value;
+}
+
+void PackedForest::AccumulateMargins(const double* features, size_t stride,
+                                     size_t n, double* margins) const {
+  // Bitvector trees run node-outer / lane-inner: one condition is
+  // evaluated for a whole chunk of lanes before moving to the next node.
+  // Each node reads one contiguous span of the panel (features +
+  // feature * stride), and the mask update is a branch-free select, so
+  // the inner loops carry no data-dependent branches or dependent loads
+  // and auto-vectorize. The NaN default folds into the comparison
+  // direction per node — `v > t` is false for NaN (routes left, the
+  // default when right_on_missing == 0), `!(v <= t)` is true for NaN
+  // (routes right) — so no explicit isnan test is needed, and the
+  // vectorized compare agrees with the scalar one because IEEE ordered
+  // comparisons treat NaN identically in both.
+  constexpr size_t kChunk = 128;
+  uint64_t bv[kChunk];
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    const TreeRef& ref = trees_[t];
+    if (ref.bitvector) {
+      const Node* begin = nodes_.data() + ref.node_begin;
+      const Node* end = nodes_.data() + ref.node_end;
+      const double* leaves = leaf_values_.data() + ref.leaf_begin;
+      for (size_t base = 0; base < n; base += kChunk) {
+        const size_t m = std::min(kChunk, n - base);
+        for (size_t k = 0; k < m; ++k) bv[k] = ~0ULL;
+        for (const Node* node = begin; node != end; ++node) {
+          const double* f = features + node->feature * stride + base;
+          const double threshold = node->threshold;
+          const uint64_t mask = node->mask;
+          // Masks commute under AND, so applying this node's mask to all
+          // lanes before the next node's yields the same bitvector as
+          // the per-lane node loop in TreeMargin.
+          if (node->right_on_missing != 0) {
+            for (size_t k = 0; k < m; ++k) {
+              bv[k] &= !(f[k] <= threshold) ? mask : ~0ULL;
+            }
+          } else {
+            for (size_t k = 0; k < m; ++k) {
+              bv[k] &= f[k] > threshold ? mask : ~0ULL;
+            }
+          }
+        }
+        for (size_t k = 0; k < m; ++k) {
+          margins[base + k] += leaves[std::countr_zero(bv[k])];
+        }
+      }
+    } else {
+      // Deep tree: level-synchronous stepped walk (see the class
+      // comment) — exactly `depth` branch-free select steps per lane,
+      // leaves self-loop so no is-leaf test is needed.
+      const SteppedTree& tree = stepped_[t];
+      const StepNode* nodes = step_nodes_.data() + tree.node_begin;
+      const double* values = step_values_.data() + tree.node_begin;
+      int32_t idx[kChunk];
+      for (size_t base = 0; base < n; base += kChunk) {
+        const size_t m = std::min(kChunk, n - base);
+        for (size_t k = 0; k < m; ++k) idx[k] = 0;
+        for (uint32_t d = 0; d < tree.depth; ++d) {
+          for (size_t k = 0; k < m; ++k) {
+            const StepNode& node = nodes[idx[k]];
+            const double v = features[node.feature * stride + (base + k)];
+            const int right =
+                static_cast<int>(v > node.threshold) |
+                (static_cast<int>(std::isnan(v)) &
+                 static_cast<int>(node.right_on_missing != 0));
+            idx[k] = node.child[right];
+          }
+        }
+        for (size_t k = 0; k < m; ++k) margins[base + k] += values[idx[k]];
+      }
+    }
+  }
+}
+
+}  // namespace gbdt
+}  // namespace safe

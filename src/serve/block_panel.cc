@@ -1,0 +1,75 @@
+#include "src/serve/block_panel.h"
+
+#include <string>
+
+namespace safe {
+namespace serve {
+
+void GatherBlock(const std::vector<std::vector<double>>& rows, size_t begin,
+                 size_t n, size_t width, size_t stride, double* panel) {
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = rows[begin + i].data();
+    for (size_t s = 0; s < width; ++s) {
+      panel[s * stride + i] = row[s];
+    }
+  }
+}
+
+Result<std::vector<double>> RowsToPanel(
+    const std::vector<std::vector<double>>& rows, size_t stride) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("block panel: empty batch");
+  }
+  const size_t width = rows[0].size();
+  if (width == 0) {
+    return Status::InvalidArgument("block panel: zero-width rows");
+  }
+  if (stride < rows.size()) {
+    return Status::InvalidArgument(
+        "block panel: stride " + std::to_string(stride) + " < " +
+        std::to_string(rows.size()) + " rows");
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != width) {
+      return Status::InvalidArgument(
+          "block panel: row " + std::to_string(r) + " has " +
+          std::to_string(rows[r].size()) + " values, expected " +
+          std::to_string(width));
+    }
+  }
+  std::vector<double> panel(width * stride, 0.0);
+  GatherBlock(rows, 0, rows.size(), width, stride, panel.data());
+  return panel;
+}
+
+Result<std::vector<std::vector<double>>> PanelToRows(
+    const std::vector<double>& panel, size_t num_rows, size_t width,
+    size_t stride) {
+  if (num_rows == 0) {
+    return Status::InvalidArgument("block panel: empty batch");
+  }
+  if (width == 0) {
+    return Status::InvalidArgument("block panel: zero-width rows");
+  }
+  if (stride < num_rows) {
+    return Status::InvalidArgument(
+        "block panel: stride " + std::to_string(stride) + " < " +
+        std::to_string(num_rows) + " rows");
+  }
+  if (panel.size() != width * stride) {
+    return Status::InvalidArgument(
+        "block panel: panel holds " + std::to_string(panel.size()) +
+        " values, expected " + std::to_string(width * stride));
+  }
+  std::vector<std::vector<double>> rows(num_rows,
+                                        std::vector<double>(width, 0.0));
+  for (size_t i = 0; i < num_rows; ++i) {
+    for (size_t s = 0; s < width; ++s) {
+      rows[i][s] = panel[s * stride + i];
+    }
+  }
+  return rows;
+}
+
+}  // namespace serve
+}  // namespace safe

@@ -6,7 +6,7 @@
 #include <limits>
 #include <string>
 
-#include "src/gbdt/loss.h"
+#include "src/serve/op_kernels.h"
 
 namespace safe {
 namespace serve {
@@ -173,85 +173,64 @@ void CompiledPlan::Execute(const double* row, double* scratch,
       const double* prm = arena + inst.param_begin;
       switch (inst.code) {
         case OpCode::kAdd:
-          value = in[0] + in[1];
+          value = op::Add(in[0], in[1]);
           break;
         case OpCode::kSub:
-          value = in[0] - in[1];
+          value = op::Sub(in[0], in[1]);
           break;
         case OpCode::kMul:
-          value = in[0] * in[1];
+          value = op::Mul(in[0], in[1]);
           break;
         case OpCode::kDiv:
-          value = (in[1] == 0.0) ? kNaN : in[0] / in[1];
+          value = op::Div(in[0], in[1]);
           break;
         case OpCode::kAnd:
-          value = ((in[0] > 0.5) && (in[1] > 0.5)) ? 1.0 : 0.0;
+          value = op::And(in[0], in[1]);
           break;
         case OpCode::kOr:
-          value = ((in[0] > 0.5) || (in[1] > 0.5)) ? 1.0 : 0.0;
+          value = op::Or(in[0], in[1]);
           break;
         case OpCode::kXor:
-          value = ((in[0] > 0.5) != (in[1] > 0.5)) ? 1.0 : 0.0;
+          value = op::Xor(in[0], in[1]);
           break;
         case OpCode::kLog:
-          value = !(in[0] > 0.0) ? kNaN : std::log(in[0]);
+          value = op::Log(in[0]);
           break;
         case OpCode::kSqrt:
-          value = (in[0] < 0.0) ? kNaN : std::sqrt(in[0]);
+          value = op::Sqrt(in[0]);
           break;
         case OpCode::kSquare:
-          value = in[0] * in[0];
+          value = op::Square(in[0]);
           break;
         case OpCode::kSigmoid:
-          value = gbdt::Sigmoid(in[0]);
+          value = op::SigmoidOp(in[0]);
           break;
         case OpCode::kTanh:
-          value = std::tanh(in[0]);
+          value = op::Tanh(in[0]);
           break;
         case OpCode::kRound:
-          value = std::round(in[0]);
+          value = op::Round(in[0]);
           break;
         case OpCode::kAbs:
-          value = std::fabs(in[0]);
+          value = op::Abs(in[0]);
           break;
         case OpCode::kZscore:
-          value = (in[0] - prm[0]) / prm[1];
+          value = op::Zscore(in[0], prm);
           break;
-        case OpCode::kDiscretize: {
-          // BinEdges::BinIndex over the edge span: count of edges < value.
-          const double* end = prm + inst.param_count;
-          value = static_cast<double>(std::lower_bound(prm, end, in[0]) - prm);
+        case OpCode::kDiscretize:
+          value = op::Discretize(in[0], prm, inst.param_count);
           break;
-        }
-        case OpCode::kGroupBy: {
-          const size_t n = static_cast<size_t>(prm[0]);
-          const double* edges = prm + 1;
-          const size_t bin =
-              std::isnan(in[0])
-                  ? n + 1  // BinEdges::missing_bin()
-                  : static_cast<size_t>(
-                        std::lower_bound(edges, edges + n, in[0]) - edges);
-          value = prm[1 + n + bin];
+        case OpCode::kGroupBy:
+          value = op::GroupBy(in[0], prm);
           break;
-        }
         case OpCode::kRidge:
-          value = in[1] - (prm[0] * in[0] + prm[1]);
+          value = op::Ridge(in[0], in[1], prm);
           break;
-        case OpCode::kKrr: {
-          const size_t m = static_cast<size_t>(prm[0]);
-          const double gamma = prm[1];
-          const double* centers = prm + 2;
-          const double* alpha = prm + 2 + m;
-          double prediction = 0.0;
-          for (size_t k = 0; k < m; ++k) {
-            const double d = in[0] - centers[k];
-            prediction += alpha[k] * std::exp(-gamma * d * d);
-          }
-          value = in[1] - prediction;
+        case OpCode::kKrr:
+          value = op::Krr(in[0], in[1], prm);
           break;
-        }
         case OpCode::kCond:
-          value = (in[0] > 0.0) ? in[1] : in[2];
+          value = op::Cond(in[0], in[1], in[2]);
           break;
         case OpCode::kGeneric:
           value = generic_ops_[inst.generic_index]->Apply(
@@ -263,6 +242,130 @@ void CompiledPlan::Execute(const double* row, double* scratch,
   }
   for (size_t i = 0; i < selected_slots_.size(); ++i) {
     out[i] = scratch[selected_slots_[i]];
+  }
+}
+
+void CompiledPlan::ExecuteBlock(double* panels, size_t stride,
+                                size_t n) const {
+  const double* arena = params_.data();
+  for (const Instruction& inst : instructions_) {
+    const double* p0 =
+        inst.arity > 0 ? panels + inst.parents[0] * stride : nullptr;
+    const double* p1 =
+        inst.arity > 1 ? panels + inst.parents[1] * stride : nullptr;
+    const double* p2 =
+        inst.arity > 2 ? panels + inst.parents[2] * stride : nullptr;
+    double* dst = panels + inst.out * stride;
+    const double* prm = arena + inst.param_begin;
+    const bool handles_missing = inst.handles_missing;
+    // One contiguous lane loop per opcode. Each lane reproduces the
+    // scalar Execute step exactly: the same missing short-circuit, then
+    // the same op:: kernel — one shared definition, so bit-identity with
+    // the per-row path is structural (serve_batch_equivalence_test).
+    auto unary = [&](auto kernel) {
+      for (size_t i = 0; i < n; ++i) {
+        const double a = p0[i];
+        dst[i] = (std::isnan(a) && !handles_missing) ? op::kNaN : kernel(a);
+      }
+    };
+    auto binary = [&](auto kernel) {
+      for (size_t i = 0; i < n; ++i) {
+        const double a = p0[i];
+        const double b = p1[i];
+        dst[i] = ((std::isnan(a) || std::isnan(b)) && !handles_missing)
+                     ? op::kNaN
+                     : kernel(a, b);
+      }
+    };
+    switch (inst.code) {
+      case OpCode::kAdd:
+        binary([](double a, double b) { return op::Add(a, b); });
+        break;
+      case OpCode::kSub:
+        binary([](double a, double b) { return op::Sub(a, b); });
+        break;
+      case OpCode::kMul:
+        binary([](double a, double b) { return op::Mul(a, b); });
+        break;
+      case OpCode::kDiv:
+        binary([](double a, double b) { return op::Div(a, b); });
+        break;
+      case OpCode::kAnd:
+        binary([](double a, double b) { return op::And(a, b); });
+        break;
+      case OpCode::kOr:
+        binary([](double a, double b) { return op::Or(a, b); });
+        break;
+      case OpCode::kXor:
+        binary([](double a, double b) { return op::Xor(a, b); });
+        break;
+      case OpCode::kLog:
+        unary([](double a) { return op::Log(a); });
+        break;
+      case OpCode::kSqrt:
+        unary([](double a) { return op::Sqrt(a); });
+        break;
+      case OpCode::kSquare:
+        unary([](double a) { return op::Square(a); });
+        break;
+      case OpCode::kSigmoid:
+        unary([](double a) { return op::SigmoidOp(a); });
+        break;
+      case OpCode::kTanh:
+        unary([](double a) { return op::Tanh(a); });
+        break;
+      case OpCode::kRound:
+        unary([](double a) { return op::Round(a); });
+        break;
+      case OpCode::kAbs:
+        unary([](double a) { return op::Abs(a); });
+        break;
+      case OpCode::kZscore:
+        unary([&](double a) { return op::Zscore(a, prm); });
+        break;
+      case OpCode::kDiscretize:
+        unary([&](double a) {
+          return op::Discretize(a, prm, inst.param_count);
+        });
+        break;
+      case OpCode::kGroupBy:
+        unary([&](double a) { return op::GroupBy(a, prm); });
+        break;
+      case OpCode::kRidge:
+        binary([&](double a, double b) { return op::Ridge(a, b, prm); });
+        break;
+      case OpCode::kKrr:
+        binary([&](double a, double b) { return op::Krr(a, b, prm); });
+        break;
+      case OpCode::kCond:
+        for (size_t i = 0; i < n; ++i) {
+          const double a = p0[i];
+          const double b = p1[i];
+          const double c = p2[i];
+          dst[i] =
+              ((std::isnan(a) || std::isnan(b) || std::isnan(c)) &&
+               !handles_missing)
+                  ? op::kNaN
+                  : op::Cond(a, b, c);
+        }
+        break;
+      case OpCode::kGeneric: {
+        const Operator& generic = *generic_ops_[inst.generic_index];
+        const std::vector<double>& params =
+            generic_params_[inst.generic_index];
+        for (size_t i = 0; i < n; ++i) {
+          double in[3] = {0.0, 0.0, 0.0};
+          bool missing = false;
+          for (uint8_t p = 0; p < inst.arity; ++p) {
+            in[p] = panels[inst.parents[p] * stride + i];
+            if (std::isnan(in[p])) missing = true;
+          }
+          dst[i] = (missing && !handles_missing) ? op::kNaN
+                                                 : generic.Apply(in, params);
+        }
+        break;
+      }
+    }
   }
 }
 

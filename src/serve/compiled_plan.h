@@ -92,11 +92,30 @@ class CompiledPlan {
     return instructions_;
   }
 
+  /// Slot indices (into the scratch layout) of the served outputs, in
+  /// output order. The batch scorer maps forest split features straight
+  /// to these slots so block scoring needs no gather step.
+  const std::vector<uint32_t>& selected_slots() const {
+    return selected_slots_;
+  }
+
   /// Runs the program on one dense row (length num_inputs(), ordered like
   /// the plan's input schema). `scratch` must hold scratch_size() doubles,
   /// `out` num_outputs(); neither is read on entry. No allocation, no
   /// locks — safe for concurrent callers with distinct buffers.
   void Execute(const double* row, double* scratch, double* out) const;
+
+  /// Block-wise form of Execute for the vectorized batch path: `panels`
+  /// is a slot-major matrix (scratch slot s occupies
+  /// [s * stride, s * stride + n)) whose input slots [0, num_inputs())
+  /// are already loaded for lanes [0, n); n must be <= stride. Runs each
+  /// instruction as one contiguous loop over the whole block — the
+  /// dispatch cost is paid once per opcode per block instead of once per
+  /// row, and the inner loops are SIMD-friendly — while every lane
+  /// reproduces the scalar Execute arithmetic exactly (shared op::
+  /// kernels, same NaN short-circuit), so panel contents are
+  /// bit-identical to n scalar Execute calls. No allocation, no locks.
+  void ExecuteBlock(double* panels, size_t stride, size_t n) const;
 
   /// Checked convenience wrapper for tests and one-off callers; allocates
   /// the output (and scratch) per call.

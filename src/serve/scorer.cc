@@ -59,13 +59,12 @@ Result<RowScorer> RowScorer::Create(const FeaturePlan& plan,
                                     const gbdt::Booster& booster,
                                     const OperatorRegistry& registry) {
   RowScorer scorer;
-  SAFE_ASSIGN_OR_RETURN(scorer.plan_, CompiledPlan::Compile(plan, registry));
-  if (booster.num_features() != scorer.plan_.num_outputs()) {
-    return Status::InvalidArgument(
-        "scorer: booster expects " + std::to_string(booster.num_features()) +
-        " features, plan produces " +
-        std::to_string(scorer.plan_.num_outputs()));
-  }
+  // The batch engine compiles the plan (and validates the booster against
+  // it); the per-row path shares that compiled program.
+  SAFE_ASSIGN_OR_RETURN(BatchScorer batch,
+                        BatchScorer::Create(plan, booster, registry));
+  scorer.plan_ = batch.plan();
+  scorer.batch_ = std::make_shared<const BatchScorer>(std::move(batch));
   scorer.base_score_ = booster.base_score();
   scorer.objective_ = booster.objective();
 
@@ -198,19 +197,11 @@ Status RowScorer::ScoreBatch(const std::vector<std::vector<double>>& rows,
   if (out == nullptr) {
     return Status::InvalidArgument("scorer: null output vector");
   }
-  for (size_t r = 0; r < rows.size(); ++r) {
-    if (rows[r].size() != plan_.num_inputs()) {
-      return Status::InvalidArgument(
-          "scorer: row " + std::to_string(r) + " has " +
-          std::to_string(rows[r].size()) + " values, expected " +
-          std::to_string(plan_.num_inputs()));
-    }
-  }
-  out->resize(rows.size());
-  Scratch* scratch = LocalScratch();
-  for (size_t r = 0; r < rows.size(); ++r) {
-    (*out)[r] = ScoreRow(rows[r].data(), scratch);
-  }
+  // Vectorized path: cache-blocked column panels through the compiled
+  // program, then the QuickScorer-style packed forest — bit-identical to
+  // looping ScoreRow (serve_batch_equivalence_test). Row-width
+  // validation happens inside ScoreRows.
+  SAFE_RETURN_NOT_OK(batch_->ScoreRows(rows, out));
   RowsCounter()->Increment(rows.size());
   // Batch-level series: serve.latency_us stays per-row (Score) so batch
   // totals no longer pollute its distribution.

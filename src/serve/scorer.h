@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/core/feature_plan.h"
 #include "src/core/operators.h"
 #include "src/gbdt/booster.h"
+#include "src/serve/batch_scorer.h"
 #include "src/serve/compiled_plan.h"
 
 namespace safe {
@@ -63,6 +65,8 @@ class RowScorer {
   size_t num_inputs() const { return plan_.num_inputs(); }
   size_t num_features() const { return plan_.num_outputs(); }
   const CompiledPlan& plan() const { return plan_; }
+  /// The vectorized batch engine ScoreBatch delegates to.
+  const BatchScorer& batch() const { return *batch_; }
 
   Scratch MakeScratch() const;
 
@@ -80,11 +84,14 @@ class RowScorer {
   [[nodiscard]] Result<double> ScoreMargin(
       const std::vector<double>& row) const;
 
-  /// Checked micro-batch probability scoring. `out` is resized to
-  /// rows.size() (reusing its capacity), so a caller looping over batches
-  /// allocates nothing in steady state. Thread-safe for concurrent
-  /// callers. Records one serve.latency_us observation for the batch and
-  /// counts rows.size() into serve.rows.
+  /// Checked micro-batch probability scoring through the vectorized
+  /// BatchScorer (cache-blocked column panels + QuickScorer forest
+  /// traversal), bit-identical to per-row Score for every batch size.
+  /// `out` is resized to rows.size() (reusing its capacity), so a caller
+  /// looping over batches allocates nothing in steady state. Thread-safe
+  /// for concurrent callers. Records one serve.batch_latency_us
+  /// observation and the true batch size into serve.batch_rows; the
+  /// per-row serve.latency_us series is never touched.
   [[nodiscard]] Status ScoreBatch(const std::vector<std::vector<double>>& rows,
                                   std::vector<double>* out) const;
 
@@ -97,6 +104,9 @@ class RowScorer {
   std::vector<uint32_t> roots_;   // offset of each tree's root in nodes_
   double base_score_ = 0.0;
   gbdt::Objective objective_ = gbdt::Objective::kLogistic;
+  // Shared (immutable) so copies of the scorer stay cheap; never null
+  // after a successful Create.
+  std::shared_ptr<const BatchScorer> batch_;
 };
 
 }  // namespace serve

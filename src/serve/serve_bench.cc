@@ -12,6 +12,7 @@
 #include "src/data/synthetic.h"
 #include "src/gbdt/booster.h"
 #include "src/obs/flight_recorder.h"
+#include "src/serve/batch_scorer.h"
 #include "src/serve/scorer.h"
 
 namespace safe {
@@ -80,7 +81,17 @@ obs::JsonValue ServeBenchReport::ToJson() const {
   out.Set("fused_per_row", PathStatsToJson(fused));
   obs::JsonValue batch = obs::JsonValue::Object();
   batch.Set("rows_per_s", obs::JsonValue(batch_rows_per_s));
+  batch.Set("loop_rows_per_s", obs::JsonValue(loop_batch_rows_per_s));
+  batch.Set("block_rows", obs::JsonValue(uint64_t{block_rows}));
   out.Set("fused_batch", std::move(batch));
+  obs::JsonValue sweep_json = obs::JsonValue::Array();
+  for (const BatchSweepPoint& point : sweep) {
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("batch", obs::JsonValue(uint64_t{point.batch_size}));
+    entry.Set("rows_per_s", obs::JsonValue(point.rows_per_s));
+    sweep_json.Append(std::move(entry));
+  }
+  out.Set("batch_sweep", std::move(sweep_json));
   out.Set("speedup_per_row", obs::JsonValue(speedup));
   out.Set("speedup_batch", obs::JsonValue(batch_speedup));
   out.Set("outputs_identical", obs::JsonValue(outputs_identical));
@@ -150,6 +161,7 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
   report.outputs = plan.selected().size();
   report.generated = plan.generated().size();
   report.trees = booster.trees().size();
+  report.block_rows = BatchScorer::kBlockRows;
 
   // Bit-identity sweep (doubles as warmup for both paths).
   RowScorer::Scratch scratch = scorer.MakeScratch();
@@ -190,6 +202,7 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
   naive_samples.reserve(opts.score_rows * opts.repeats);
   fused_samples.reserve(opts.score_rows * opts.repeats);
   uint64_t batch_ns = 0;
+  uint64_t loop_batch_ns = 0;
   for (size_t pass = 0; pass < opts.repeats; ++pass) {
     // Naive per-row path: interpreted TransformRow + booster row predict.
     for (const std::vector<double>& row : rows) {
@@ -207,7 +220,19 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
       fused_samples.push_back(NowNs() - t0);
       (void)proba;
     }
-    // Fused micro-batch path.
+    // Naive-loop batch pass: the same chunks scored by looping ScoreRow
+    // (what ScoreBatch did before vectorization), so the vectorized
+    // pass below is compared against a loop and not just against the
+    // interpreted path.
+    const uint64_t loop_t0 = NowNs();
+    for (const auto& chunk : chunks) {
+      batch_out.resize(chunk.size());
+      for (size_t r = 0; r < chunk.size(); ++r) {
+        batch_out[r] = scorer.ScoreRow(chunk[r].data(), &scratch);
+      }
+    }
+    loop_batch_ns += NowNs() - loop_t0;
+    // Vectorized micro-batch path.
     const uint64_t batch_t0 = NowNs();
     for (const auto& chunk : chunks) {
       SAFE_RETURN_NOT_OK(scorer.ScoreBatch(chunk, &batch_out));
@@ -221,10 +246,65 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
         static_cast<double>(opts.score_rows * opts.repeats) /
         (static_cast<double>(batch_ns) / 1e9);
   }
+  if (loop_batch_ns > 0) {
+    report.loop_batch_rows_per_s =
+        static_cast<double>(opts.score_rows * opts.repeats) /
+        (static_cast<double>(loop_batch_ns) / 1e9);
+  }
 
   if (report.naive.rows_per_s > 0.0) {
     report.speedup = report.fused.rows_per_s / report.naive.rows_per_s;
     report.batch_speedup = report.batch_rows_per_s / report.naive.rows_per_s;
+  }
+
+  // Batch-size sweep: ScoreBatch throughput as rows-per-call varies.
+  // Every size is first verified bit-identical to the fused per-row
+  // outputs (block boundaries and ragged tails must never change
+  // results), then timed over the whole scoring set.
+  {
+    std::vector<double> expected(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      expected[r] = scorer.ScoreRow(rows[r].data(), &scratch);
+    }
+    for (const size_t size : {size_t{1}, size_t{16}, size_t{64}, size_t{128},
+                              size_t{256}, size_t{1024}}) {
+      if (size > rows.size()) continue;
+      std::vector<std::vector<std::vector<double>>> sweep_chunks;
+      for (size_t begin = 0; begin < rows.size(); begin += size) {
+        const size_t end = std::min(rows.size(), begin + size);
+        sweep_chunks.emplace_back(rows.begin() + static_cast<long>(begin),
+                                  rows.begin() + static_cast<long>(end));
+      }
+      // Warm + equivalence check, untimed.
+      size_t checked = 0;
+      for (const auto& chunk : sweep_chunks) {
+        SAFE_RETURN_NOT_OK(scorer.ScoreBatch(chunk, &batch_out));
+        for (size_t r = 0; r < chunk.size(); ++r, ++checked) {
+          if (!SameOutput(expected[checked], batch_out[r])) {
+            return Status::Internal(
+                "serve bench: batch size " + std::to_string(size) +
+                " diverged from the per-row path at row " +
+                std::to_string(checked));
+          }
+        }
+      }
+      uint64_t best_ns = 0;
+      for (size_t pass = 0; pass < std::max<size_t>(opts.repeats, 2); ++pass) {
+        const uint64_t t0 = NowNs();
+        for (const auto& chunk : sweep_chunks) {
+          SAFE_RETURN_NOT_OK(scorer.ScoreBatch(chunk, &batch_out));
+        }
+        const uint64_t elapsed = NowNs() - t0;
+        if (best_ns == 0 || elapsed < best_ns) best_ns = elapsed;
+      }
+      BatchSweepPoint point;
+      point.batch_size = size;
+      if (best_ns > 0) {
+        point.rows_per_s = static_cast<double>(rows.size()) /
+                           (static_cast<double>(best_ns) / 1e9);
+      }
+      report.sweep.push_back(point);
+    }
   }
 
   // Recorder overhead on the fused path: whole passes re-timed with the
@@ -309,6 +389,14 @@ Result<ServingGate> ReadServingGate(const std::string& baseline_path) {
           "': max_recorder_overhead_pct must be a number");
     }
     gate.max_recorder_overhead_pct = overhead->number_value();
+  }
+  const obs::JsonValue* batch = doc.Find("min_batch_speedup");
+  if (batch != nullptr) {
+    if (batch->type() != obs::JsonValue::Type::kNumber) {
+      return Status::InvalidArgument("gate baseline '" + baseline_path +
+                                     "': min_batch_speedup must be a number");
+    }
+    gate.min_batch_speedup = batch->number_value();
   }
   return gate;
 }

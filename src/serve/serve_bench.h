@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/obs/json.h"
@@ -36,6 +37,14 @@ struct PathStats {
   double rows_per_s = 0.0;
 };
 
+/// \brief One point of the batch-size sweep: ScoreBatch throughput at a
+/// given rows-per-call, outputs verified bit-identical to the per-row
+/// path before timing.
+struct BatchSweepPoint {
+  size_t batch_size = 0;
+  double rows_per_s = 0.0;
+};
+
 /// \brief Machine-readable result of one serving benchmark run.
 struct ServeBenchReport {
   size_t score_rows = 0;
@@ -49,10 +58,22 @@ struct ServeBenchReport {
   PathStats naive;
   /// Fused per-row path: RowScorer::ScoreRow over reusable scratch.
   PathStats fused;
-  /// Fused micro-batch path: RowScorer::ScoreBatch.
+  /// Vectorized micro-batch path: RowScorer::ScoreBatch (block panels +
+  /// block-wise opcodes + packed forest).
   double batch_rows_per_s = 0.0;
+  /// Naive-loop batch pass: the same chunks scored by looping
+  /// RowScorer::ScoreRow — the pre-vectorization ScoreBatch — so the
+  /// vectorization win is measured against a loop, not just against the
+  /// interpreted path.
+  double loop_batch_rows_per_s = 0.0;
+  /// BatchScorer::kBlockRows of the measured binary.
+  size_t block_rows = 0;
+  /// ScoreBatch throughput at several rows-per-call sizes (each verified
+  /// bit-identical to the per-row outputs before timing).
+  std::vector<BatchSweepPoint> sweep;
   /// fused.rows_per_s / naive.rows_per_s (the CI gate's subject).
   double speedup = 0.0;
+  /// batch_rows_per_s / naive.rows_per_s (gated by min_batch_speedup).
   double batch_speedup = 0.0;
   /// Every scored row was bit-identical across naive and fused paths.
   bool outputs_identical = false;
@@ -83,14 +104,18 @@ struct ServeBenchReport {
 struct ServingGate {
   /// Minimum fused/naive per-row speedup.
   double min_speedup = 0.0;
+  /// Minimum vectorized-batch/naive speedup (report.batch_speedup);
+  /// <= 0 disables that check (legacy baselines).
+  double min_batch_speedup = 0.0;
   /// Ceiling on recorder_overhead_pct (armed vs disarmed fused path);
   /// <= 0 disables that check. Only enforced when the binary was built
   /// with SAFE_TELEMETRY=ON (report.recorder_enabled).
   double max_recorder_overhead_pct = 0.0;
 };
 
-/// Reads the committed gate file: "min_speedup" (required) and
-/// "max_recorder_overhead_pct" (optional, default 0 = disabled).
+/// Reads the committed gate file: "min_speedup" (required), plus
+/// "min_batch_speedup" and "max_recorder_overhead_pct" (both optional,
+/// default 0 = disabled).
 [[nodiscard]] Result<ServingGate> ReadServingGate(
     const std::string& baseline_path);
 

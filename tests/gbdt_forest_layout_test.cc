@@ -1,0 +1,294 @@
+// PackedForest (src/gbdt/forest_layout.h) must reproduce
+// RegressionTree::PredictRow margins EXACTLY — same accumulation order,
+// same bits — across randomized trees of depth 1..8, missing values
+// routed in both directions, empty trees, the >64-leaf fallback layout,
+// and remapped split features, for both the per-lane TreeMargin API and
+// the whole-block AccumulateMargins traversal.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/gbdt/forest_layout.h"
+#include "src/gbdt/tree.h"
+
+namespace safe {
+namespace gbdt {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+::testing::AssertionResult SameBits(double expected, double actual) {
+  if (std::isnan(expected) && std::isnan(actual)) {
+    return ::testing::AssertionSuccess();
+  }
+  if (Bits(expected) == Bits(actual)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "bits differ: expected=" << expected << " actual=" << actual;
+}
+
+/// Recursively grows a random subtree; interior split probability decays
+/// with depth so the sweep covers stumps through full depth-8 trees.
+int GrowNode(std::vector<TreeNode>* nodes, Rng* rng, int depth, int max_depth,
+             int num_features) {
+  const int idx = static_cast<int>(nodes->size());
+  nodes->push_back(TreeNode{});
+  const bool leaf =
+      depth >= max_depth || (depth > 0 && rng->NextDouble() < 0.25);
+  if (leaf) {
+    (*nodes)[idx].value = rng->NextDouble() * 2.0 - 1.0;
+    return idx;
+  }
+  const int feature =
+      static_cast<int>(rng->NextUint64Below(static_cast<uint64_t>(num_features)));
+  const double threshold = rng->NextDouble() * 2.0 - 1.0;
+  const bool default_left = rng->NextDouble() < 0.5;
+  const int left = GrowNode(nodes, rng, depth + 1, max_depth, num_features);
+  const int right = GrowNode(nodes, rng, depth + 1, max_depth, num_features);
+  (*nodes)[idx].feature = feature;
+  (*nodes)[idx].threshold = threshold;
+  (*nodes)[idx].default_left = default_left;
+  (*nodes)[idx].left = left;
+  (*nodes)[idx].right = right;
+  return idx;
+}
+
+RegressionTree RandomTree(Rng* rng, int max_depth, int num_features) {
+  std::vector<TreeNode> nodes;
+  GrowNode(&nodes, rng, 0, max_depth, num_features);
+  return RegressionTree(std::move(nodes));
+}
+
+/// Full binary tree of the given depth: depth 7 has 128 leaves, which
+/// exceeds kMaxBitvectorLeaves and forces the fallback layout.
+int GrowFullNode(std::vector<TreeNode>* nodes, Rng* rng, int depth,
+                 int max_depth, int num_features) {
+  const int idx = static_cast<int>(nodes->size());
+  nodes->push_back(TreeNode{});
+  if (depth >= max_depth) {
+    (*nodes)[idx].value = rng->NextDouble() * 2.0 - 1.0;
+    return idx;
+  }
+  const int feature =
+      static_cast<int>(rng->NextUint64Below(static_cast<uint64_t>(num_features)));
+  const double threshold = rng->NextDouble() * 2.0 - 1.0;
+  const bool default_left = rng->NextDouble() < 0.5;
+  const int left = GrowFullNode(nodes, rng, depth + 1, max_depth, num_features);
+  const int right =
+      GrowFullNode(nodes, rng, depth + 1, max_depth, num_features);
+  (*nodes)[idx].feature = feature;
+  (*nodes)[idx].threshold = threshold;
+  (*nodes)[idx].default_left = default_left;
+  (*nodes)[idx].left = left;
+  (*nodes)[idx].right = right;
+  return idx;
+}
+
+RegressionTree FullTree(Rng* rng, int depth, int num_features) {
+  std::vector<TreeNode> nodes;
+  GrowFullNode(&nodes, rng, 0, depth, num_features);
+  return RegressionTree(std::move(nodes));
+}
+
+/// Random rows over [-1.2, 1.2] with a seed-dependent share of NaNs so
+/// thresholds are straddled and missing routing fires on every tree.
+std::vector<std::vector<double>> RandomRows(Rng* rng, size_t n,
+                                            size_t num_features,
+                                            double missing_rate) {
+  std::vector<std::vector<double>> rows(n);
+  for (auto& row : rows) {
+    row.resize(num_features);
+    for (double& v : row) {
+      v = rng->NextDouble() < missing_rate ? kNaN
+                                           : rng->NextDouble() * 2.4 - 1.2;
+    }
+  }
+  return rows;
+}
+
+/// Slot-major panel of `rows`: feature f of lane i at panel[f*stride+i].
+std::vector<double> ToPanel(const std::vector<std::vector<double>>& rows,
+                            size_t num_features, size_t stride) {
+  std::vector<double> panel(num_features * stride, 0.0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t f = 0; f < num_features; ++f) {
+      panel[f * stride + i] = rows[i][f];
+    }
+  }
+  return panel;
+}
+
+void CheckForestMatchesPredictRow(const std::vector<RegressionTree>& trees,
+                                  size_t num_features,
+                                  const std::vector<std::vector<double>>& rows) {
+  auto forest = PackedForest::Build(trees, num_features);
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+  ASSERT_EQ(forest->num_trees(), trees.size());
+
+  // Per-lane API, row addressing (stride 1, lane 0).
+  for (size_t t = 0; t < trees.size(); ++t) {
+    for (size_t r = 0; r < rows.size(); ++r) {
+      EXPECT_TRUE(SameBits(trees[t].PredictRow(rows[r]),
+                           forest->TreeMargin(t, rows[r].data(), 1, 0)))
+          << "tree " << t << " row " << r;
+    }
+  }
+
+  // Whole-block traversal against the exact scalar accumulation order:
+  // margins must match base + tree_0 + tree_1 + ... summed sequentially.
+  const size_t stride = rows.size() + 3;  // spare lanes must be ignored
+  const std::vector<double> panel = ToPanel(rows, num_features, stride);
+  const double base = 0.125;
+  std::vector<double> margins(rows.size(), base);
+  forest->AccumulateMargins(panel.data(), stride, rows.size(), margins.data());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    double expected = base;
+    for (const RegressionTree& tree : trees) expected += tree.PredictRow(rows[r]);
+    EXPECT_TRUE(SameBits(expected, margins[r])) << "row " << r;
+  }
+}
+
+TEST(PackedForestTest, RandomTreesDepth1Through8MatchPredictRow) {
+  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    const size_t num_features = 6;
+    std::vector<RegressionTree> trees;
+    for (int depth = 1; depth <= 8; ++depth) {
+      trees.push_back(RandomTree(&rng, depth, static_cast<int>(num_features)));
+    }
+    const double missing_rate = (seed % 2 == 0) ? 0.3 : 0.0;
+    const auto rows = RandomRows(&rng, 150, num_features, missing_rate);
+    CheckForestMatchesPredictRow(trees, num_features, rows);
+  }
+}
+
+TEST(PackedForestTest, MissingRoutesBothDirections) {
+  // One split each way: default-left sends NaN to the left leaf (-1),
+  // default-right to the right leaf (+1).
+  for (const bool default_left : {true, false}) {
+    SCOPED_TRACE(default_left ? "default_left" : "default_right");
+    std::vector<TreeNode> nodes(3);
+    nodes[0].left = 1;
+    nodes[0].right = 2;
+    nodes[0].feature = 0;
+    nodes[0].threshold = 0.5;
+    nodes[0].default_left = default_left;
+    nodes[1].value = -1.0;
+    nodes[2].value = 1.0;
+    const std::vector<RegressionTree> trees = {RegressionTree(nodes)};
+    auto forest = PackedForest::Build(trees, 1);
+    ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+
+    const std::vector<std::vector<double>> rows = {{kNaN}, {0.25}, {0.75}};
+    CheckForestMatchesPredictRow(trees, 1, rows);
+    const double missing = forest->TreeMargin(0, rows[0].data(), 1, 0);
+    EXPECT_EQ(missing, default_left ? -1.0 : 1.0);
+    // Non-missing routing is unaffected by the default.
+    EXPECT_EQ(forest->TreeMargin(0, rows[1].data(), 1, 0), -1.0);
+    EXPECT_EQ(forest->TreeMargin(0, rows[2].data(), 1, 0), 1.0);
+  }
+}
+
+TEST(PackedForestTest, EmptyTreesContributeZero) {
+  Rng rng(7);
+  std::vector<RegressionTree> trees;
+  trees.push_back(RegressionTree());  // empty
+  trees.push_back(RandomTree(&rng, 3, 4));
+  trees.push_back(RegressionTree());  // empty
+  const auto rows = RandomRows(&rng, 40, 4, 0.2);
+  CheckForestMatchesPredictRow(trees, 4, rows);
+
+  auto forest = PackedForest::Build(trees, 4);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(forest->TreeMargin(0, rows[0].data(), 1, 0), 0.0);
+  EXPECT_EQ(forest->TreeMargin(2, rows[0].data(), 1, 0), 0.0);
+}
+
+TEST(PackedForestTest, DeepTreesUseFallbackLayoutAndStillMatch) {
+  Rng rng(11);
+  const size_t num_features = 5;
+  std::vector<RegressionTree> trees;
+  // 128 leaves: over the bitvector limit, must take the fallback layout.
+  trees.push_back(FullTree(&rng, 7, static_cast<int>(num_features)));
+  // 64 leaves: exactly at the limit, must stay bitvector.
+  trees.push_back(FullTree(&rng, 6, static_cast<int>(num_features)));
+  auto forest = PackedForest::Build(trees, num_features);
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+  EXPECT_FALSE(forest->tree_uses_bitvector(0));
+  EXPECT_TRUE(forest->tree_uses_bitvector(1));
+
+  const auto rows = RandomRows(&rng, 100, num_features, 0.25);
+  CheckForestMatchesPredictRow(trees, num_features, rows);
+}
+
+TEST(PackedForestTest, BuildRejectsOutOfRangeSplitFeature) {
+  std::vector<TreeNode> nodes(3);
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[0].feature = 5;
+  nodes[1].value = 0.0;
+  nodes[2].value = 1.0;
+  const std::vector<RegressionTree> trees = {RegressionTree(nodes)};
+  EXPECT_FALSE(PackedForest::Build(trees, 5).ok());  // 5 is out of [0, 5)
+  EXPECT_FALSE(PackedForest::Build(trees, 3).ok());
+  EXPECT_TRUE(PackedForest::Build(trees, 6).ok());
+}
+
+TEST(PackedForestTest, FeatureMapRemapsSplitsToPanelSlots) {
+  Rng rng(13);
+  const size_t num_features = 4;
+  std::vector<RegressionTree> trees;
+  for (int depth = 2; depth <= 5; ++depth) {
+    trees.push_back(RandomTree(&rng, depth, static_cast<int>(num_features)));
+  }
+  // Scatter the 4 features across 9 panel slots.
+  const std::vector<uint32_t> feature_map = {7, 0, 4, 2};
+  auto forest = PackedForest::Build(trees, num_features, &feature_map);
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+
+  const auto rows = RandomRows(&rng, 60, num_features, 0.2);
+  const size_t stride = rows.size();
+  std::vector<double> panel(9 * stride, kNaN);  // unmapped slots poisoned
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t f = 0; f < num_features; ++f) {
+      panel[feature_map[f] * stride + i] = rows[i][f];
+    }
+  }
+  for (size_t t = 0; t < trees.size(); ++t) {
+    for (size_t r = 0; r < rows.size(); ++r) {
+      EXPECT_TRUE(SameBits(trees[t].PredictRow(rows[r]),
+                           forest->TreeMargin(t, panel.data(), stride, r)))
+          << "tree " << t << " row " << r;
+    }
+  }
+  std::vector<double> margins(rows.size(), 0.0);
+  forest->AccumulateMargins(panel.data(), stride, rows.size(), margins.data());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    double expected = 0.0;
+    for (const RegressionTree& tree : trees) expected += tree.PredictRow(rows[r]);
+    EXPECT_TRUE(SameBits(expected, margins[r])) << "row " << r;
+  }
+}
+
+TEST(PackedForestTest, BuildRejectsUndersizedFeatureMap) {
+  Rng rng(17);
+  const std::vector<RegressionTree> trees = {RandomTree(&rng, 3, 4)};
+  const std::vector<uint32_t> too_small = {0, 1, 2};
+  EXPECT_FALSE(PackedForest::Build(trees, 4, &too_small).ok());
+}
+
+}  // namespace
+}  // namespace gbdt
+}  // namespace safe

@@ -1,0 +1,135 @@
+// Property suite for the slot-major block panel (src/serve/block_panel.h):
+// the rows -> panel -> rows round trip must be lossless to the bit — NaN
+// payload bits included — for seeded random shapes, the unchecked
+// GatherBlock must place every block at the same lanes regardless of
+// where block boundaries fall, and every malformed shape must be
+// rejected with a Status error, never UB.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/serve/block_panel.h"
+
+namespace safe {
+namespace serve {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double FromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Seeded random rows where ~1/4 of the values are NaNs with random
+/// payload bits (quiet-NaN space, varying mantissa and sign), so the
+/// round trip is checked on representations SameBits-style comparisons
+/// would conflate.
+std::vector<std::vector<double>> RandomRows(Rng* rng, size_t n, size_t width) {
+  std::vector<std::vector<double>> rows(n);
+  for (auto& row : rows) {
+    row.resize(width);
+    for (double& v : row) {
+      if (rng->NextUint64Below(4) == 0) {
+        const uint64_t sign = rng->NextUint64Below(2) << 63;
+        const uint64_t payload = rng->NextUint64Below(1ULL << 51) | 1ULL;
+        v = FromBits(sign | 0x7FF8000000000000ULL | payload);
+      } else {
+        v = rng->NextDouble() * 2000.0 - 1000.0;
+      }
+    }
+  }
+  return rows;
+}
+
+TEST(BlockPanelTest, SeededRoundTripIsLosslessToTheBit) {
+  for (uint64_t seed : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed * 0x9E3779B97F4A7C15ULL + 11);
+    const size_t n = 1 + rng.NextUint64Below(300);
+    const size_t width = 1 + rng.NextUint64Below(40);
+    const size_t stride = n + rng.NextUint64Below(64);
+    const auto rows = RandomRows(&rng, n, width);
+
+    auto panel = RowsToPanel(rows, stride);
+    ASSERT_TRUE(panel.ok()) << panel.status().ToString();
+    ASSERT_EQ(panel->size(), width * stride);
+    // Slot-major addressing: value (r, f) at panel[f * stride + r].
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t f = 0; f < width; ++f) {
+        ASSERT_EQ(Bits(rows[r][f]), Bits((*panel)[f * stride + r]))
+            << "row " << r << " col " << f;
+      }
+    }
+
+    auto back = PanelToRows(*panel, n, width, stride);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_EQ(back->size(), n);
+    for (size_t r = 0; r < n; ++r) {
+      ASSERT_EQ((*back)[r].size(), width);
+      for (size_t f = 0; f < width; ++f) {
+        ASSERT_EQ(Bits(rows[r][f]), Bits((*back)[r][f]))
+            << "row " << r << " col " << f;
+      }
+    }
+  }
+}
+
+TEST(BlockPanelTest, GatherBlockMatchesWholeBatchPanelAtEveryBoundary) {
+  Rng rng(42);
+  const size_t n = 173;  // deliberately not a multiple of any block size
+  const size_t width = 9;
+  const auto rows = RandomRows(&rng, n, width);
+
+  for (const size_t block : {1UL, 63UL, 64UL, 65UL, 128UL}) {
+    SCOPED_TRACE("block " + std::to_string(block));
+    std::vector<double> panel(width * block, 0.0);
+    for (size_t begin = 0; begin < n; begin += block) {
+      const size_t m = std::min(block, n - begin);
+      GatherBlock(rows, begin, m, width, block, panel.data());
+      // Wherever the block boundary falls, lane i of slot f must hold
+      // exactly rows[begin + i][f].
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t f = 0; f < width; ++f) {
+          ASSERT_EQ(Bits(rows[begin + i][f]), Bits(panel[f * block + i]))
+              << "begin " << begin << " lane " << i << " col " << f;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockPanelTest, RowsToPanelRejectsMalformedShapes) {
+  EXPECT_FALSE(RowsToPanel({}, 8).ok());            // empty batch
+  EXPECT_FALSE(RowsToPanel({{}}, 8).ok());          // zero-width rows
+  EXPECT_FALSE(RowsToPanel({{1.0}, {}}, 8).ok());   // ragged
+  EXPECT_FALSE(RowsToPanel({{1.0}, {2.0, 3.0}}, 8).ok());  // ragged
+  EXPECT_FALSE(RowsToPanel({{1.0}, {2.0}}, 1).ok());  // stride < rows
+  EXPECT_TRUE(RowsToPanel({{1.0}, {2.0}}, 2).ok());
+}
+
+TEST(BlockPanelTest, PanelToRowsRejectsMalformedShapes) {
+  const std::vector<double> panel(3 * 4, 0.0);  // width 3, stride 4
+  EXPECT_FALSE(PanelToRows(panel, 0, 3, 4).ok());   // no rows
+  EXPECT_FALSE(PanelToRows(panel, 2, 0, 4).ok());   // zero width
+  EXPECT_FALSE(PanelToRows(panel, 5, 3, 4).ok());   // stride < num_rows
+  EXPECT_FALSE(PanelToRows(panel, 2, 4, 4).ok());   // size != width*stride
+  EXPECT_FALSE(PanelToRows(panel, 2, 3, 5).ok());   // size != width*stride
+  EXPECT_TRUE(PanelToRows(panel, 4, 3, 4).ok());
+  EXPECT_TRUE(PanelToRows(panel, 2, 3, 4).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace safe

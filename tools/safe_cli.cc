@@ -273,6 +273,18 @@ int RunServeBench(const bench::Flags& flags) {
     }
     std::cout << "gate ok: " << FormatDouble(report->speedup, 2)
               << "x >= " << FormatDouble(gate->min_speedup, 2) << "x\n";
+    if (gate->min_batch_speedup > 0.0 &&
+        report->batch_speedup < gate->min_batch_speedup) {
+      return Fail("serving gate failed: batch speedup " +
+                  FormatDouble(report->batch_speedup, 2) + "x < " +
+                  FormatDouble(gate->min_batch_speedup, 2) + "x (" + gate_path +
+                  ")");
+    }
+    if (gate->min_batch_speedup > 0.0) {
+      std::cout << "gate ok: batch " << FormatDouble(report->batch_speedup, 2)
+                << "x >= " << FormatDouble(gate->min_batch_speedup, 2)
+                << "x\n";
+    }
     if (gate->max_recorder_overhead_pct > 0.0 && report->recorder_enabled &&
         report->recorder_overhead_pct > gate->max_recorder_overhead_pct) {
       return Fail("serving gate failed: recorder overhead " +

@@ -15,9 +15,20 @@
 // the build has SAFE_TELEMETRY=ON), overhead above that ceiling fails
 // the gate the same way a speedup shortfall does.
 //
+// The run also drives the sharded scoring server (src/serve/server/)
+// with a closed-loop and an open-loop load generator (arrivals on a
+// fixed grid at --open-qps; latency measured from the scheduled
+// arrival, so backlog shows up in the tail). Server responses are
+// verified bit-identical to the fused per-row path before timing, and a
+// "min_sustained_qps" key in the gate file puts a floor under the
+// open-loop completion rate.
+//
 // Flags: --quick --train_rows=N --features=M --rows=N --repeats=K
 //        --batch=B --seed=S --out=BENCH_serving.json
 //        --gate=bench/baselines/serving.json --report=path --trace=path
+//        --server-shards=S --clients=C --server-queue=N
+//        --batch-rows=B --batch-wait-us=T
+//        --closed-requests=N --open-requests=N --open-qps=Q
 
 #include <fstream>
 #include <iostream>
@@ -53,6 +64,24 @@ int Main(int argc, char** argv) {
       flags.GetInt("batch", static_cast<int64_t>(options.batch_size)));
   options.seed = static_cast<uint64_t>(
       flags.GetInt("seed", static_cast<int64_t>(options.seed)));
+  serve::ServerLoadOptions& load = options.server;
+  load.num_shards = static_cast<size_t>(flags.GetInt(
+      "server-shards", static_cast<int64_t>(load.num_shards)));
+  load.client_threads = static_cast<size_t>(
+      flags.GetInt("clients", static_cast<int64_t>(load.client_threads)));
+  load.queue_capacity = static_cast<size_t>(flags.GetInt(
+      "server-queue", static_cast<int64_t>(load.queue_capacity)));
+  load.max_batch_rows = static_cast<size_t>(flags.GetInt(
+      "batch-rows", static_cast<int64_t>(load.max_batch_rows)));
+  load.max_wait_us = static_cast<uint64_t>(flags.GetInt(
+      "batch-wait-us", static_cast<int64_t>(load.max_wait_us)));
+  load.closed_requests_per_client = static_cast<size_t>(flags.GetInt(
+      "closed-requests",
+      static_cast<int64_t>(load.closed_requests_per_client)));
+  load.open_requests = static_cast<size_t>(flags.GetInt(
+      "open-requests", static_cast<int64_t>(load.open_requests)));
+  load.open_target_qps =
+      flags.GetDouble("open-qps", load.open_target_qps);
 
   auto report = serve::RunServeBench(options);
   if (!report.ok()) {
@@ -106,6 +135,34 @@ int Main(int argc, char** argv) {
   } else {
     std::cout << "recorder overhead: n/a (SAFE_TELEMETRY=OFF build)\n";
   }
+
+  std::cout << "\n=== Scoring server: " << report->server_shards
+            << " shards, " << report->server_clients << " clients, B="
+            << report->server_batch_rows << " rows, T="
+            << report->server_batch_wait_us << "us ===\n";
+  std::cout << "bit-identical server responses: "
+            << (report->server_outputs_identical ? "yes" : "NO")
+            << ", mean batch fill "
+            << FormatDouble(report->server_mean_batch_fill, 1) << " rows\n";
+  TablePrinter server_table({"load", "p50 us", "p99 us", "qps", "rejected"},
+                            {16, 9, 9, 12, 9});
+  server_table.PrintHeader();
+  server_table.PrintRow(
+      {"closed loop", FormatDouble(report->server_closed.p50_us, 2),
+       FormatDouble(report->server_closed.p99_us, 2),
+       FormatDouble(report->server_closed.sustained_qps, 0),
+       std::to_string(report->server_closed.rejected)});
+  server_table.PrintRow(
+      {"open loop", FormatDouble(report->server_open.p50_us, 2),
+       FormatDouble(report->server_open.p99_us, 2),
+       FormatDouble(report->server_open.sustained_qps, 0),
+       std::to_string(report->server_open.rejected)});
+  server_table.PrintSeparator();
+  std::cout << "open loop target " << FormatDouble(
+                   report->server_open_target_qps, 0)
+            << " qps, sustained "
+            << FormatDouble(report->server_open.sustained_qps, 0)
+            << " qps\n";
 
   const std::string out_path = flags.GetString("out", "BENCH_serving.json");
   if (!out_path.empty()) {
@@ -167,6 +224,21 @@ int Main(int argc, char** argv) {
                 << "% <= "
                 << FormatDouble(gate->max_recorder_overhead_pct, 2)
                 << "% (" << gate_path << ")\n";
+    }
+    if (gate->min_sustained_qps > 0.0) {
+      if (report->server_open.sustained_qps < gate->min_sustained_qps) {
+        std::cerr << "bench_serving: GATE FAILED — open-loop sustained "
+                  << FormatDouble(report->server_open.sustained_qps, 0)
+                  << " qps is below the "
+                  << FormatDouble(gate->min_sustained_qps, 0)
+                  << " qps floor from '" << gate_path << "'\n";
+        return 1;
+      }
+      std::cout << "gate ok: sustained "
+                << FormatDouble(report->server_open.sustained_qps, 0)
+                << " qps >= "
+                << FormatDouble(gate->min_sustained_qps, 0) << " qps ("
+                << gate_path << ")\n";
     }
   }
   return 0;

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace safe {
+
+/// \brief Bounded lock-free multi-producer / single-consumer queue.
+///
+/// The request front of the scoring server (src/serve/server/): many
+/// client threads TryPush concurrently, one shard worker TryPops. The
+/// algorithm is the classic bounded ring with per-cell sequence numbers
+/// (Vyukov), restricted to one consumer so the pop side needs no CAS:
+///
+///   - every cell carries an atomic sequence; a producer claims slot
+///     `pos` by CASing the shared tail, writes the value, then publishes
+///     it by storing `pos + 1` into the cell's sequence (release);
+///   - the consumer reads the head cell's sequence (acquire); once it
+///     reads `head + 1` the value is visible, and recycling the cell
+///     stores `head + capacity` so producers can reuse it a lap later.
+///
+/// Guarantees the property test (common_mpsc_queue_test) locks down:
+///   - FIFO per producer: one thread's successful pushes are popped in
+///     push order (claims are tail-ordered, and a producer's own claims
+///     are ordered by its program order);
+///   - no loss, no duplication: each claimed slot is popped exactly once,
+///     including across capacity-boundary wraparounds;
+///   - bounded: TryPush fails (returns false) when `capacity()` values
+///     are in flight — admission control, never blocking;
+///   - shutdown drains deterministically: after Close(), TryPush always
+///     fails while TryPop keeps returning the remaining values in order
+///     until the queue is empty.
+///
+/// TryPush never blocks and never allocates; TryPop may transiently
+/// return false while a producer that claimed the head slot has not yet
+/// published it (the value is not lost — it appears on a later TryPop).
+/// Capacity is rounded up to a power of two.
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+    capacity_ = cap;
+    mask_ = cap - 1;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Multi-producer push. False when the queue is full or closed; the
+  /// value is untouched (still valid in the caller) on failure.
+  ///
+  /// The successful tail CAS is seq_cst (not relaxed) so a producer's
+  /// publish and a consumer's sleep handshake can order against each
+  /// other through SizeApprox — see ScoringServer's doorbell protocol.
+  bool TryPush(T& value) {
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      Cell& cell = cells_[pos & mask_];
+      const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+      const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the newer tail.
+      } else if (dif < 0) {
+        return false;  // full: the head lap has not recycled this cell yet
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer pop. False when empty (or when the head value is
+  /// claimed but not yet published by its producer).
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[head & mask_];
+    const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+    if (static_cast<int64_t>(seq) - static_cast<int64_t>(head + 1) < 0) {
+      return false;
+    }
+    *out = std::move(cell.value);
+    cell.sequence.store(head + capacity_, std::memory_order_release);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Rejects all future pushes; values already in the queue stay poppable
+  /// (the shutdown drain). Producers racing with Close may still land a
+  /// final push — callers that need a hard cut must drain after Close.
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Claimed-minus-consumed estimate; exact when quiescent. The seq_cst
+  /// tail load pairs with TryPush's seq_cst CAS for the server's
+  /// sleep/wake handshake.
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_seq_cst);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> sequence{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::atomic<uint64_t> tail_{0};  // next slot producers claim
+  std::atomic<uint64_t> head_{0};  // next slot the consumer reads
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace safe

@@ -16,6 +16,11 @@ enum class StatusCode : int {
   kIoError = 5,
   kNotImplemented = 6,
   kInternal = 7,
+  /// Transient saturation: the operation was refused by admission
+  /// control (e.g. a full scoring-server shard queue) and may succeed if
+  /// retried after backoff. Distinct from kInvalidArgument — the request
+  /// itself was well-formed.
+  kUnavailable = 8,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK",
@@ -61,6 +66,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -70,6 +70,25 @@ void BatchScorer::ScoreBlock(const std::vector<std::vector<double>>& rows,
   }
 }
 
+void BatchScorer::ScoreBlockMarginPtrs(const double* const* rows, size_t n,
+                                       Scratch* scratch, double* out) const {
+  double* panels = scratch->panels.data();
+  GatherBlockPtrs(rows, n, plan_.num_inputs(), kBlockRows, panels);
+  plan_.ExecuteBlock(panels, kBlockRows, n);
+  double* margins = scratch->margins.data();
+  for (size_t i = 0; i < n; ++i) margins[i] = base_score_;
+  forest_.AccumulateMargins(panels, kBlockRows, n, margins);
+  for (size_t i = 0; i < n; ++i) out[i] = margins[i];
+}
+
+void BatchScorer::ScoreBlockPtrs(const double* const* rows, size_t n,
+                                 Scratch* scratch, double* out) const {
+  ScoreBlockMarginPtrs(rows, n, scratch, out);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = gbdt::TransformMargin(objective_, out[i]);
+  }
+}
+
 BatchScorer::Scratch* BatchScorer::LocalScratch() const {
   // Per-thread scratch keyed by scorer identity — the same scheme as
   // RowScorer::LocalScratch, so one shared BatchScorer is race-free and

@@ -79,6 +79,16 @@ class BatchScorer {
                         size_t begin, size_t n, Scratch* scratch,
                         double* out) const;
 
+  /// Same allocation-free core over an array of row pointers (each row
+  /// `num_inputs()` doubles): the scoring server's micro-batcher stages
+  /// requests as pointers into caller memory and scores them without an
+  /// intermediate copy. Bit-identical to the vector overloads (same
+  /// gather/execute/traverse pipeline over the same panel).
+  void ScoreBlockPtrs(const double* const* rows, size_t n, Scratch* scratch,
+                      double* out) const;
+  void ScoreBlockMarginPtrs(const double* const* rows, size_t n,
+                            Scratch* scratch, double* out) const;
+
   /// Checked whole-batch probability scoring: validates row widths,
   /// resizes `out` to rows.size() (reusing capacity), and streams the
   /// batch block by block over a per-thread Scratch — zero steady-state

@@ -15,6 +15,16 @@ void GatherBlock(const std::vector<std::vector<double>>& rows, size_t begin,
   }
 }
 
+void GatherBlockPtrs(const double* const* rows, size_t n, size_t width,
+                     size_t stride, double* panel) {
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = rows[i];
+    for (size_t s = 0; s < width; ++s) {
+      panel[s * stride + i] = row[s];
+    }
+  }
+}
+
 Result<std::vector<double>> RowsToPanel(
     const std::vector<std::vector<double>>& rows, size_t stride) {
   if (rows.empty()) {

@@ -22,6 +22,13 @@ namespace serve {
 void GatherBlock(const std::vector<std::vector<double>>& rows, size_t begin,
                  size_t n, size_t width, size_t stride, double* panel);
 
+/// Same transpose over an array of row pointers instead of owned row
+/// vectors — the scoring server stages requests as pointers into caller
+/// memory, so micro-batches are gathered without copying rows first.
+/// `rows[0..n)` must each point at `width` doubles.
+void GatherBlockPtrs(const double* const* rows, size_t n, size_t width,
+                     size_t stride, double* panel);
+
 /// Checked whole-batch transpose for tests and offline callers: returns
 /// a width x stride panel holding all of `rows`. Rejects an empty batch,
 /// zero-width rows, a ragged batch (any row width differing from the

@@ -1,11 +1,14 @@
 #include "src/serve/serve_bench.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "src/core/engine.h"
@@ -14,6 +17,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/serve/batch_scorer.h"
 #include "src/serve/scorer.h"
+#include "src/serve/server/scoring_server.h"
 
 namespace safe {
 namespace serve {
@@ -65,6 +69,39 @@ obs::JsonValue PathStatsToJson(const PathStats& stats) {
   return out;
 }
 
+/// Percentiles over completed-request latencies plus the run-wide
+/// completion rate (completed / wall-clock, not 1/mean-latency — the two
+/// differ whenever clients overlap).
+ServerLoadStats SummarizeLoad(std::vector<uint64_t>* samples_ns,
+                              uint64_t wall_ns, uint64_t rejected) {
+  ServerLoadStats stats;
+  stats.completed = samples_ns->size();
+  stats.rejected = rejected;
+  if (!samples_ns->empty()) {
+    std::sort(samples_ns->begin(), samples_ns->end());
+    const size_t n = samples_ns->size();
+    stats.p50_us = static_cast<double>((*samples_ns)[n / 2]) / 1e3;
+    stats.p99_us =
+        static_cast<double>((*samples_ns)[std::min(n - 1, (n * 99) / 100)]) /
+        1e3;
+  }
+  if (wall_ns > 0) {
+    stats.sustained_qps = static_cast<double>(stats.completed) /
+                          (static_cast<double>(wall_ns) / 1e9);
+  }
+  return stats;
+}
+
+obs::JsonValue LoadStatsToJson(const ServerLoadStats& stats) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("p50_us", obs::JsonValue(stats.p50_us));
+  out.Set("p99_us", obs::JsonValue(stats.p99_us));
+  out.Set("sustained_qps", obs::JsonValue(stats.sustained_qps));
+  out.Set("completed", obs::JsonValue(uint64_t{stats.completed}));
+  out.Set("rejected", obs::JsonValue(uint64_t{stats.rejected}));
+  return out;
+}
+
 }  // namespace
 
 obs::JsonValue ServeBenchReport::ToJson() const {
@@ -103,6 +140,23 @@ obs::JsonValue ServeBenchReport::ToJson() const {
                obs::JsonValue(fused_disarmed_rows_per_s));
   recorder.Set("overhead_pct", obs::JsonValue(recorder_overhead_pct));
   out.Set("recorder", std::move(recorder));
+  obs::JsonValue server_json = obs::JsonValue::Object();
+  obs::JsonValue server_config = obs::JsonValue::Object();
+  server_config.Set("shards", obs::JsonValue(uint64_t{server_shards}));
+  server_config.Set("clients", obs::JsonValue(uint64_t{server_clients}));
+  server_config.Set("max_batch_rows",
+                    obs::JsonValue(uint64_t{server_batch_rows}));
+  server_config.Set("max_wait_us",
+                    obs::JsonValue(uint64_t{server_batch_wait_us}));
+  server_json.Set("config", std::move(server_config));
+  server_json.Set("outputs_identical",
+                  obs::JsonValue(server_outputs_identical));
+  server_json.Set("closed_loop", LoadStatsToJson(server_closed));
+  obs::JsonValue open_json = LoadStatsToJson(server_open);
+  open_json.Set("target_qps", obs::JsonValue(server_open_target_qps));
+  server_json.Set("open_loop", std::move(open_json));
+  server_json.Set("mean_batch_fill", obs::JsonValue(server_mean_batch_fill));
+  out.Set("server", std::move(server_json));
   return out;
 }
 
@@ -111,10 +165,20 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
   if (opts.quick) {
     opts.train_rows = std::min<size_t>(opts.train_rows, 1000);
     opts.score_rows = std::min<size_t>(opts.score_rows, 8000);
+    opts.server.closed_requests_per_client =
+        std::min<size_t>(opts.server.closed_requests_per_client, 800);
+    opts.server.open_requests =
+        std::min<size_t>(opts.server.open_requests, 6000);
+    opts.server.open_target_qps =
+        std::min(opts.server.open_target_qps, 12000.0);
   }
   if (opts.train_rows == 0 || opts.score_rows == 0 || opts.repeats == 0 ||
       opts.features == 0 || opts.batch_size == 0) {
     return Status::InvalidArgument("serve bench: all sizes must be > 0");
+  }
+  if (opts.server.num_shards == 0 || opts.server.client_threads == 0 ||
+      opts.server.max_batch_rows == 0 || opts.server.queue_capacity == 0) {
+    return Status::InvalidArgument("serve bench: server sizes must be > 0");
   }
 
   // Fit a SAFE plan and a GBDT on a synthetic workload.
@@ -356,6 +420,178 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
           scored / (static_cast<double>(disarmed_min_ns) / 1e9);
     }
   }
+
+  // --- Scoring server under load (src/serve/server/) ---
+  {
+    server::ServerOptions server_options;
+    server_options.num_shards = opts.server.num_shards;
+    server_options.queue_capacity = opts.server.queue_capacity;
+    server_options.batcher.max_batch_rows = opts.server.max_batch_rows;
+    server_options.batcher.max_wait_us = opts.server.max_wait_us;
+    SAFE_ASSIGN_OR_RETURN(
+        std::unique_ptr<server::ScoringServer> scoring_server,
+        server::ScoringServer::Create(plan, booster, server_options));
+    report.server_shards = scoring_server->num_shards();
+    report.server_clients = opts.server.client_threads;
+    report.server_batch_rows = opts.server.max_batch_rows;
+    report.server_batch_wait_us = opts.server.max_wait_us;
+    report.server_open_target_qps = opts.server.open_target_qps;
+
+    // Server equivalence before any timing: mixed single-row and batch
+    // requests, every response bit-compared to the fused per-row path
+    // (which the earlier sweep already proved equal to the naive path).
+    {
+      std::vector<double> expected(rows.size());
+      for (size_t r = 0; r < rows.size(); ++r) {
+        expected[r] = scorer.ScoreRow(rows[r].data(), &scratch);
+      }
+      const size_t single_rows = std::min<size_t>(rows.size(), 512);
+      for (size_t r = 0; r < single_rows; ++r) {
+        SAFE_ASSIGN_OR_RETURN(const double proba,
+                              scoring_server->Score(r, rows[r]));
+        if (!SameOutput(expected[r], proba)) {
+          return Status::Internal(
+              "serve bench: server single-row response diverged from the "
+              "fused path at row " +
+              std::to_string(r));
+        }
+      }
+      size_t checked = 0;
+      for (size_t c = 0; c < chunks.size(); ++c) {
+        SAFE_RETURN_NOT_OK(
+            scoring_server->ScoreBatch(c, chunks[c], &batch_out));
+        for (size_t r = 0; r < chunks[c].size(); ++r, ++checked) {
+          if (!SameOutput(expected[checked], batch_out[r])) {
+            return Status::Internal(
+                "serve bench: server batch response diverged from the "
+                "fused path at row " +
+                std::to_string(checked));
+          }
+        }
+      }
+      report.server_outputs_identical = true;
+    }
+
+    const size_t clients = opts.server.client_threads;
+    std::atomic<bool> failed{false};
+
+    // Closed loop: each client keeps exactly one request outstanding, so
+    // completions track the service rate and queues never saturate.
+    {
+      const size_t per_client = opts.server.closed_requests_per_client;
+      std::vector<std::vector<uint64_t>> samples(clients);
+      std::atomic<uint64_t> rejected{0};
+      const uint64_t wall_t0 = NowNs();
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          std::vector<uint64_t>& mine = samples[c];
+          mine.reserve(per_client);
+          for (size_t i = 0; i < per_client; ++i) {
+            const size_t r = (c * per_client + i) % rows.size();
+            const uint64_t t0 = NowNs();
+            const Result<double> proba =
+                scoring_server->Score(c * per_client + i, rows[r]);
+            if (!proba.ok()) {
+              if (proba.status().code() == StatusCode::kUnavailable) {
+                rejected.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            mine.push_back(NowNs() - t0);
+          }
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      const uint64_t wall_ns = NowNs() - wall_t0;
+      if (failed.load(std::memory_order_relaxed)) {
+        return Status::Internal("serve bench: closed-loop request failed");
+      }
+      std::vector<uint64_t> merged;
+      for (const std::vector<uint64_t>& part : samples) {
+        merged.insert(merged.end(), part.begin(), part.end());
+      }
+      report.server_closed =
+          SummarizeLoad(&merged, wall_ns,
+                        rejected.load(std::memory_order_relaxed));
+    }
+
+    // Open loop: arrivals are scheduled on a fixed grid at the target
+    // rate regardless of completions, and latency is measured from the
+    // *scheduled* arrival — a server falling behind pays its backlog in
+    // the tail instead of quietly slowing the generator down.
+    {
+      const size_t total = opts.server.open_requests;
+      const double target_qps = std::max(1.0, opts.server.open_target_qps);
+      const double ns_per_req = 1e9 / target_qps;
+      std::vector<std::vector<uint64_t>> samples(clients);
+      std::vector<uint64_t> last_done(clients, 0);
+      std::atomic<uint64_t> rejected{0};
+      // Start 1 ms out so no client begins behind its first arrival.
+      const uint64_t start_ns = NowNs() + 1000000;
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          for (size_t i = c; i < total; i += clients) {
+            const uint64_t arrival =
+                start_ns +
+                static_cast<uint64_t>(static_cast<double>(i) * ns_per_req);
+            for (;;) {
+              const uint64_t now = NowNs();
+              if (now >= arrival) break;
+              const uint64_t remaining = arrival - now;
+              if (remaining > 200000) {
+                // Sleep to within ~100 us of the arrival, then spin the
+                // rest (sleep_for wakeups are too coarse for the grid).
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(remaining - 100000));
+              } else {
+                std::this_thread::yield();
+              }
+            }
+            const Result<double> proba =
+                scoring_server->Score(i, rows[i % rows.size()]);
+            const uint64_t done = NowNs();
+            if (!proba.ok()) {
+              if (proba.status().code() == StatusCode::kUnavailable) {
+                rejected.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            samples[c].push_back(done - arrival);
+            last_done[c] = done;
+          }
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      if (failed.load(std::memory_order_relaxed)) {
+        return Status::Internal("serve bench: open-loop request failed");
+      }
+      uint64_t end_ns = start_ns;
+      for (const uint64_t done : last_done) end_ns = std::max(end_ns, done);
+      std::vector<uint64_t> merged;
+      for (const std::vector<uint64_t>& part : samples) {
+        merged.insert(merged.end(), part.begin(), part.end());
+      }
+      report.server_open =
+          SummarizeLoad(&merged, end_ns - start_ns,
+                        rejected.load(std::memory_order_relaxed));
+    }
+
+    scoring_server->Stop();
+    const server::ServerStats server_stats = scoring_server->stats();
+    if (server_stats.batches > 0) {
+      report.server_mean_batch_fill =
+          static_cast<double>(server_stats.completed_rows) /
+          static_cast<double>(server_stats.batches);
+    }
+  }
   return report;
 }
 
@@ -397,6 +633,14 @@ Result<ServingGate> ReadServingGate(const std::string& baseline_path) {
                                      "': min_batch_speedup must be a number");
     }
     gate.min_batch_speedup = batch->number_value();
+  }
+  const obs::JsonValue* qps = doc.Find("min_sustained_qps");
+  if (qps != nullptr) {
+    if (qps->type() != obs::JsonValue::Type::kNumber) {
+      return Status::InvalidArgument("gate baseline '" + baseline_path +
+                                     "': min_sustained_qps must be a number");
+    }
+    gate.min_sustained_qps = qps->number_value();
   }
   return gate;
 }

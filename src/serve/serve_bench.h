@@ -10,6 +10,38 @@
 namespace safe {
 namespace serve {
 
+/// \brief Load-generator knobs for the scoring-server section of the
+/// serving benchmark (src/serve/server/, DESIGN.md "Scoring server").
+struct ServerLoadOptions {
+  size_t num_shards = 2;
+  /// Per-shard queue bound in requests (admission control).
+  size_t queue_capacity = 1024;
+  /// Micro-batcher B (rows) and T (microseconds).
+  size_t max_batch_rows = 64;
+  uint64_t max_wait_us = 100;
+  /// Concurrent client threads in both loop modes.
+  size_t client_threads = 4;
+  /// Closed loop: requests each client issues back-to-back (one
+  /// outstanding request per client — throughput tracks service rate).
+  size_t closed_requests_per_client = 2500;
+  /// Open loop: total arrivals scheduled at `open_target_qps`,
+  /// independent of completions — the backlog-honest tail-latency mode.
+  size_t open_requests = 20000;
+  double open_target_qps = 20000.0;
+};
+
+/// \brief One load-generator run: latency distribution over completed
+/// requests plus the sustained completion rate.
+struct ServerLoadStats {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  /// Completed requests per wall-clock second over the whole run (the
+  /// CI gate's subject in open-loop mode).
+  double sustained_qps = 0.0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+};
+
 /// \brief Configuration of the serving benchmark (shared by
 /// bench/bench_serving.cc and `safe_cli serve-bench`).
 struct ServeBenchOptions {
@@ -28,6 +60,8 @@ struct ServeBenchOptions {
   uint64_t seed = 42;
   /// Shrinks every knob for CI smoke runs (a few seconds end to end).
   bool quick = false;
+  /// Scoring-server load generation (closed + open loop).
+  ServerLoadOptions server;
 };
 
 /// \brief Per-path latency/throughput summary.
@@ -88,6 +122,25 @@ struct ServeBenchReport {
   /// (slightly negative values are timing noise).
   double recorder_overhead_pct = 0.0;
 
+  /// --- Scoring server under load (src/serve/server/) ---
+  /// Effective server/load-gen configuration (after --quick clamping).
+  size_t server_shards = 0;
+  size_t server_clients = 0;
+  size_t server_batch_rows = 0;
+  uint64_t server_batch_wait_us = 0;
+  /// Every server response (mixed single-row and batch requests) was
+  /// bit-identical to the fused per-row path. The run aborts when not.
+  bool server_outputs_identical = false;
+  /// Closed loop: client_threads clients, one outstanding request each.
+  ServerLoadStats server_closed;
+  /// Open loop: arrivals scheduled at server_open_target_qps; latency is
+  /// measured from the *scheduled* arrival, so queueing delay under
+  /// overload is included (the honest tail).
+  ServerLoadStats server_open;
+  double server_open_target_qps = 0.0;
+  /// Mean rows per micro-batch cut across both loops (server stats).
+  double server_mean_batch_fill = 0.0;
+
   /// Serializes to the BENCH_serving.json schema.
   obs::JsonValue ToJson() const;
 };
@@ -111,11 +164,14 @@ struct ServingGate {
   /// <= 0 disables that check. Only enforced when the binary was built
   /// with SAFE_TELEMETRY=ON (report.recorder_enabled).
   double max_recorder_overhead_pct = 0.0;
+  /// Floor on the open-loop sustained completion rate
+  /// (report.server_open.sustained_qps); <= 0 disables that check.
+  double min_sustained_qps = 0.0;
 };
 
 /// Reads the committed gate file: "min_speedup" (required), plus
-/// "min_batch_speedup" and "max_recorder_overhead_pct" (both optional,
-/// default 0 = disabled).
+/// "min_batch_speedup", "max_recorder_overhead_pct" and
+/// "min_sustained_qps" (all optional, default 0 = disabled).
 [[nodiscard]] Result<ServingGate> ReadServingGate(
     const std::string& baseline_path);
 

@@ -1,0 +1,41 @@
+#include "src/serve/server/micro_batcher.h"
+
+namespace safe {
+namespace serve {
+namespace server {
+
+MicroBatcher::Decision MicroBatcher::Decide(size_t pending_rows,
+                                            uint64_t oldest_ns,
+                                            uint64_t now_ns,
+                                            bool closing) const {
+  Decision decision;
+  if (pending_rows == 0) {
+    // Idle: wait for the doorbell. An elapsed timeout with nothing
+    // staged must not cut (there is nothing to score) and must not set a
+    // deadline (there is nothing whose wait to bound).
+    decision.action = Action::kWait;
+    decision.has_deadline = false;
+    return decision;
+  }
+  if (closing) {
+    decision.action = Action::kCut;
+    return decision;
+  }
+  if (pending_rows >= options_.max_batch_rows) {
+    decision.action = Action::kCut;
+    return decision;
+  }
+  const uint64_t deadline_ns = oldest_ns + options_.max_wait_us * 1000;
+  if (now_ns >= deadline_ns) {
+    decision.action = Action::kCut;
+    return decision;
+  }
+  decision.action = Action::kWait;
+  decision.deadline_ns = deadline_ns;
+  decision.has_deadline = true;
+  return decision;
+}
+
+}  // namespace server
+}  // namespace serve
+}  // namespace safe

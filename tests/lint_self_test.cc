@@ -120,6 +120,25 @@ TEST(UnorderedRule, ServeIsADeterministicDirectory) {
                   .empty());
 }
 
+TEST(UnorderedRule, ServerSubtreeInheritsTheServeScan) {
+  // The deterministic-directory scope keys on the first path component
+  // under src/, so nested trees like src/serve/server/ (the scoring
+  // server: shard routing and batch cut points must never reach the
+  // outputs) are scanned without listing them separately.
+  const DeclIndex index;
+  const auto findings = AnalyzeSource(
+      "src/serve/server/scoring_server.cc",
+      "std::unordered_map<uint64_t, size_t> shard_of;\n",
+      index);
+  ASSERT_EQ(Rules(findings), std::vector<std::string>({"SL002"}));
+  EXPECT_EQ(findings[0].line, 1u);
+  // SL001 applies there too: the server must take time from the injected
+  // clock path, never raw wall-clock calls.
+  const auto entropy = AnalyzeSource("src/serve/server/micro_batcher.cc",
+                                     "long t = time(nullptr);\n", index);
+  ASSERT_EQ(Rules(entropy), std::vector<std::string>({"SL001"}));
+}
+
 TEST(UnorderedRule, CleanWhenAnnotatedOrOutOfScope) {
   const DeclIndex index;
   EXPECT_TRUE(AnalyzeSource("src/stats/iv.cc",

@@ -1,0 +1,151 @@
+// Deterministic unit suite for the micro-batcher's cut policy. The
+// batcher is a pure decision function (no clocks, threads, or queues),
+// so every test drives it with a fake clock and scripted arrival
+// sequences and asserts the exact Decision — no sleeps, no tolerance
+// windows, bit-for-bit repeatable. The tsan preset re-runs the suite
+// unchanged (it is single-threaded; the label documents that the server
+// test layer depends on these exact semantics).
+
+#include <gtest/gtest.h>
+
+#include "src/serve/server/micro_batcher.h"
+
+namespace safe {
+namespace serve {
+namespace server {
+namespace {
+
+constexpr uint64_t kUs = 1000;  // ns per microsecond
+
+MicroBatcher MakeBatcher(size_t max_rows, uint64_t max_wait_us) {
+  BatcherOptions options;
+  options.max_batch_rows = max_rows;
+  options.max_wait_us = max_wait_us;
+  return MicroBatcher(options);
+}
+
+MicroBatcher::Decision Cut() {
+  MicroBatcher::Decision d;
+  d.action = MicroBatcher::Action::kCut;
+  return d;
+}
+
+MicroBatcher::Decision WaitForever() {
+  MicroBatcher::Decision d;
+  d.action = MicroBatcher::Action::kWait;
+  d.has_deadline = false;
+  return d;
+}
+
+MicroBatcher::Decision WaitUntil(uint64_t deadline_ns) {
+  MicroBatcher::Decision d;
+  d.action = MicroBatcher::Action::kWait;
+  d.deadline_ns = deadline_ns;
+  d.has_deadline = true;
+  return d;
+}
+
+TEST(MicroBatcherTest, EmptyNeverCuts) {
+  const MicroBatcher batcher = MakeBatcher(4, 100);
+  // An elapsed timeout with nothing staged must not cut — and must not
+  // produce a deadline either (there is nothing whose wait to bound).
+  EXPECT_EQ(batcher.Decide(0, 0, 0, false), WaitForever());
+  EXPECT_EQ(batcher.Decide(0, 0, 500 * kUs, false), WaitForever());
+  // The empty rule outranks closing: an idle shard that is shutting
+  // down has nothing to flush.
+  EXPECT_EQ(batcher.Decide(0, 0, 500 * kUs, true), WaitForever());
+}
+
+TEST(MicroBatcherTest, RowTriggerCutsExactlyAtB) {
+  const MicroBatcher batcher = MakeBatcher(4, 100);
+  const uint64_t oldest = 10 * kUs;
+  const uint64_t now = 20 * kUs;  // well before the time trigger
+  EXPECT_EQ(batcher.Decide(3, oldest, now, false),
+            WaitUntil(oldest + 100 * kUs));
+  EXPECT_EQ(batcher.Decide(4, oldest, now, false), Cut());
+  // Overshoot (a multi-row request straddling B) still cuts.
+  EXPECT_EQ(batcher.Decide(9, oldest, now, false), Cut());
+}
+
+TEST(MicroBatcherTest, TimeTriggerCutsExactlyAtDeadline) {
+  const MicroBatcher batcher = MakeBatcher(64, 100);
+  const uint64_t oldest = 7 * kUs;
+  const uint64_t deadline = oldest + 100 * kUs;
+  EXPECT_EQ(batcher.Decide(1, oldest, deadline - 1, false),
+            WaitUntil(deadline));
+  EXPECT_EQ(batcher.Decide(1, oldest, deadline, false), Cut());
+  EXPECT_EQ(batcher.Decide(1, oldest, deadline + 1, false), Cut());
+}
+
+TEST(MicroBatcherTest, DeadlineAnchorsToOldestRowNotToNow) {
+  const MicroBatcher batcher = MakeBatcher(64, 100);
+  const uint64_t oldest = 3 * kUs;
+  // However often the worker re-evaluates, the deadline never slides:
+  // it is always oldest + T, independent of "now".
+  for (const uint64_t now : {oldest, oldest + 10 * kUs, oldest + 99 * kUs}) {
+    EXPECT_EQ(batcher.Decide(5, oldest, now, false),
+              WaitUntil(oldest + 100 * kUs));
+  }
+}
+
+TEST(MicroBatcherTest, FlushOnCloseCutsAnyPendingRows) {
+  const MicroBatcher batcher = MakeBatcher(64, 100);
+  const uint64_t oldest = 50 * kUs;
+  // Far below B and far before the deadline: closing still flushes.
+  EXPECT_EQ(batcher.Decide(1, oldest, oldest + 1, true), Cut());
+  EXPECT_EQ(batcher.Decide(63, oldest, oldest + 1, true), Cut());
+}
+
+TEST(MicroBatcherTest, ImmediateModeCutsEveryRow) {
+  // B = 1 disables coalescing: a single pending row always cuts, so the
+  // server degenerates to per-request scoring with no added latency.
+  const MicroBatcher batcher = MakeBatcher(1, 100);
+  EXPECT_EQ(batcher.Decide(1, 0, 0, false), Cut());
+  EXPECT_EQ(batcher.Decide(0, 0, 0, false), WaitForever());
+}
+
+TEST(MicroBatcherTest, ZeroWaitCutsAsSoonAsAnythingIsPending) {
+  // T = 0: the time trigger fires the moment now >= oldest.
+  const MicroBatcher batcher = MakeBatcher(64, 0);
+  EXPECT_EQ(batcher.Decide(1, 5 * kUs, 5 * kUs, false), Cut());
+  EXPECT_EQ(batcher.Decide(0, 0, 5 * kUs, false), WaitForever());
+}
+
+TEST(MicroBatcherTest, ScriptedArrivalSequence) {
+  // One full life of a shard, scripted against a fake clock: arrivals
+  // at t=0, 30, 30, 50us with B=4, T=100us, then a lone straggler that
+  // only the time trigger can release.
+  const MicroBatcher batcher = MakeBatcher(4, 100);
+
+  // t=0: first row arrives; wait until its deadline, 100us out.
+  EXPECT_EQ(batcher.Decide(1, 0, 0, false), WaitUntil(100 * kUs));
+  // t=30us: two co-riders arrived; deadline still anchored at t=0's row.
+  EXPECT_EQ(batcher.Decide(3, 0, 30 * kUs, false), WaitUntil(100 * kUs));
+  // t=50us: fourth row reaches B -> cut, 50us before the deadline.
+  EXPECT_EQ(batcher.Decide(4, 0, 50 * kUs, false), Cut());
+
+  // t=70us: a straggler arrives into the now-empty stage; its own
+  // deadline is 170us. Nothing else arrives, so the worker wakes at the
+  // deadline and the time trigger releases a 1-row batch.
+  EXPECT_EQ(batcher.Decide(1, 70 * kUs, 70 * kUs, false),
+            WaitUntil(170 * kUs));
+  EXPECT_EQ(batcher.Decide(1, 70 * kUs, 170 * kUs, false), Cut());
+
+  // Idle again: wait with no deadline.
+  EXPECT_EQ(batcher.Decide(0, 0, 170 * kUs, false), WaitForever());
+}
+
+TEST(MicroBatcherTest, DecisionEqualityIgnoresDeadlineWhenAbsent) {
+  MicroBatcher::Decision a = WaitForever();
+  MicroBatcher::Decision b = WaitForever();
+  b.deadline_ns = 12345;  // meaningless without has_deadline
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == WaitUntil(12345));
+  EXPECT_FALSE(WaitUntil(1) == WaitUntil(2));
+  EXPECT_FALSE(Cut() == WaitForever());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace serve
+}  // namespace safe

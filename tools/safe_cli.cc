@@ -16,9 +16,15 @@
 //     safe_cli inspect --plan=plan.txt
 //   demo       end-to-end run on a synthetic workload (no files needed)
 //     safe_cli demo [--rows=2000] [--features=10] [--seed=42]
-//   serve-bench  compiled+fused serving path vs the naive two-step path
+//   serve-bench  compiled+fused serving path vs the naive two-step path,
+//              plus the sharded scoring server under closed- and
+//              open-loop load (src/serve/server/)
 //     safe_cli serve-bench [--quick] [--train_rows=2000] [--features=24]
 //              [--rows=20000] [--repeats=3] [--batch=256] [--seed=42]
+//              [--server-shards=2] [--clients=4] [--server-queue=1024]
+//              [--batch-rows=64] [--batch-wait-us=100]
+//              [--closed-requests=2500] [--open-requests=20000]
+//              [--open-qps=20000]
 //              [--out=BENCH_serving.json] [--gate=bench/baselines/serving.json]
 //   trace      demo workload with the flight recorder armed; writes a
 //              Chrome trace-event JSON for chrome://tracing / Perfetto
@@ -229,6 +235,23 @@ int RunServeBench(const bench::Flags& flags) {
       flags.GetInt("batch", static_cast<int64_t>(options.batch_size)));
   options.seed = static_cast<uint64_t>(
       flags.GetInt("seed", static_cast<int64_t>(options.seed)));
+  serve::ServerLoadOptions& load = options.server;
+  load.num_shards = static_cast<size_t>(flags.GetInt(
+      "server-shards", static_cast<int64_t>(load.num_shards)));
+  load.client_threads = static_cast<size_t>(
+      flags.GetInt("clients", static_cast<int64_t>(load.client_threads)));
+  load.queue_capacity = static_cast<size_t>(flags.GetInt(
+      "server-queue", static_cast<int64_t>(load.queue_capacity)));
+  load.max_batch_rows = static_cast<size_t>(flags.GetInt(
+      "batch-rows", static_cast<int64_t>(load.max_batch_rows)));
+  load.max_wait_us = static_cast<uint64_t>(flags.GetInt(
+      "batch-wait-us", static_cast<int64_t>(load.max_wait_us)));
+  load.closed_requests_per_client = static_cast<size_t>(flags.GetInt(
+      "closed-requests",
+      static_cast<int64_t>(load.closed_requests_per_client)));
+  load.open_requests = static_cast<size_t>(flags.GetInt(
+      "open-requests", static_cast<int64_t>(load.open_requests)));
+  load.open_target_qps = flags.GetDouble("open-qps", load.open_target_qps);
 
   Stopwatch watch;
   auto report = serve::RunServeBench(options);
@@ -249,6 +272,17 @@ int RunServeBench(const bench::Flags& flags) {
             << "x, batch " << FormatDouble(report->batch_speedup, 2)
             << "x, bit-identical "
             << (report->outputs_identical ? "yes" : "NO") << "\n";
+  std::cout << "  server (" << report->server_shards << " shards, "
+            << report->server_clients << " clients): closed p99 "
+            << FormatDouble(report->server_closed.p99_us, 2) << "us at "
+            << FormatDouble(report->server_closed.sustained_qps, 0)
+            << " qps; open p99 "
+            << FormatDouble(report->server_open.p99_us, 2) << "us at "
+            << FormatDouble(report->server_open.sustained_qps, 0)
+            << " qps (target "
+            << FormatDouble(report->server_open_target_qps, 0)
+            << "), bit-identical "
+            << (report->server_outputs_identical ? "yes" : "NO") << "\n";
 
   const std::string out_path = flags.GetString("out", "");
   if (!out_path.empty()) {
@@ -291,6 +325,19 @@ int RunServeBench(const bench::Flags& flags) {
                   FormatDouble(report->recorder_overhead_pct, 2) + "% > " +
                   FormatDouble(gate->max_recorder_overhead_pct, 2) + "% (" +
                   gate_path + ")");
+    }
+    if (gate->min_sustained_qps > 0.0 &&
+        report->server_open.sustained_qps < gate->min_sustained_qps) {
+      return Fail("serving gate failed: sustained " +
+                  FormatDouble(report->server_open.sustained_qps, 0) +
+                  " qps < " + FormatDouble(gate->min_sustained_qps, 0) +
+                  " qps (" + gate_path + ")");
+    }
+    if (gate->min_sustained_qps > 0.0) {
+      std::cout << "gate ok: sustained "
+                << FormatDouble(report->server_open.sustained_qps, 0)
+                << " qps >= " << FormatDouble(gate->min_sustained_qps, 0)
+                << " qps\n";
     }
   }
   return 0;

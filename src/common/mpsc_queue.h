@@ -103,8 +103,19 @@ class MpscQueue {
   }
 
   /// Rejects all future pushes; values already in the queue stay poppable
-  /// (the shutdown drain). Producers racing with Close may still land a
-  /// final push — callers that need a hard cut must drain after Close.
+  /// (the shutdown drain).
+  ///
+  /// REQUIRED QUIESCE PROTOCOL: `closed_` is checked only at the top of
+  /// TryPush's claim loop, so a push racing Close() can still claim a
+  /// slot and land AFTER Close returns (a won CAS cannot be un-claimed).
+  /// A caller that treats Close() as "the consumer may now drain to empty
+  /// and stop" MUST first quiesce producers externally — e.g. the scoring
+  /// server's in_flight_ gate: producers register before their stopping
+  /// check, Stop() sets stopping and waits for the count to hit zero, and
+  /// only then calls Close(). Without such a handshake, late pushes are
+  /// silently stranded behind a consumer that believed the queue was
+  /// drained. Alternatively, keep popping after Close until the producers
+  /// are known (by other means) to have exited.
   void Close() { closed_.store(true, std::memory_order_release); }
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }

@@ -85,8 +85,12 @@ std::vector<ThreadTimeline> FlightRecorder::Snapshot() const {
     timeline.label = buffer->label_;
     timeline.dropped = buffer->dropped();
     const uint64_t n = buffer->size();  // acquire: publishes events_[0, n)
-    timeline.events.assign(buffer->events_.begin(),
-                           buffer->events_.begin() + static_cast<long>(n));
+    // n >= 1 also publishes the lazily allocated ring itself; with n == 0
+    // the vector may be concurrently resizing in its owner — don't touch.
+    if (n > 0) {
+      timeline.events.assign(buffer->events_.begin(),
+                             buffer->events_.begin() + static_cast<long>(n));
+    }
     out.push_back(std::move(timeline));
   }
   return out;

@@ -69,7 +69,7 @@ namespace internal {
 /// pair on `size_`.
 class EventBuffer {
  public:
-  explicit EventBuffer(size_t capacity) : events_(capacity) {}
+  explicit EventBuffer(size_t capacity) : capacity_(capacity) {}
 
   EventBuffer(const EventBuffer&) = delete;
   EventBuffer& operator=(const EventBuffer&) = delete;
@@ -78,10 +78,19 @@ class EventBuffer {
   /// drop counter) when the buffer is full.
   bool Record(const TraceEvent& event) {
     const uint64_t n = size_.load(std::memory_order_relaxed);
-    if (n >= events_.size()) {
+    if (n >= capacity_) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
+    // The ring is allocated on first record, not at registration: a
+    // thread that only ever labels itself (e.g. a scoring-server shard
+    // worker in a process that never arms the recorder) costs a registry
+    // entry, not `capacity * 32` bytes — server lifecycle churn would
+    // otherwise retain one full ring per worker thread forever. The
+    // release store of size_ below publishes the allocation along with
+    // the event: readers that observe size_ >= 1 (acquire) may touch
+    // events_; readers that observe 0 must not.
+    if (events_.empty()) events_.resize(capacity_);
     events_[n] = event;
     size_.store(n + 1, std::memory_order_release);
     return true;
@@ -91,12 +100,14 @@ class EventBuffer {
   uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
-  size_t capacity() const { return events_.size(); }
+  size_t capacity() const { return capacity_; }
 
  private:
   friend class ::safe::obs::FlightRecorder;
 
-  std::vector<TraceEvent> events_;  // preallocated; never resized
+  const size_t capacity_;
+  std::vector<TraceEvent> events_;  // lazily sized to capacity_ on first
+                                    // Record; never resized afterwards
   std::atomic<uint64_t> size_{0};
   std::atomic<uint64_t> dropped_{0};
   uint32_t thread_index_ = 0;   // assigned at registration

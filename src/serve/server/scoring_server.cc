@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "src/obs/flight_recorder.h"
@@ -24,8 +25,12 @@ uint64_t NowSteadyNs() {
 }
 
 std::chrono::steady_clock::time_point SteadyTimePoint(uint64_t ns) {
+  // Round UP to the clock's granularity: truncating would produce a
+  // time_point just before the batcher deadline, making wait_until wake
+  // early and the loop re-wait on the same truncated point (a brief
+  // busy-spin on platforms where steady_clock is coarser than 1ns).
   return std::chrono::steady_clock::time_point(
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::ceil<std::chrono::steady_clock::duration>(
           std::chrono::nanoseconds(ns)));
 }
 
@@ -107,19 +112,31 @@ void ScoringServer::Stop() {
                                              std::memory_order_seq_cst)) {
     // Another thread is stopping (or has stopped) the server; wait for
     // the workers to be gone before returning so "after Stop()" always
-    // means fully drained.
+    // means fully drained. Sleep rather than spin: the drain can take as
+    // long as the backlog, and this path is not latency-critical.
     while (!stop_finished_.load(std::memory_order_acquire)) {
-      std::this_thread::yield();
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
     return;
   }
   stopping_.store(true, std::memory_order_seq_cst);
   // Let in-flight submissions finish their push/reject before closing,
   // so no request can be claimed into a queue the workers have already
-  // drained past (that request would never complete).
-  while (in_flight_.load(std::memory_order_acquire) != 0) {
-    std::this_thread::yield();
+  // drained past (that request would never complete). Submissions spend
+  // only a few instructions inside the gate, so waits here are short;
+  // yield first for the common case, then back off to sleeps.
+  for (int spins = 0; in_flight_.load(std::memory_order_acquire) != 0;
+       ++spins) {
+    if (spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
   }
+  // Close() only after in_flight_ hit zero: MpscQueue::TryPush checks
+  // closed_ only at the top of its claim loop, so a push racing Close
+  // could otherwise land after Close returns — the in-flight gate is the
+  // external quiesce Close() requires (see MpscQueue::Close docs).
   for (auto& shard : shards_) shard->queue.Close();
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
@@ -346,9 +363,19 @@ void ScoringServer::ShardLoop(Shard* shard) {
       continue;
     }
 
-    // kWait. Shutdown exit: queues are closed and fully drained, and
-    // nothing is staged (a cut above handled any flush-on-close work).
-    if (closing && staged.empty() && shard->queue.SizeApprox() == 0) break;
+    // kWait. Shutdown exit: keyed off queue.closed(), NOT stopping_.
+    // Stop() sets stopping_ BEFORE waiting for in_flight_ submissions to
+    // drain, so a racing Submit that passed its stopping check may still
+    // push after stopping_ becomes visible here; exiting on stopping_
+    // could strand that request (its caller would block forever). The
+    // queue closes only after in_flight_ reaches zero, so once closed()
+    // is true and the queue is drained, no further push can succeed and
+    // it is safe to exit. stopping_ (`closing`) is used only for the
+    // batcher's flush-on-close cut decision above.
+    if (shard->queue.closed() && staged.empty() &&
+        shard->queue.SizeApprox() == 0) {
+      break;
+    }
 
     std::unique_lock<std::mutex> lock(shard->mutex);
     shard->waiting.store(true, std::memory_order_seq_cst);

@@ -367,6 +367,59 @@ TEST(ServeServerTest, StopDrainsAcceptedAndRejectsNew) {
   EXPECT_TRUE(SameBits(out[0], kSentinel));
 }
 
+TEST(ServeServerTest, StopRacingSubmitNeverStrandsARequest) {
+  // Targets the narrow shutdown window: a Submit passes its stopping_
+  // check, Stop() flips stopping_, and an idle worker with an empty
+  // queue evaluates its exit condition — all concurrently. If the
+  // worker keyed its exit off stopping_ instead of queue.closed(), it
+  // could exit before the Submit's push lands, stranding an accepted
+  // request whose caller then blocks forever (this test would hang).
+  // Churn the whole lifecycle many times with sparse traffic so workers
+  // sit at the exit check with empty queues when Stop() races in.
+  Fixture f = MakeFixture(37);
+  const size_t n = f.rows.size();
+#ifdef __SANITIZE_THREAD__
+  const size_t lifecycles = 40;
+#else
+  const size_t lifecycles = 150;
+#endif
+  for (size_t iter = 0; iter < lifecycles; ++iter) {
+    // B=1/T=0: the worker cuts every request immediately, so between
+    // requests it is exactly at the exit-condition check.
+    std::unique_ptr<ScoringServer> server = MakeServer(f, 2, 1, 0);
+    const size_t clients = 3;
+    std::atomic<uint64_t> wrong_status{0};
+    std::atomic<uint64_t> wrong_bits{0};
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t i = 0; i < 8; ++i) {
+          const size_t r = (iter * 31 + c * 8 + i) % n;
+          auto score = server->Score(r, f.rows[r]);
+          if (score.ok()) {
+            if (!SameBits(f.oracle[r], *score)) {
+              wrong_bits.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else if (score.status().code() != StatusCode::kUnavailable) {
+            wrong_status.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    // No handshake: Stop() races the very first submissions, and on
+    // later iterations lands anywhere inside the 24-request burst.
+    server->Stop();
+    for (std::thread& thread : threads) thread.join();
+    ASSERT_EQ(wrong_status.load(), 0u) << "iteration " << iter;
+    ASSERT_EQ(wrong_bits.load(), 0u) << "iteration " << iter;
+    const ServerStats stats = server->stats();
+    ASSERT_EQ(stats.completed_requests, stats.accepted_requests)
+        << "iteration " << iter;
+    ASSERT_EQ(stats.completed_rows, stats.accepted_rows)
+        << "iteration " << iter;
+  }
+}
+
 TEST(ServeServerTest, RoundRobinOverloadsAndEdgeCases) {
   Fixture f = MakeFixture(36);
   std::unique_ptr<ScoringServer> server = MakeServer(f, 2, 8, 50);

@@ -247,6 +247,53 @@ TEST(FlightRecorderTest, OverflowDropsAreExactAndClearResets) {
   EXPECT_EQ(buffer->dropped(), 0u);
 }
 
+TEST(FlightRecorderTest, LabelOnlyThreadsRegisterWithoutAllocatingRings) {
+  // Event storage is allocated on first Record, not at registration: a
+  // thread that only labels itself (a scoring-server shard worker in a
+  // disarmed process) must cost a registry entry, not a full ring —
+  // otherwise server lifecycle churn retains capacity*32 bytes per
+  // worker thread forever. Snapshot still surfaces the label with an
+  // empty timeline, and recording later works normally.
+  FlightRecorder recorder(/*events_per_thread=*/4096);
+  std::thread labeler([&recorder] {
+    recorder.SetCurrentThreadLabel("label-only");
+  });
+  labeler.join();
+
+  std::vector<ThreadTimeline> timelines = recorder.Snapshot();
+  ASSERT_EQ(timelines.size(), 1u);
+  EXPECT_EQ(timelines[0].label, "label-only");
+  EXPECT_TRUE(timelines[0].events.empty());
+  EXPECT_EQ(timelines[0].dropped, 0u);
+
+  // First record from this thread publishes the lazily allocated ring
+  // together with the event; concurrent snapshots racing that first
+  // record must see either an empty timeline or the event, never torn
+  // state (this is the lazy-allocation handshake, run under tsan).
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&recorder, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const ThreadTimeline& timeline : recorder.Snapshot()) {
+        ASSERT_LE(timeline.events.size(), 2u);
+      }
+    }
+  });
+  std::thread recorder_thread([&recorder] {
+    recorder.SetCurrentThreadLabel("records");
+    recorder.RecordInstant("first");
+    recorder.RecordInstant("second");
+  });
+  recorder_thread.join();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  timelines = recorder.Snapshot();
+  ASSERT_EQ(timelines.size(), 2u);
+  EXPECT_TRUE(timelines[0].events.empty());
+  ASSERT_EQ(timelines[1].events.size(), 2u);
+  EXPECT_EQ(timelines[1].label, "records");
+}
+
 TEST(FlightRecorderTest, ZeroCapacityIsClampedToOne) {
   FlightRecorder recorder(/*events_per_thread=*/0);
   recorder.RecordInstant("a");

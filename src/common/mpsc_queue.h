@@ -46,6 +46,7 @@ class MpscQueue {
     while (cap < capacity) cap *= 2;
     cells_ = std::make_unique<Cell[]>(cap);
     for (size_t i = 0; i < cap; ++i) {
+      // lint: mo-ok(pre-publication init: no other thread sees the queue before the constructor returns)
       cells_[i].sequence.store(i, std::memory_order_relaxed);
     }
     capacity_ = cap;
@@ -63,18 +64,24 @@ class MpscQueue {
   /// The successful tail CAS is seq_cst (not relaxed) so a producer's
   /// publish and a consumer's sleep handshake can order against each
   /// other through SizeApprox — see ScoringServer's doorbell protocol.
-  bool TryPush(T& value) {
+  // lint: hot-path
+  [[nodiscard]] bool TryPush(T& value) {
+    // lint: mo-ok(optimistic read; the claim itself is the CAS below, which re-validates)
     uint64_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
+      // lint: mo-ok(acquire pairs with Close()'s release store of closed_)
       if (closed_.load(std::memory_order_acquire)) return false;
       Cell& cell = cells_[pos & mask_];
+      // lint: mo-ok(acquire pairs with the consumer's release recycle store in TryPop)
       const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
       const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
       if (dif == 0) {
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_seq_cst,
+                                        // lint: mo-ok(failure order: the reloaded pos is re-validated on the next lap)
                                         std::memory_order_relaxed)) {
           cell.value = std::move(value);
+          // lint: mo-ok(release publishes cell.value; pairs with TryPop's acquire sequence load)
           cell.sequence.store(pos + 1, std::memory_order_release);
           return true;
         }
@@ -82,6 +89,7 @@ class MpscQueue {
       } else if (dif < 0) {
         return false;  // full: the head lap has not recycled this cell yet
       } else {
+        // lint: mo-ok(optimistic reload; the CAS re-validates)
         pos = tail_.load(std::memory_order_relaxed);
       }
     }
@@ -89,15 +97,20 @@ class MpscQueue {
 
   /// Single-consumer pop. False when empty (or when the head value is
   /// claimed but not yet published by its producer).
-  bool TryPop(T* out) {
+  // lint: hot-path
+  [[nodiscard]] bool TryPop(T* out) {
+    // lint: mo-ok(single-consumer: head_ is only written by this thread)
     const uint64_t head = head_.load(std::memory_order_relaxed);
     Cell& cell = cells_[head & mask_];
+    // lint: mo-ok(acquire pairs with the producer's release publish store in TryPush)
     const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
     if (static_cast<int64_t>(seq) - static_cast<int64_t>(head + 1) < 0) {
       return false;
     }
     *out = std::move(cell.value);
+    // lint: mo-ok(release recycle: pairs with a producer's acquire sequence load a lap later)
     cell.sequence.store(head + capacity_, std::memory_order_release);
+    // lint: mo-ok(release pairs with SizeApprox's acquire head load)
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
@@ -116,8 +129,10 @@ class MpscQueue {
   /// silently stranded behind a consumer that believed the queue was
   /// drained. Alternatively, keep popping after Close until the producers
   /// are known (by other means) to have exited.
+  // lint: mo-ok(release pairs with TryPush's acquire closed_ load)
   void Close() { closed_.store(true, std::memory_order_release); }
 
+  // lint: mo-ok(acquire pairs with Close()'s release store)
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   /// Claimed-minus-consumed estimate; exact when quiescent. The seq_cst
@@ -125,6 +140,7 @@ class MpscQueue {
   /// sleep/wake handshake.
   size_t SizeApprox() const {
     const uint64_t tail = tail_.load(std::memory_order_seq_cst);
+    // lint: mo-ok(acquire pairs with TryPop's release head store)
     const uint64_t head = head_.load(std::memory_order_acquire);
     return tail >= head ? static_cast<size_t>(tail - head) : 0;
   }

@@ -1,15 +1,15 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace safe {
 
@@ -45,7 +45,7 @@ class ThreadPool {
 
   /// Enqueues a task; the future resolves when it has run. Called from a
   /// worker thread of this same pool, the task runs inline (see above).
-  std::future<void> Submit(std::function<void()> task);
+  std::future<void> Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// True when the calling thread is one of this pool's workers.
   bool InWorkerThread() const;
@@ -70,10 +70,10 @@ class ThreadPool {
   size_t num_threads_;
   uint32_t pool_id_ = 0;
   std::vector<std::thread> workers_;
-  std::queue<PendingTask> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<PendingTask> queue_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 /// \brief A ThreadPool* resolved from an `n_threads` knob, together with

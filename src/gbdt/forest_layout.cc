@@ -194,6 +194,7 @@ double PackedForest::TreeMargin(size_t t, const double* features,
   return tree[idx].value;
 }
 
+// lint: hot-path
 void PackedForest::AccumulateMargins(const double* features, size_t stride,
                                      size_t n, double* margins) const {
   // Bitvector trees run node-outer / lane-inner: one condition is

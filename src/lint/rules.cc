@@ -2,6 +2,8 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
 #include <sstream>
 #include <tuple>
 
@@ -62,6 +64,19 @@ size_t MatchParen(const std::string& s, size_t i) {
   return std::string::npos;
 }
 
+/// Offset one past the '}' matching the '{' at `i`, or npos.
+size_t MatchBrace(const std::string& s, size_t i) {
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '{') {
+      ++depth;
+    } else if (s[i] == '}') {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
 /// Offset of the '(' matching the ')' at `close`, or npos.
 size_t MatchParenBack(const std::string& s, size_t close) {
   int depth = 0;
@@ -116,6 +131,16 @@ std::string SrcSubdir(const std::string& path) {
   const size_t slash = path.find('/', prefix.size());
   if (slash == std::string::npos) return "";
   return path.substr(prefix.size(), slash - prefix.size());
+}
+
+/// Full directory path under src/ ("serve/server" for
+/// src/serve/server/x.cc), empty when the path is not under src/.
+std::string SrcDirPath(const std::string& path) {
+  const std::string prefix = "src/";
+  if (path.compare(0, prefix.size(), prefix) != 0) return "";
+  const size_t last_slash = path.find_last_of('/');
+  if (last_slash == std::string::npos || last_slash < prefix.size()) return "";
+  return path.substr(prefix.size(), last_slash - prefix.size());
 }
 
 struct RuleContext {
@@ -364,7 +389,219 @@ void RuleDiscardedStatus(RuleContext& ctx) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// SL006 — non-seq_cst memory order. Every relaxed/acquire/release/acq_rel/
+// consume use must name the store/load it pairs with, so each weakening is
+// an audited decision instead of a habit (the PR 8 review found a real
+// race next to one).
+void RuleMemoryOrder(RuleContext& ctx) {
+  const std::string& s = ctx.file.scrubbed();
+  ForEachToken(s, [&](const std::string& token, size_t begin) {
+    if (token != "memory_order_relaxed" && token != "memory_order_acquire" &&
+        token != "memory_order_release" && token != "memory_order_acq_rel" &&
+        token != "memory_order_consume") {
+      return;
+    }
+    ctx.Report("SL006", "mo", begin,
+               "non-seq_cst " + token +
+                   " — name the store/load it pairs with: // lint: "
+                   "mo-ok(<pairing>)");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SL007 — predicate-less condition-variable wait. A single-argument
+// wait(lock) call returns on spurious wakeups and races its notifier
+// unless the caller re-checks a predicate; the only accepted shapes are
+// the direct body of a while/for/do loop (predicate re-checked around
+// every wait) or an explicit `// lint: bare-wait-ok(<reason>)`.
+void RuleBareWait(RuleContext& ctx) {
+  const std::string& s = ctx.file.scrubbed();
+  ForEachToken(s, [&](const std::string& token, size_t begin) {
+    if (token != "wait" && token != "Wait") return;
+    // Member call only (`cv.wait(` / `cv->wait(`): free functions named
+    // wait and the zero-argument std::future::wait() are out of scope.
+    const size_t prev = PrevNonSpace(s, begin);
+    const bool member =
+        prev != std::string::npos &&
+        (s[prev] == '.' || (s[prev] == '>' && prev > 0 && s[prev - 1] == '-'));
+    if (!member) return;
+    const size_t open = SkipSpace(s, begin + token.size());
+    if (open >= s.size() || s[open] != '(') return;
+    const size_t after = MatchParen(s, open);
+    if (after == std::string::npos) return;
+    // Exactly one non-empty top-level argument: wait(lock). Zero args is
+    // a future, two is the predicate overload (which SL007 exists to
+    // make people stop needing — but it is correct as written).
+    int depth = 0;
+    bool has_arg = false;
+    bool multi_arg = false;
+    for (size_t k = open + 1; k + 1 < after; ++k) {
+      const char c = s[k];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (depth == 0 && c == ',') multi_arg = true;
+      if (!std::isspace(static_cast<unsigned char>(c))) has_arg = true;
+    }
+    if (!has_arg || multi_arg) return;
+
+    // Walk back over the callee chain (shard->cv.wait => `shard`), then
+    // accept when the call is the direct body of a while/for/do loop.
+    size_t chain_begin = begin;
+    while (true) {
+      const size_t p = PrevNonSpace(s, chain_begin);
+      if (p == std::string::npos) break;
+      size_t sep_begin;
+      if (s[p] == '.') {
+        sep_begin = p;
+      } else if (s[p] == '>' && p > 0 && s[p - 1] == '-') {
+        sep_begin = p - 1;
+      } else if (s[p] == ':' && p > 0 && s[p - 1] == ':') {
+        sep_begin = p - 1;
+      } else {
+        break;
+      }
+      const size_t q = PrevNonSpace(s, sep_begin);
+      if (q == std::string::npos || !IsIdentChar(s[q])) break;
+      chain_begin = IdentBegin(s, q);
+    }
+    size_t p = PrevNonSpace(s, chain_begin);
+    if (p != std::string::npos && s[p] == '{') {
+      const size_t q = PrevNonSpace(s, p);
+      if (q != std::string::npos) p = q;
+    }
+    if (p != std::string::npos) {
+      if (s[p] == ')') {
+        const size_t kw_open = MatchParenBack(s, p);
+        if (kw_open != std::string::npos) {
+          const size_t kw_end = PrevNonSpace(s, kw_open);
+          if (kw_end != std::string::npos && IsIdentChar(s[kw_end])) {
+            const size_t kw_begin = IdentBegin(s, kw_end);
+            const std::string kw = s.substr(kw_begin, kw_end + 1 - kw_begin);
+            if (kw == "while" || kw == "for") return;  // predicate loop
+          }
+        }
+      } else if (IsIdentChar(s[p])) {
+        const size_t kw_begin = IdentBegin(s, p);
+        if (s.substr(kw_begin, p + 1 - kw_begin) == "do") return;
+      }
+    }
+    ctx.Report("SL007", "bare-wait", begin,
+               "predicate-less condition-variable wait — loop on the "
+               "predicate around the wait (lost/spurious wakeup hazard) "
+               "or annotate // lint: bare-wait-ok(<reason>)");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SL008 (per-file half) — include layering. A quoted include may only
+// point at the same or a lower layer of the DAG; see LayerRank for the
+// ranks. Cross-file cycle detection lives in CheckIncludeCycles.
+void RuleIncludeLayering(RuleContext& ctx) {
+  const std::string src_dir = SrcDirPath(ctx.file.path());
+  const int src_rank = LayerRank(src_dir);
+  if (src_rank < 0) return;  // lint/, tools/, unranked dirs
+  for (const IncludeDirective& inc : ctx.file.includes()) {
+    if (inc.target.compare(0, 4, "src/") != 0) continue;
+    const int tgt_rank = LayerRank(SrcDirPath(inc.target));
+    if (tgt_rank < 0 || tgt_rank <= src_rank) continue;
+    ctx.Report("SL008", "layering", inc.offset,
+               "layer violation: src/" + src_dir + " (layer " +
+                   std::to_string(src_rank) + ") includes \"" + inc.target +
+                   "\" (layer " + std::to_string(tgt_rank) +
+                   ") — the DAG is common < obs < dataframe/stats < data "
+                   "< core/gbdt/models/baselines < serve < serve/server");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SL009 — hot-path hygiene. A function marked with a bare `hot-path`
+// marker comment (the per-row scoring kernels, the flight-recorder record
+// path, the MPSC queue ops) must not allocate, take a mutex, or perform
+// IO in its body; every exception carries `// lint: hot-path-ok(...)`.
+void RuleHotPath(RuleContext& ctx) {
+  const std::string& s = ctx.file.scrubbed();
+  for (const Marker& marker : ctx.file.markers()) {
+    if (marker.key != "hot-path") continue;
+    const size_t start = ctx.file.OffsetOfLine(marker.line);
+    if (start == std::string::npos) continue;
+    // Find the marked function's body: the first top-level '{' after the
+    // marker (parameter lists are skipped by paren depth); a ';' first
+    // means the marker sits on a declaration and there is nothing to scan.
+    size_t body = std::string::npos;
+    int paren_depth = 0;
+    for (size_t i = start; i < s.size(); ++i) {
+      if (s[i] == '(') ++paren_depth;
+      if (s[i] == ')') --paren_depth;
+      if (paren_depth != 0) continue;
+      if (s[i] == '{') {
+        body = i;
+        break;
+      }
+      if (s[i] == ';') break;
+    }
+    if (body == std::string::npos) continue;
+    size_t body_end = MatchBrace(s, body);
+    if (body_end == std::string::npos) body_end = s.size();
+    const std::string body_text = s.substr(body, body_end - body);
+    ForEachToken(body_text, [&](const std::string& t, size_t off) {
+      const char* what = nullptr;
+      if (t == "new" || t == "make_unique" || t == "make_shared" ||
+          t == "malloc" || t == "calloc" || t == "resize" || t == "reserve" ||
+          t == "push_back" || t == "emplace_back") {
+        what = "allocates";
+      } else if (t == "lock_guard" || t == "unique_lock" ||
+                 t == "scoped_lock" || t == "shared_lock" ||
+                 t == "MutexLock") {
+        what = "takes a mutex";
+      } else if (t == "lock") {
+        // `.lock(` / `->lock(` member call.
+        const size_t prev = PrevNonSpace(body_text, off);
+        const bool member =
+            prev != std::string::npos &&
+            (body_text[prev] == '.' ||
+             (body_text[prev] == '>' && prev > 0 &&
+              body_text[prev - 1] == '-'));
+        const size_t open = SkipSpace(body_text, off + t.size());
+        if (member && open < body_text.size() && body_text[open] == '(') {
+          what = "takes a mutex";
+        }
+      } else if (t == "cout" || t == "cerr" || t == "clog" || t == "printf" ||
+                 t == "fprintf" || t == "sprintf" || t == "snprintf" ||
+                 t == "puts" || t == "fputs" || t == "fopen" ||
+                 t == "fwrite" || t == "fread" || t == "ofstream" ||
+                 t == "ifstream" || t == "fstream" || t == "getline" ||
+                 t == "endl") {
+        what = "performs IO";
+      }
+      if (what == nullptr) return;
+      ctx.Report("SL009", "hot-path", body + off,
+                 std::string("hot-path function ") + what + " ('" + t +
+                     "') — move it off the per-row path or annotate "
+                     "// lint: hot-path-ok(<reason>)");
+    });
+  }
+}
+
 }  // namespace
+
+int LayerRank(const std::string& dir) {
+  if (dir == "common") return 0;
+  if (dir == "obs") return 1;
+  if (dir == "dataframe" || dir == "stats") return 2;
+  if (dir == "data") return 3;
+  if (dir == "core" || dir == "gbdt" || dir == "models" ||
+      dir == "baselines") {
+    return 4;
+  }
+  if (dir == "serve") return 5;
+  if (dir == "serve/server") return 6;
+  // A nested directory not listed explicitly ranks as its first
+  // component ("gbdt/kernels" would rank like "gbdt").
+  const size_t slash = dir.find('/');
+  if (slash != std::string::npos) return LayerRank(dir.substr(0, slash));
+  return -1;  // lint/, unknown: outside the layer DAG
+}
 
 std::string Finding::ToString() const {
   std::ostringstream out;
@@ -383,6 +620,10 @@ std::vector<Finding> AnalyzeSource(const std::string& repo_relative_path,
   RuleStableSort(ctx);
   RuleFpAtomic(ctx);
   RuleDiscardedStatus(ctx);
+  RuleMemoryOrder(ctx);
+  RuleBareWait(ctx);
+  RuleIncludeLayering(ctx);
+  RuleHotPath(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <
@@ -402,6 +643,175 @@ std::string ReadFileOrEmpty(const std::filesystem::path& path) {
 }
 
 }  // namespace
+
+FileSet CollectTreeFiles(const std::string& root,
+                         const std::vector<std::string>& subdirs) {
+  namespace fs = std::filesystem;
+  const fs::path root_path(root);
+  std::vector<fs::path> paths;
+  for (const std::string& subdir : subdirs) {
+    const fs::path dir = root_path / subdir;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".h" || ext == ".cc") paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  FileSet files;
+  files.reserve(paths.size());
+  for (const auto& path : paths) {
+    files.emplace_back(fs::relative(path, root_path).generic_string(),
+                       ReadFileOrEmpty(path));
+  }
+  return files;
+}
+
+namespace {
+
+/// Per-file include edges restricted to targets inside the file set,
+/// as indices into `files`. Includes resolve the way the build does:
+/// quoted paths are repo-root-relative.
+std::vector<std::vector<size_t>> IncludeEdges(
+    const FileSet& files, std::vector<SourceFile>* parsed) {
+  std::map<std::string, size_t> by_path;
+  for (size_t i = 0; i < files.size(); ++i) by_path[files[i].first] = i;
+  std::vector<std::vector<size_t>> edges(files.size());
+  parsed->reserve(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    parsed->push_back(SourceFile::Parse(files[i].first, files[i].second));
+    for (const IncludeDirective& inc : parsed->back().includes()) {
+      const auto it = by_path.find(inc.target);
+      if (it != by_path.end()) edges[i].push_back(it->second);
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckIncludeCycles(const FileSet& files) {
+  std::vector<SourceFile> parsed;
+  const std::vector<std::vector<size_t>> edges = IncludeEdges(files, &parsed);
+
+  // Iterative DFS, white/gray/black. A gray->gray edge is a back edge;
+  // the gray stack from the target onward is the cycle.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(files.size(), Color::kWhite);
+  std::vector<size_t> stack;  // current gray chain, in DFS order
+  std::vector<Finding> findings;
+
+  struct Frame {
+    size_t node;
+    size_t next_edge;
+  };
+  for (size_t start = 0; start < files.size(); ++start) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> frames{{start, 0}};
+    color[start] = Color::kGray;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next_edge < edges[frame.node].size()) {
+        const size_t target = edges[frame.node][frame.next_edge++];
+        if (color[target] == Color::kWhite) {
+          color[target] = Color::kGray;
+          stack.push_back(target);
+          frames.push_back({target, 0});
+        } else if (color[target] == Color::kGray) {
+          // Reconstruct the cycle: target ... frame.node -> target.
+          std::string path;
+          auto it = std::find(stack.begin(), stack.end(), target);
+          for (; it != stack.end(); ++it) {
+            path += files[*it].first;
+            path += " -> ";
+          }
+          path += files[target].first;
+          // Report at the offending #include in the current file.
+          size_t line = 1;
+          for (const IncludeDirective& inc :
+               parsed[frame.node].includes()) {
+            if (inc.target == files[target].first) {
+              line = inc.line;
+              break;
+            }
+          }
+          Finding finding;
+          finding.rule = "SL008";
+          finding.file = files[frame.node].first;
+          finding.line = line;
+          finding.message = "include cycle: " + path +
+                            " — break the cycle (no annotation can excuse "
+                            "one; it has no single responsible line)";
+          findings.push_back(std::move(finding));
+        }
+      } else {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+std::string FormatIncludeGraph(const FileSet& files) {
+  // Directory-level rollup of the file-level graph: one edge per
+  // (source dir, target dir) pair with a file-edge count and layer ranks.
+  std::map<std::pair<std::string, std::string>, size_t> dir_edges;
+  for (const auto& [path, content] : files) {
+    const SourceFile file = SourceFile::Parse(path, content);
+    const std::string src_dir = SrcDirPath(path);
+    for (const IncludeDirective& inc : file.includes()) {
+      if (inc.target.compare(0, 4, "src/") != 0) continue;
+      const std::string tgt_dir = SrcDirPath(inc.target);
+      if (src_dir == tgt_dir) continue;
+      ++dir_edges[{src_dir.empty() ? path : "src/" + src_dir,
+                   "src/" + tgt_dir}];
+    }
+  }
+  std::ostringstream out;
+  out << "# Directory include graph (edges: includer -> included "
+         "[file-edge count])\n";
+  out << "# Layer DAG: common(0) < obs(1) < dataframe/stats(2) < data(3) "
+         "< core/gbdt/models/baselines(4) < serve(5) < serve/server(6)\n";
+  for (const auto& [edge, count] : dir_edges) {
+    const auto rank = [](const std::string& dir) {
+      const std::string prefix = "src/";
+      if (dir.compare(0, prefix.size(), prefix) != 0) return -1;
+      return LayerRank(dir.substr(prefix.size()));
+    };
+    const int src_rank = rank(edge.first);
+    const int tgt_rank = rank(edge.second);
+    out << edge.first;
+    if (src_rank >= 0) out << "(" << src_rank << ")";
+    out << " -> " << edge.second;
+    if (tgt_rank >= 0) out << "(" << tgt_rank << ")";
+    out << " [" << count << "]";
+    if (src_rank >= 0 && tgt_rank > src_rank) {
+      // Structural view only: the edge is layer-inverted whether or not
+      // its individual includes carry layering-ok annotations.
+      out << "  <-- layer-inverted (SL008 unless annotated)";
+    }
+    out << "\n";
+  }
+  const std::vector<Finding> cycles = CheckIncludeCycles(files);
+  if (cycles.empty()) {
+    out << "# No file-level include cycles.\n";
+  } else {
+    for (const Finding& finding : cycles) {
+      out << "# CYCLE " << finding.ToString() << "\n";
+    }
+  }
+  return out.str();
+}
 
 DeclIndex IndexHeaders(const std::string& root) {
   namespace fs = std::filesystem;
@@ -424,32 +834,20 @@ DeclIndex IndexHeaders(const std::string& root) {
 
 std::vector<Finding> LintTree(const std::string& root,
                               const std::vector<std::string>& subdirs) {
-  namespace fs = std::filesystem;
-  const fs::path root_path(root);
   const DeclIndex index = IndexHeaders(root);
-
-  std::vector<fs::path> files;
-  for (const std::string& subdir : subdirs) {
-    const fs::path dir = root_path / subdir;
-    if (!fs::exists(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const auto ext = entry.path().extension();
-      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  const FileSet files = CollectTreeFiles(root, subdirs);
 
   std::vector<Finding> findings;
-  for (const auto& file : files) {
-    const std::string rel =
-        fs::relative(file, root_path).generic_string();
-    auto file_findings = AnalyzeSource(rel, ReadFileOrEmpty(file), index);
+  for (const auto& [rel, content] : files) {
+    auto file_findings = AnalyzeSource(rel, content, index);
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
+  auto cycle_findings = CheckIncludeCycles(files);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(cycle_findings.begin()),
+                  std::make_move_iterator(cycle_findings.end()));
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <

@@ -56,6 +56,43 @@ bool ParseAnnotation(const std::string& comment, std::string* key,
   return true;
 }
 
+/// Parses a bare `lint: <key>` marker (no `-ok`, no parenthesized
+/// reason, nothing else in the comment after the key — so prose that
+/// merely *mentions* a marker does not register one).
+bool ParseMarker(const std::string& comment, std::string* key) {
+  const size_t tag = comment.find("lint:");
+  if (tag == std::string::npos) return false;
+  size_t i = tag + 5;
+  while (i < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[i]))) {
+    ++i;
+  }
+  const size_t key_begin = i;
+  while (i < comment.size() && (IsIdentChar(comment[i]) || comment[i] == '-')) {
+    ++i;
+  }
+  std::string raw_key = comment.substr(key_begin, i - key_begin);
+  if (raw_key.empty()) return false;
+  const std::string suffix = "-ok";
+  if (raw_key.size() > suffix.size() &&
+      raw_key.compare(raw_key.size() - suffix.size(), suffix.size(), suffix) ==
+          0) {
+    return false;  // `<key>-ok(...)` is an annotation, not a marker
+  }
+  // Only whitespace (and a block-comment closer) may follow the key.
+  while (i < comment.size()) {
+    if (std::isspace(static_cast<unsigned char>(comment[i]))) {
+      ++i;
+    } else if (comment.compare(i, 2, "*/") == 0) {
+      i += 2;
+    } else {
+      return false;
+    }
+  }
+  *key = std::move(raw_key);
+  return true;
+}
+
 }  // namespace
 
 SourceFile SourceFile::Parse(std::string path, const std::string& content) {
@@ -67,16 +104,50 @@ SourceFile SourceFile::Parse(std::string path, const std::string& content) {
     if (content[i] == '\n') out.line_starts_.push_back(i + 1);
   }
 
+  // Quoted #include directives are harvested from the RAW text up front:
+  // the blanking pass below turns string literals — include paths among
+  // them — into spaces. Only lines whose first non-space byte is '#'
+  // count, so a commented-out include inside `// ...` never registers.
+  for (size_t ls = 0; ls < out.line_starts_.size(); ++ls) {
+    const size_t line_begin = out.line_starts_[ls];
+    size_t j = line_begin;
+    while (j < content.size() && (content[j] == ' ' || content[j] == '\t')) {
+      ++j;
+    }
+    if (j >= content.size() || content[j] != '#') continue;
+    const size_t hash = j;
+    ++j;
+    while (j < content.size() && (content[j] == ' ' || content[j] == '\t')) {
+      ++j;
+    }
+    if (content.compare(j, 7, "include") != 0) continue;
+    j += 7;
+    while (j < content.size() && (content[j] == ' ' || content[j] == '\t')) {
+      ++j;
+    }
+    if (j >= content.size() || content[j] != '"') continue;
+    const size_t close = content.find('"', j + 1);
+    if (close == std::string::npos || content.find('\n', j) < close) continue;
+    IncludeDirective inc;
+    inc.target = content.substr(j + 1, close - j - 1);
+    inc.line = ls + 1;
+    inc.offset = hash;
+    out.includes_.push_back(std::move(inc));
+  }
+
   // Records a comment spanning [begin, end) in the original text: parse an
-  // annotation out of it, then decide which line it suppresses (a
-  // comment-only line covers the next line; trailing comments cover their
-  // own line).
+  // annotation (or bare marker) out of it, then decide which line it
+  // covers (a comment-only line covers the next line; trailing comments
+  // cover their own line).
   auto harvest = [&](size_t begin, size_t end) {
     Annotation ann;
-    if (!ParseAnnotation(content.substr(begin, end - begin), &ann.key,
-                         &ann.reason)) {
-      return;
-    }
+    Marker marker;
+    const std::string comment = content.substr(begin, end - begin);
+    const bool is_annotation =
+        ParseAnnotation(comment, &ann.key, &ann.reason);
+    const bool is_marker =
+        !is_annotation && ParseMarker(comment, &marker.key);
+    if (!is_annotation && !is_marker) return;
     size_t line = out.LineOf(begin);
     const size_t line_begin = out.line_starts_[line - 1];
     bool code_before = false;
@@ -86,8 +157,14 @@ SourceFile SourceFile::Parse(std::string path, const std::string& content) {
         break;
       }
     }
-    ann.line = code_before ? line : line + 1;
-    out.annotations_.push_back(std::move(ann));
+    const size_t covered = code_before ? line : line + 1;
+    if (is_annotation) {
+      ann.line = covered;
+      out.annotations_.push_back(std::move(ann));
+    } else {
+      marker.line = covered;
+      out.markers_.push_back(std::move(marker));
+    }
   };
 
   auto blank = [&](size_t begin, size_t end) {
@@ -154,9 +231,21 @@ size_t SourceFile::LineOf(size_t offset) const {
   return static_cast<size_t>(it - line_starts_.begin());
 }
 
+size_t SourceFile::OffsetOfLine(size_t line) const {
+  if (line == 0 || line > line_starts_.size()) return std::string::npos;
+  return line_starts_[line - 1];
+}
+
 bool SourceFile::Allows(const std::string& key, size_t line) const {
   for (const Annotation& ann : annotations_) {
     if (ann.key == key && ann.line == line) return true;
+  }
+  return false;
+}
+
+bool SourceFile::HasMarker(const std::string& key, size_t line) const {
+  for (const Marker& marker : markers_) {
+    if (marker.key == key && marker.line == line) return true;
   }
   return false;
 }

@@ -29,13 +29,16 @@ TraceEvent MakeEvent(const char* name, TraceEventType type, double value) {
 
 FlightRecorder::FlightRecorder(size_t events_per_thread)
     : events_per_thread_(events_per_thread == 0 ? 1 : events_per_thread),
+      // lint: mo-ok(standalone id counter; pairs only with itself)
       id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 void FlightRecorder::Arm() {
+  // lint: mo-ok(standalone on/off flag; pairs with armed()'s relaxed load)
   internal::g_recorder_armed.store(true, std::memory_order_relaxed);
 }
 
 void FlightRecorder::Disarm() {
+  // lint: mo-ok(see Arm)
   internal::g_recorder_armed.store(false, std::memory_order_relaxed);
 }
 
@@ -53,7 +56,7 @@ internal::EventBuffer* FlightRecorder::LocalBuffer() {
   }
   auto buffer = std::make_shared<internal::EventBuffer>(events_per_thread_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     buffer->thread_index_ = next_thread_index_++;
     buffers_.push_back(buffer);
   }
@@ -63,7 +66,7 @@ internal::EventBuffer* FlightRecorder::LocalBuffer() {
 
 void FlightRecorder::SetCurrentThreadLabel(std::string label) {
   internal::EventBuffer* buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   buffer->label_ = std::move(label);
 }
 
@@ -77,7 +80,7 @@ void FlightRecorder::RecordCounter(const char* name, double value) {
 
 std::vector<ThreadTimeline> FlightRecorder::Snapshot() const {
   std::vector<ThreadTimeline> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out.reserve(buffers_.size());
   for (const auto& buffer : buffers_) {
     ThreadTimeline timeline;
@@ -97,9 +100,11 @@ std::vector<ThreadTimeline> FlightRecorder::Snapshot() const {
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& buffer : buffers_) {
+    // lint: mo-ok(truncates the published prefix; pairs with size()'s acquire load like Record's release store)
     buffer->size_.store(0, std::memory_order_release);
+    // lint: mo-ok(standalone drop tally reset)
     buffer->dropped_.store(0, std::memory_order_relaxed);
   }
 }

@@ -3,12 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"  // for SAFE_TELEMETRY_ENABLED
 
 namespace safe {
@@ -76,9 +76,12 @@ class EventBuffer {
 
   /// Appends one event. Owning thread only. Returns false (and bumps the
   /// drop counter) when the buffer is full.
+  // lint: hot-path
   bool Record(const TraceEvent& event) {
+    // lint: mo-ok(single-writer cell; only this thread stores size_, so its own last store is visible)
     const uint64_t n = size_.load(std::memory_order_relaxed);
     if (n >= capacity_) {
+      // lint: mo-ok(standalone drop tally; pairs with dropped()'s relaxed load)
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -90,14 +93,17 @@ class EventBuffer {
     // release store of size_ below publishes the allocation along with
     // the event: readers that observe size_ >= 1 (acquire) may touch
     // events_; readers that observe 0 must not.
-    if (events_.empty()) events_.resize(capacity_);
+    if (events_.empty()) events_.resize(capacity_);  // lint: hot-path-ok(one-time lazy ring allocation, amortized to zero; published by the size_ release store below)
     events_[n] = event;
+    // lint: mo-ok(release publish of events_[0, n] and the ring allocation; pairs with size()'s acquire load in Snapshot)
     size_.store(n + 1, std::memory_order_release);
     return true;
   }
 
+  // lint: mo-ok(acquire side of Record's release publish; makes events_[0, size) safe to read)
   uint64_t size() const { return size_.load(std::memory_order_acquire); }
   uint64_t dropped() const {
+    // lint: mo-ok(pairs with Record's relaxed drop tally)
     return dropped_.load(std::memory_order_relaxed);
   }
   size_t capacity() const { return capacity_; }
@@ -157,15 +163,16 @@ class FlightRecorder {
   static void Arm();
   static void Disarm();
   static bool armed() {
+    // lint: mo-ok(standalone on/off flag; Arm/Disarm store it relaxed, a stale read only delays the first event)
     return internal::g_recorder_armed.load(std::memory_order_relaxed);
   }
 
   /// The calling thread's buffer, registering (and preallocating) it on
   /// first use. The pointer stays valid for the process lifetime.
-  internal::EventBuffer* LocalBuffer();
+  internal::EventBuffer* LocalBuffer() EXCLUDES(mutex_);
 
   /// Names the calling thread's timeline ("main", "pool0.worker3", ...).
-  void SetCurrentThreadLabel(std::string label);
+  void SetCurrentThreadLabel(std::string label) EXCLUDES(mutex_);
 
   /// Convenience single-event recorders on the calling thread's buffer.
   void RecordInstant(const char* name);
@@ -173,11 +180,11 @@ class FlightRecorder {
 
   /// Copies every thread's events (a consistent prefix of each buffer),
   /// ordered by registration index.
-  std::vector<ThreadTimeline> Snapshot() const;
+  std::vector<ThreadTimeline> Snapshot() const EXCLUDES(mutex_);
 
   /// Drops all recorded events and zeroes drop counters; registrations
   /// and labels are kept.
-  void Clear();
+  void Clear() EXCLUDES(mutex_);
 
   size_t events_per_thread() const { return events_per_thread_; }
 
@@ -187,9 +194,10 @@ class FlightRecorder {
  private:
   const size_t events_per_thread_;
   const uint64_t id_;  ///< process-unique; keys the thread-local cache
-  mutable std::mutex mutex_;
-  std::vector<std::shared_ptr<internal::EventBuffer>> buffers_;
-  uint32_t next_thread_index_ = 0;
+  mutable Mutex mutex_;
+  std::vector<std::shared_ptr<internal::EventBuffer>> buffers_
+      GUARDED_BY(mutex_);
+  uint32_t next_thread_index_ GUARDED_BY(mutex_) = 0;
 };
 
 /// \brief RAII begin/end pair on the global recorder; no-op while

@@ -4,9 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 // Compile-time telemetry switch (CMake option SAFE_TELEMETRY). When off,
 // every metric and span in the tree compiles to an inline no-op so the
@@ -67,9 +68,12 @@ Histogram* PerThreadHistogram(const std::string& base_name,
 class Counter {
  public:
   void Increment(uint64_t delta = 1) {
+    // lint: mo-ok(standalone telemetry tally; readers need the count, not an ordering with other data)
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
+  // lint: mo-ok(see Increment; value() pairs with those relaxed updates)
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  // lint: mo-ok(see Increment)
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -79,13 +83,16 @@ class Counter {
 /// \brief Last-write-wins instantaneous value (queue depth, pool size).
 class Gauge {
  public:
+  // lint: mo-ok(standalone telemetry value; pairs with value()'s relaxed load only)
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
   void Add(double delta) {
+    // lint: mo-ok(RMW on the standalone gauge cell; no other data ordered)
     double cur = value_.load(std::memory_order_relaxed);
     while (!value_.compare_exchange_weak(cur, cur + delta,
-                                         std::memory_order_relaxed)) {
+                                         std::memory_order_relaxed)) {  // lint: mo-ok(retry loop on the same standalone cell)
     }
   }
+  // lint: mo-ok(pairs with Set/Add's relaxed updates)
   double value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { Set(0.0); }
 
@@ -120,28 +127,30 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
+  Counter* counter(const std::string& name) EXCLUDES(mutex_);
+  Gauge* gauge(const std::string& name) EXCLUDES(mutex_);
   /// Returns the existing histogram when `name` is already registered
   /// (the bounds argument is then ignored).
   Histogram* histogram(const std::string& name,
-                       std::vector<double> upper_bounds);
+                       std::vector<double> upper_bounds) EXCLUDES(mutex_);
 
   /// Copies every metric; values observed during the copy may or may not
   /// be included (each metric is internally consistent).
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mutex_);
 
   /// Zeroes all values but keeps registrations (pointers stay valid).
-  void Reset();
+  void Reset() EXCLUDES(mutex_);
 
   /// Process-wide registry used by the built-in instrumentation.
   static MetricsRegistry* Global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 #else  // !SAFE_TELEMETRY_ENABLED — inline no-op stubs.

@@ -36,7 +36,7 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> local;
   if (local == nullptr) {
     local = std::make_shared<ThreadBuffer>();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     local->thread_index = next_thread_index_++;
     buffers_.push_back(local);
   }
@@ -46,9 +46,9 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
 std::vector<SpanRecord> Tracer::Snapshot() const {
   std::vector<SpanRecord> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      MutexLock buffer_lock(buffer->mutex);
       out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
     }
   }
@@ -61,9 +61,9 @@ std::vector<SpanRecord> Tracer::Snapshot() const {
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(buffer->mutex);
     buffer->spans.clear();
   }
 }
@@ -85,7 +85,7 @@ void TraceSpan::Begin() {
 TraceSpan::~TraceSpan() {
   const uint64_t end_ns = NowNanos();
   --buffer_->depth;
-  std::lock_guard<std::mutex> lock(buffer_->mutex);
+  MutexLock lock(buffer_->mutex);
   if (buffer_->spans.size() >= Tracer::kMaxSpansPerThread) {
     DroppedCounter()->Increment();
     return;

@@ -2,10 +2,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"  // for SAFE_TELEMETRY_ENABLED
 
 namespace safe {
@@ -39,26 +39,26 @@ class Tracer {
   static constexpr size_t kMaxSpansPerThread = 1 << 16;
 
   /// Copies every recorded span, sorted by start time.
-  std::vector<SpanRecord> Snapshot() const;
+  std::vector<SpanRecord> Snapshot() const EXCLUDES(mutex_);
 
   /// Drops all recorded spans (registrations and the epoch are kept).
-  void Reset();
+  void Reset() EXCLUDES(mutex_);
 
   static Tracer* Global();
 
   // Internal API used by TraceSpan.
   struct ThreadBuffer {
-    std::mutex mutex;
-    uint32_t thread_index = 0;
+    Mutex mutex;
+    uint32_t thread_index = 0;  ///< set once at registration, then read-only
     uint32_t depth = 0;  ///< touched only by the owning thread
-    std::vector<SpanRecord> spans;
+    std::vector<SpanRecord> spans GUARDED_BY(mutex);
   };
-  ThreadBuffer* LocalBuffer();
+  ThreadBuffer* LocalBuffer() EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  uint32_t next_thread_index_ = 0;
+  mutable Mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mutex_);
+  uint32_t next_thread_index_ GUARDED_BY(mutex_) = 0;
 };
 
 /// \brief RAII trace span: records [construction, destruction) into the

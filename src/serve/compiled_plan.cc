@@ -245,6 +245,7 @@ void CompiledPlan::Execute(const double* row, double* scratch,
   }
 }
 
+// lint: hot-path
 void CompiledPlan::ExecuteBlock(double* panels, size_t stride,
                                 size_t n) const {
   const double* arena = params_.data();

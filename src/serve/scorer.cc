@@ -135,11 +135,13 @@ double RowScorer::ForestMargin(const double* features) const {
   return margin;
 }
 
+// lint: hot-path
 double RowScorer::ScoreRowMargin(const double* row, Scratch* scratch) const {
   plan_.Execute(row, scratch->slots.data(), scratch->features.data());
   return ForestMargin(scratch->features.data());
 }
 
+// lint: hot-path
 double RowScorer::ScoreRow(const double* row, Scratch* scratch) const {
   SAFE_FR_SAMPLED_SCOPE("serve.score_row", kScoreRowSampleOneInN);
   return gbdt::TransformMargin(objective_, ScoreRowMargin(row, scratch));

@@ -17,6 +17,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/serve/batch_scorer.h"
 #include "src/serve/scorer.h"
+// lint: layering-ok(the benchmark driver sits above the whole serving stack by design; it is a tool, not a library layer)
 #include "src/serve/server/scoring_server.h"
 
 namespace safe {
@@ -495,9 +496,11 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
                 scoring_server->Score(c * per_client + i, rows[r]);
             if (!proba.ok()) {
               if (proba.status().code() == StatusCode::kUnavailable) {
+                // lint: mo-ok(standalone tally, read only after the thread joins)
                 rejected.fetch_add(1, std::memory_order_relaxed);
                 continue;
               }
+              // lint: mo-ok(standalone flag, read only after the thread joins)
               failed.store(true, std::memory_order_relaxed);
               return;
             }
@@ -507,6 +510,7 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
       }
       for (std::thread& thread : threads) thread.join();
       const uint64_t wall_ns = NowNs() - wall_t0;
+      // lint: mo-ok(joins above order every worker write before this read)
       if (failed.load(std::memory_order_relaxed)) {
         return Status::Internal("serve bench: closed-loop request failed");
       }
@@ -516,6 +520,7 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
       }
       report.server_closed =
           SummarizeLoad(&merged, wall_ns,
+                        // lint: mo-ok(joins above order every worker write before this read)
                         rejected.load(std::memory_order_relaxed));
     }
 
@@ -558,9 +563,11 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
             const uint64_t done = NowNs();
             if (!proba.ok()) {
               if (proba.status().code() == StatusCode::kUnavailable) {
+                // lint: mo-ok(standalone tally, read only after the thread joins)
                 rejected.fetch_add(1, std::memory_order_relaxed);
                 continue;
               }
+              // lint: mo-ok(standalone flag, read only after the thread joins)
               failed.store(true, std::memory_order_relaxed);
               return;
             }
@@ -570,6 +577,7 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
         });
       }
       for (std::thread& thread : threads) thread.join();
+      // lint: mo-ok(joins above order every worker write before this read)
       if (failed.load(std::memory_order_relaxed)) {
         return Status::Internal("serve bench: open-loop request failed");
       }
@@ -581,6 +589,7 @@ Result<ServeBenchReport> RunServeBench(const ServeBenchOptions& options) {
       }
       report.server_open =
           SummarizeLoad(&merged, end_ns - start_ns,
+                        // lint: mo-ok(joins above order every worker write before this read)
                         rejected.load(std::memory_order_relaxed));
     }
 

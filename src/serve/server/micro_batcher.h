@@ -65,8 +65,8 @@ class MicroBatcher {
   /// that is the whole determinism story of the batcher layer).
   /// `oldest_ns` is the enqueue timestamp of the earliest pending row;
   /// ignored when `pending_rows` is 0.
-  Decision Decide(size_t pending_rows, uint64_t oldest_ns, uint64_t now_ns,
-                  bool closing) const;
+  [[nodiscard]] Decision Decide(size_t pending_rows, uint64_t oldest_ns,
+                                uint64_t now_ns, bool closing) const;
 
  private:
   BatcherOptions options_;

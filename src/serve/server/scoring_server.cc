@@ -114,17 +114,19 @@ void ScoringServer::Stop() {
     // the workers to be gone before returning so "after Stop()" always
     // means fully drained. Sleep rather than spin: the drain can take as
     // long as the backlog, and this path is not latency-critical.
-    while (!stop_finished_.load(std::memory_order_acquire)) {
+    while (!stop_finished_.load(std::memory_order_acquire)) {  // lint: mo-ok(acquire pairs with the release store at the end of the winning Stop)
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
     return;
   }
+  // lint: mo-ok(seq_cst, not weaker: must order against Submit's in_flight_ increment / stopping_ check pair)
   stopping_.store(true, std::memory_order_seq_cst);
   // Let in-flight submissions finish their push/reject before closing,
   // so no request can be claimed into a queue the workers have already
   // drained past (that request would never complete). Submissions spend
   // only a few instructions inside the gate, so waits here are short;
   // yield first for the common case, then back off to sleeps.
+  // lint: mo-ok(acquire pairs with Submit's release decrements; zero means every gated push/reject retired)
   for (int spins = 0; in_flight_.load(std::memory_order_acquire) != 0;
        ++spins) {
     if (spins < 64) {
@@ -139,23 +141,31 @@ void ScoringServer::Stop() {
   // external quiesce Close() requires (see MpscQueue::Close docs).
   for (auto& shard : shards_) shard->queue.Close();
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->cv.notify_one();
+    // Ring under the lock: a worker between its predicate check and its
+    // park would otherwise miss the only notify it will ever get.
+    MutexLock lock(shard->mutex);
+    shard->cv.NotifyOne();
   }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+  // lint: mo-ok(release pairs with the acquire poll at the top of Stop; publishes the joined workers)
   stop_finished_.store(true, std::memory_order_release);
 }
 
 ServerStats ScoringServer::stats() const {
   ServerStats stats;
+  // lint: mo-ok(standalone tallies; each pairs with its own relaxed increments, cross-counter skew is fine)
   stats.accepted_requests = accepted_requests_.load(std::memory_order_relaxed);
+  // lint: mo-ok(see above)
   stats.accepted_rows = accepted_rows_.load(std::memory_order_relaxed);
+  // lint: mo-ok(see above)
   stats.rejected_requests = rejected_requests_.load(std::memory_order_relaxed);
   stats.completed_requests =
-      completed_requests_.load(std::memory_order_relaxed);
+      completed_requests_.load(std::memory_order_relaxed);  // lint: mo-ok(see above)
+  // lint: mo-ok(see above)
   stats.completed_rows = completed_rows_.load(std::memory_order_relaxed);
+  // lint: mo-ok(see above)
   stats.batches = batches_.load(std::memory_order_relaxed);
   return stats;
 }
@@ -165,9 +175,12 @@ Status ScoringServer::Submit(uint64_t route_key, const double* const* rows,
   if (num_rows == 0) return Status::OK();
   // The in-flight gate pairs with Stop(): a submission that passes the
   // stopping check below completes its push before the queues close.
+  // lint: mo-ok(seq_cst, not weaker: the increment must order before the stopping_ load against Stop's store/wait pair)
   in_flight_.fetch_add(1, std::memory_order_seq_cst);
-  if (stopping_.load(std::memory_order_seq_cst)) {
+  if (stopping_.load(std::memory_order_seq_cst)) {  // lint: mo-ok(seq_cst half of the gate; see the fetch_add above)
+    // lint: mo-ok(release pairs with Stop's acquire poll of in_flight_)
     in_flight_.fetch_sub(1, std::memory_order_release);
+    // lint: mo-ok(standalone tally; pairs with stats()'s relaxed load)
     rejected_requests_.fetch_add(1, std::memory_order_relaxed);
     ServerMetrics::Get().rejected->Increment();
     return Status::Unavailable("scoring server is stopping");
@@ -182,8 +195,10 @@ Status ScoringServer::Submit(uint64_t route_key, const double* const* rows,
   request.sync = &sync;
   request.enqueue_ns = NowSteadyNs();
   const bool pushed = shard.queue.TryPush(request);
+  // lint: mo-ok(release pairs with Stop's acquire poll: the push outcome is settled before Stop may close the queues)
   in_flight_.fetch_sub(1, std::memory_order_release);
   if (!pushed) {
+    // lint: mo-ok(standalone tally; pairs with stats()'s relaxed load)
     rejected_requests_.fetch_add(1, std::memory_order_relaxed);
     ServerMetrics::Get().rejected->Increment();
     return Status::Unavailable(
@@ -192,7 +207,9 @@ Status ScoringServer::Submit(uint64_t route_key, const double* const* rows,
         " queue is full (" + std::to_string(shard.queue.capacity()) +
         " requests) — retry after backoff");
   }
+  // lint: mo-ok(standalone tallies; pair with stats()'s relaxed loads)
   accepted_requests_.fetch_add(1, std::memory_order_relaxed);
+  // lint: mo-ok(see above)
   accepted_rows_.fetch_add(num_rows, std::memory_order_relaxed);
   const ServerMetrics& metrics = ServerMetrics::Get();
   metrics.requests->Increment();
@@ -202,12 +219,12 @@ Status ScoringServer::Submit(uint64_t route_key, const double* const* rows,
   // worker's waiting-store / SizeApprox-load pair, so either we see
   // `waiting` and notify, or the worker sees our push and skips the
   // wait — a lost wakeup is impossible.
-  if (shard.waiting.load(std::memory_order_seq_cst)) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.cv.notify_one();
+  if (shard.waiting.load(std::memory_order_seq_cst)) {  // lint: mo-ok(seq_cst, not weaker: orders against the worker's waiting-store / SizeApprox-load pair)
+    MutexLock lock(shard.mutex);
+    shard.cv.NotifyOne();
   }
-  std::unique_lock<std::mutex> lock(sync.mutex);
-  sync.cv.wait(lock, [&sync] { return sync.done; });
+  MutexLock lock(sync.mutex);
+  while (!sync.done) sync.cv.Wait(sync.mutex);
   return Status::OK();
 }
 
@@ -225,6 +242,7 @@ Result<double> ScoringServer::Score(uint64_t route_key,
 }
 
 Result<double> ScoringServer::Score(const std::vector<double>& row) const {
+  // lint: mo-ok(standalone round-robin cursor; pairs only with itself)
   return Score(next_shard_.fetch_add(1, std::memory_order_relaxed), row);
 }
 
@@ -260,6 +278,7 @@ Status ScoringServer::ScoreBatch(uint64_t route_key,
 
 Status ScoringServer::ScoreBatch(const std::vector<std::vector<double>>& rows,
                                  std::vector<double>* out) const {
+  // lint: mo-ok(standalone round-robin cursor; pairs only with itself)
   return ScoreBatch(next_shard_.fetch_add(1, std::memory_order_relaxed), rows,
                     out);
 }
@@ -298,17 +317,20 @@ void ScoringServer::CutBatch(Shard* shard, std::vector<Request>* staged,
     offset += request.num_rows;
     metrics.latency_us->Observe(
         static_cast<double>(done_ns - request.enqueue_ns) / 1e3);
+    // lint: mo-ok(standalone tallies; pair with stats()'s relaxed loads — completion itself is published by the sync mutex below)
     completed_requests_.fetch_add(1, std::memory_order_relaxed);
+    // lint: mo-ok(see above)
     completed_rows_.fetch_add(request.num_rows, std::memory_order_relaxed);
     {
       // Notify while holding the sync mutex: the waiting caller owns the
       // Sync on its stack and may destroy it the moment it observes
       // `done`, so the cv must not be touched outside the lock.
-      std::lock_guard<std::mutex> lock(request.sync->mutex);
+      MutexLock lock(request.sync->mutex);
       request.sync->done = true;
-      request.sync->cv.notify_one();
+      request.sync->cv.NotifyOne();
     }
   }
+  // lint: mo-ok(standalone tally; pairs with stats()'s relaxed load)
   batches_.fetch_add(1, std::memory_order_relaxed);
   metrics.batches->Increment();
   metrics.batch_fill->Observe(static_cast<double>(staged_rows));
@@ -353,6 +375,7 @@ void ScoringServer::ShardLoop(Shard* shard) {
       std::this_thread::yield();
     }
 
+    // lint: mo-ok(acquire pairs with Stop's seq_cst store; only the flag itself is consumed here)
     const bool closing = stopping_.load(std::memory_order_acquire);
     const MicroBatcher::Decision decision =
         batcher.Decide(staged_rows, oldest_ns, NowSteadyNs(), closing);
@@ -377,18 +400,30 @@ void ScoringServer::ShardLoop(Shard* shard) {
       break;
     }
 
-    std::unique_lock<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
+    // lint: mo-ok(seq_cst, not weaker: the store must order before the SizeApprox below against a producer's TryPush CAS / waiting-load pair)
     shard->waiting.store(true, std::memory_order_seq_cst);
-    // Re-check under the flag: a producer that missed `waiting` is
-    // guaranteed (seq_cst) to be visible to this SizeApprox.
-    if (shard->queue.SizeApprox() == 0 &&
-        !stopping_.load(std::memory_order_acquire)) {
-      if (decision.has_deadline) {
-        shard->cv.wait_until(lock, SteadyTimePoint(decision.deadline_ns));
-      } else {
-        shard->cv.wait(lock);
+    // Park on the doorbell predicate (queue work or shutdown), re-checked
+    // under the flag: a producer that missed `waiting` is guaranteed
+    // (seq_cst) to be visible to SizeApprox, so re-evaluating the
+    // predicate before every wait makes a lost or spurious wakeup
+    // harmless.
+    if (decision.has_deadline) {
+      // Timed park: a single pass — on wakeup (signal, timeout or
+      // spurious) control returns to the batcher, which re-decides
+      // against the clock rather than re-arming the same deadline.
+      if (shard->queue.SizeApprox() == 0 &&
+          !stopping_.load(std::memory_order_acquire)) {  // lint: mo-ok(acquire flag read; see `closing` above)
+        shard->cv.WaitUntil(shard->mutex,
+                            SteadyTimePoint(decision.deadline_ns));
+      }
+    } else {
+      while (shard->queue.SizeApprox() == 0 &&
+             !stopping_.load(std::memory_order_acquire)) {  // lint: mo-ok(acquire flag read; see `closing` above)
+        shard->cv.Wait(shard->mutex);
       }
     }
+    // lint: mo-ok(relaxed un-park: producers that read a stale true only take one spurious notify)
     shard->waiting.store(false, std::memory_order_relaxed);
   }
 }

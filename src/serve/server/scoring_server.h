@@ -1,15 +1,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/mpsc_queue.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/result.h"
 #include "src/core/feature_plan.h"
 #include "src/gbdt/booster.h"
@@ -136,9 +135,9 @@ class ScoringServer {
 
   /// Per-call completion notifier on the calling thread's stack.
   struct Sync {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
+    Mutex mutex;
+    CondVar cv;
+    bool done GUARDED_BY(mutex) = false;
   };
 
   struct Shard {
@@ -148,9 +147,11 @@ class ScoringServer {
     // Doorbell: the worker parks here when idle; producers ring after a
     // successful push iff `waiting` says the worker may be asleep (the
     // seq_cst handshake with MpscQueue::TryPush/SizeApprox makes the
-    // lost-wakeup window impossible — see ShardLoop).
-    std::mutex mutex;
-    std::condition_variable cv;
+    // lost-wakeup window impossible — see ShardLoop). The cv predicate
+    // is the lock-free queue state itself, so nothing is GUARDED_BY
+    // this mutex; it exists only to make park/ring atomic.
+    Mutex mutex;
+    CondVar cv;
     std::atomic<bool> waiting{false};
     std::thread worker;
     BatchScorer scorer;  // replica: private compiled plan + forest

@@ -173,6 +173,7 @@ TEST(MpscQueueTest, ShutdownWhileFullDrainsEverythingAccepted) {
             // TryPush only succeeds in push order per producer, so the
             // count of successes identifies exactly which values are in
             // flight: 0..pushed-1.
+            // lint: mo-ok(per-producer tally; the consumer reads it only after join)
             pushed[p].fetch_add(1, std::memory_order_relaxed);
             break;
           }
@@ -204,6 +205,7 @@ TEST(MpscQueueTest, ShutdownWhileFullDrainsEverythingAccepted) {
   }
   uint64_t total_pushed = 0;
   for (size_t p = 0; p < kProducers; ++p) {
+    // lint: mo-ok(producers joined above; their final tallies are visible)
     const uint64_t count = pushed[p].load(std::memory_order_relaxed);
     EXPECT_EQ(next_expected[p], count) << "producer " << p;
     total_pushed += count;

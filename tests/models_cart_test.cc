@@ -215,6 +215,7 @@ TEST(StandardScalerTest, RowTransformMatchesBatch) {
   DenseMatrix z = scaler.Transform(f);
   for (size_t r = 0; r < f.num_rows(); ++r) {
     std::vector<double> row = f.Row(r);
+    // lint: discard-ok(row width matches the fitted scaler by construction; the EXPECTs below catch a silent failure)
     scaler.TransformRow(&row);
     for (size_t c = 0; c < f.num_columns(); ++c) {
       EXPECT_DOUBLE_EQ(row[c], z.at(r, c));

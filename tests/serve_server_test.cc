@@ -208,6 +208,7 @@ TEST(ServeServerTest, ConcurrentMixedLoadNoLossNoDuplication) {
               return;
             }
             got[r] = *score;
+            // lint: mo-ok(standalone tally, read only after the clients join)
             issued_requests.fetch_add(1, std::memory_order_relaxed);
             r += 1;
           } else {
@@ -222,6 +223,7 @@ TEST(ServeServerTest, ConcurrentMixedLoadNoLossNoDuplication) {
               return;
             }
             for (size_t i = 0; i < out.size(); ++i) got[r + i] = out[i];
+            // lint: mo-ok(standalone tally, read only after the clients join)
             issued_requests.fetch_add(1, std::memory_order_relaxed);
             r = end;
           }
@@ -240,6 +242,7 @@ TEST(ServeServerTest, ConcurrentMixedLoadNoLossNoDuplication) {
     server->Stop();
     const ServerStats stats = server->stats();
     EXPECT_EQ(stats.accepted_requests,
+              // lint: mo-ok(clients joined above; final tally is visible)
               issued_requests.load(std::memory_order_relaxed));
     EXPECT_EQ(stats.completed_requests, stats.accepted_requests);
     EXPECT_EQ(stats.completed_rows, stats.accepted_rows);
@@ -279,10 +282,13 @@ TEST(ServeServerTest, SaturationRejectsCleanlyWithFullAccounting) {
         auto score = server->Score(r, f.rows[r]);
         if (score.ok()) {
           got[c][i] = *score;
+          // lint: mo-ok(standalone tally, read only after the clients join)
           ok_count.fetch_add(1, std::memory_order_relaxed);
         } else if (score.status().code() == StatusCode::kUnavailable) {
+          // lint: mo-ok(standalone tally, read only after the clients join)
           rejected_count.fetch_add(1, std::memory_order_relaxed);
         } else {
+          // lint: mo-ok(standalone tally, read only after the clients join)
           wrong_status.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -334,9 +340,11 @@ TEST(ServeServerTest, StopDrainsAcceptedAndRejectsNew) {
         auto score = server->Score(r, f.rows[r]);
         if (score.ok()) {
           if (!SameBits(f.oracle[r], *score)) {
+            // lint: mo-ok(standalone tally, read only after the clients join)
             wrong_bits.fetch_add(1, std::memory_order_relaxed);
           }
         } else if (score.status().code() != StatusCode::kUnavailable) {
+          // lint: mo-ok(standalone tally, read only after the clients join)
           wrong_status.fetch_add(1, std::memory_order_relaxed);
         }
         if (i == 50 && c == 0) go_stop.store(true);
@@ -398,9 +406,11 @@ TEST(ServeServerTest, StopRacingSubmitNeverStrandsARequest) {
           auto score = server->Score(r, f.rows[r]);
           if (score.ok()) {
             if (!SameBits(f.oracle[r], *score)) {
-              wrong_bits.fetch_add(1, std::memory_order_relaxed);
+              // lint: mo-ok(standalone tally, read only after the clients join)
+            wrong_bits.fetch_add(1, std::memory_order_relaxed);
             }
           } else if (score.status().code() != StatusCode::kUnavailable) {
+            // lint: mo-ok(standalone tally, read only after the clients join)
             wrong_status.fetch_add(1, std::memory_order_relaxed);
           }
         }

@@ -272,6 +272,7 @@ TEST(FlightRecorderTest, LabelOnlyThreadsRegisterWithoutAllocatingRings) {
   // state (this is the lazy-allocation handshake, run under tsan).
   std::atomic<bool> stop{false};
   std::thread snapshotter([&recorder, &stop] {
+    // lint: mo-ok(acquire pairs with the main thread's release store after join)
     while (!stop.load(std::memory_order_acquire)) {
       for (const ThreadTimeline& timeline : recorder.Snapshot()) {
         ASSERT_LE(timeline.events.size(), 2u);
@@ -284,6 +285,7 @@ TEST(FlightRecorderTest, LabelOnlyThreadsRegisterWithoutAllocatingRings) {
     recorder.RecordInstant("second");
   });
   recorder_thread.join();
+  // lint: mo-ok(release pairs with the snapshotter's acquire load)
   stop.store(true, std::memory_order_release);
   snapshotter.join();
 

@@ -1,22 +1,81 @@
-// safe_lint — repo-specific determinism / error-discipline linter.
+// safe_lint — repo-specific determinism / error-discipline / concurrency
+// linter.
 //
-// Usage: safe_lint [--root <dir>] [--print-index] [subdir...]
+// Usage: safe_lint [--root <dir>] [--rules=<SLnnn,...>] [--json]
+//                  [--print-index] [--print-include-graph] [subdir...]
 //
 // Scans <root>/<subdir> (default: src) for .h/.cc files, builds the
 // Status/Result declaration index from every header under <root>/src, and
-// reports violations of rules SL001–SL005 (see src/lint/lint.h). Exits 0
+// reports violations of rules SL001–SL009 (see src/lint/lint.h). Exits 0
 // when the tree is clean, 1 on violations, 2 on usage errors.
+//
+//   --rules=SL006,SL008   report only the listed rule IDs
+//   --json                one JSON object per line (machine-readable)
+//   --print-include-graph directory-level include graph + cycle report
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/lint/lint.h"
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Parses "SL001,SL006" into a set; empty string means "all rules".
+std::set<std::string> ParseRuleFilter(const std::string& arg) {
+  std::set<std::string> rules;
+  size_t begin = 0;
+  while (begin <= arg.size()) {
+    size_t end = arg.find(',', begin);
+    if (end == std::string::npos) end = arg.size();
+    if (end > begin) rules.insert(arg.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return rules;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string root = ".";
   bool print_index = false;
+  bool print_include_graph = false;
+  bool json = false;
+  std::set<std::string> rule_filter;
   std::vector<std::string> subdirs;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0) {
@@ -27,8 +86,20 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (std::strcmp(argv[i], "--print-index") == 0) {
       print_index = true;
+    } else if (std::strcmp(argv[i], "--print-include-graph") == 0) {
+      print_include_graph = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--rules=", 8) == 0) {
+      rule_filter = ParseRuleFilter(argv[i] + 8);
+      if (rule_filter.empty()) {
+        std::cerr << "safe_lint: --rules= needs a comma-separated rule list"
+                  << std::endl;
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::cout << "usage: safe_lint [--root <dir>] [--print-index] "
+      std::cout << "usage: safe_lint [--root <dir>] [--rules=<SLnnn,...>] "
+                   "[--json] [--print-index] [--print-include-graph] "
                    "[subdir...]"
                 << std::endl;
       return 0;
@@ -49,16 +120,39 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::vector<safe::lint::Finding> findings =
+  if (print_include_graph) {
+    const safe::lint::FileSet files =
+        safe::lint::CollectTreeFiles(root, subdirs);
+    std::cout << safe::lint::FormatIncludeGraph(files);
+    return 0;
+  }
+
+  std::vector<safe::lint::Finding> findings =
       safe::lint::LintTree(root, subdirs);
+  if (!rule_filter.empty()) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const safe::lint::Finding& f) {
+                                    return rule_filter.count(f.rule) == 0;
+                                  }),
+                   findings.end());
+  }
   for (const auto& finding : findings) {
-    std::cout << finding.ToString() << std::endl;
+    if (json) {
+      std::cout << "{\"rule\":\"" << JsonEscape(finding.rule)
+                << "\",\"file\":\"" << JsonEscape(finding.file)
+                << "\",\"line\":" << finding.line << ",\"message\":\""
+                << JsonEscape(finding.message) << "\"}" << std::endl;
+    } else {
+      std::cout << finding.ToString() << std::endl;
+    }
   }
   if (!findings.empty()) {
-    std::cout << "safe_lint: " << findings.size() << " violation"
-              << (findings.size() == 1 ? "" : "s") << std::endl;
+    if (!json) {
+      std::cout << "safe_lint: " << findings.size() << " violation"
+                << (findings.size() == 1 ? "" : "s") << std::endl;
+    }
     return 1;
   }
-  std::cout << "safe_lint: clean" << std::endl;
+  if (!json) std::cout << "safe_lint: clean" << std::endl;
   return 0;
 }

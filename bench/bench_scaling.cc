@@ -8,10 +8,24 @@
 // importance ranking), checking the serialized model / FeaturePlan stays
 // byte-identical at every count.
 //
+// A second personality, --external_memory, exercises the out-of-core
+// chunked dataframe: it streams a dataset several times larger than the
+// spill pool's resident budget through generation → quantize/train →
+// IV → Pearson → feature generation, reports rows/s, spill traffic and
+// peak RSS into the RunReport, and (with --gate=) enforces the committed
+// bench/baselines/scaling.json ceilings.
+//
 // Flags: --quick --threads=1,2,4,8 --sweep_rows=N --engine_sweep_rows=N
 //        --report=path
+//        --external_memory [--budget_mb=N --rows=N --features=N
+//                           --gate=bench/baselines/scaling.json]
 
+#include <sys/resource.h>
+
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,7 +34,10 @@
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 #include "src/data/synthetic.h"
+#include "src/dataframe/spill.h"
 #include "src/gbdt/booster.h"
+#include "src/stats/correlation.h"
+#include "src/stats/iv.h"
 
 namespace safe {
 namespace bench {
@@ -183,11 +200,314 @@ obs::JsonValue EngineThreadSweep(const Flags& flags, bool quick) {
   return sweep;
 }
 
+// ---------------------------------------------------------------------------
+// --external_memory mode
+// ---------------------------------------------------------------------------
+
+size_t PeakRssBytes() {
+  struct rusage usage;
+  std::memset(&usage, 0, sizeof(usage));
+  getrusage(RUSAGE_SELF, &usage);
+  // ru_maxrss is KiB on Linux.
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
+
+/// Ceilings for the external-memory run, committed in
+/// bench/baselines/scaling.json and enforced by the bench-scaling CI job.
+struct ScalingGate {
+  double max_peak_rss_bytes = 0.0;       // 0 = disabled
+  double min_external_rows_per_s = 0.0;  // 0 = disabled
+  bool require_identical = false;
+};
+
+Result<ScalingGate> ReadScalingGate(const std::string& baseline_path) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    return Status::IoError("cannot open gate baseline '" + baseline_path +
+                           "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  obs::JsonValue doc;
+  std::string error;
+  if (!obs::JsonValue::Parse(buffer.str(), &doc, &error)) {
+    return Status::InvalidArgument("gate baseline '" + baseline_path +
+                                   "': " + error);
+  }
+  ScalingGate gate;
+  const obs::JsonValue* rss = doc.Find("max_peak_rss_bytes");
+  if (rss == nullptr || rss->type() != obs::JsonValue::Type::kNumber) {
+    return Status::InvalidArgument("gate baseline '" + baseline_path +
+                                   "' lacks a numeric max_peak_rss_bytes");
+  }
+  gate.max_peak_rss_bytes = rss->number_value();
+  const obs::JsonValue* rate = doc.Find("min_external_rows_per_s");
+  if (rate != nullptr) {
+    if (rate->type() != obs::JsonValue::Type::kNumber) {
+      return Status::InvalidArgument(
+          "gate baseline '" + baseline_path +
+          "': min_external_rows_per_s must be a number");
+    }
+    gate.min_external_rows_per_s = rate->number_value();
+  }
+  const obs::JsonValue* identical = doc.Find("require_identical");
+  if (identical != nullptr) {
+    if (identical->type() != obs::JsonValue::Type::kBool) {
+      return Status::InvalidArgument("gate baseline '" + baseline_path +
+                                     "': require_identical must be a bool");
+    }
+    gate.require_identical = identical->bool_value();
+  }
+  return gate;
+}
+
+bool DoubleBitsEqual(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Byte-identity stage: the chunked/spilling path must reproduce the
+/// monolithic path bit for bit on a small dataset — GBDT model bytes,
+/// IV scores, Pearson correlations and the fitted FeaturePlan.
+bool CheckOutputsIdentical() {
+  Dataset dense = MakeData(3 * 4096, 8, 23);
+  SpillPool::Options options;
+  options.resident_budget_bytes = 4096 * sizeof(double);  // one row group
+  auto pool = SpillPool::Create(options);
+  SAFE_CHECK(pool.ok());
+  Dataset chunked = ToChunkedDataset(dense, *pool, 4096);
+
+  gbdt::GbdtParams gbdt_params;
+  gbdt_params.num_trees = 8;
+  gbdt_params.max_depth = 3;
+  auto dense_model = gbdt::Booster::Fit(dense, nullptr, gbdt_params);
+  auto chunked_model = gbdt::Booster::Fit(chunked, nullptr, gbdt_params);
+  SAFE_CHECK(dense_model.ok()) << dense_model.status().ToString();
+  SAFE_CHECK(chunked_model.ok()) << chunked_model.status().ToString();
+  bool identical =
+      dense_model->Serialize() == chunked_model->Serialize();
+
+  identical = identical &&
+              DoubleBitsEqual(InformationValueBatch(dense.x, *dense.y, 10),
+                              InformationValueBatch(chunked.x, *chunked.y, 10));
+
+  std::vector<size_t> others;
+  for (size_t c = 1; c < dense.x.num_columns(); ++c) others.push_back(c);
+  identical = identical &&
+              DoubleBitsEqual(PearsonAgainst(dense.x, 0, others),
+                              PearsonAgainst(chunked.x, 0, others));
+
+  SafeParams safe_params;
+  safe_params.seed = 23;
+  safe_params.miner.num_trees = 8;
+  safe_params.ranker.num_trees = 8;
+  SafeEngine engine(safe_params);
+  auto dense_fit = engine.Fit(dense);
+  auto chunked_fit = engine.Fit(chunked);
+  SAFE_CHECK(dense_fit.ok()) << dense_fit.status().ToString();
+  SAFE_CHECK(chunked_fit.ok()) << chunked_fit.status().ToString();
+  identical = identical &&
+              dense_fit->plan.Serialize() == chunked_fit->plan.Serialize();
+  return identical;
+}
+
+/// A small hand-built plan (pairwise {×,+,−,÷} over adjacent columns) to
+/// exercise the streaming feature-generation path at scale.
+FeaturePlan MakeGenerationPlan(size_t num_features, size_t num_generated) {
+  std::vector<std::string> inputs;
+  for (size_t c = 0; c < num_features; ++c) {
+    inputs.push_back("f" + std::to_string(c));
+  }
+  const char* kOps[] = {"mul", "add", "sub", "div"};
+  std::vector<GeneratedFeature> generated;
+  std::vector<std::string> selected;
+  for (size_t g = 0; g < num_generated; ++g) {
+    GeneratedFeature feature;
+    feature.op = kOps[g % 4];
+    const size_t a = (2 * g) % num_features;
+    const size_t b = (2 * g + 1) % num_features;
+    feature.name = "g" + std::to_string(g);
+    feature.parents = {inputs[a], inputs[b]};
+    generated.push_back(feature);
+    selected.push_back(feature.name);
+  }
+  auto plan = FeaturePlan::Create(std::move(inputs), std::move(generated),
+                                  std::move(selected));
+  SAFE_CHECK(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+int ExternalMemoryMain(const Flags& flags, bool quick) {
+  Stopwatch total_watch;
+  const size_t budget_mb = static_cast<size_t>(
+      flags.GetInt("budget_mb", quick ? 64 : 256));
+  const size_t rows = static_cast<size_t>(
+      flags.GetInt("rows", quick ? (1 << 20) : (1 << 23)));
+  const size_t features =
+      static_cast<size_t>(flags.GetInt("features", 32));
+  const size_t group_rows = kDefaultRowGroupRows;
+  const size_t budget_bytes = budget_mb << 20;
+  const size_t dataset_bytes = rows * features * sizeof(double);
+
+  std::cout << "=== External memory: " << rows << " rows x " << features
+            << " features (" << (dataset_bytes >> 20)
+            << " MiB) through a " << budget_mb
+            << " MiB resident budget ===\n";
+
+  std::cout << "byte-identity (chunked vs monolithic) ... " << std::flush;
+  const bool outputs_identical = CheckOutputsIdentical();
+  std::cout << (outputs_identical ? "identical\n" : "DIVERGED\n");
+
+  SpillPool::Options options;
+  options.resident_budget_bytes = budget_bytes;
+  auto pool = SpillPool::Create(options);
+  SAFE_CHECK(pool.ok()) << pool.status().ToString();
+
+  data::SyntheticSpec spec;
+  spec.num_rows = rows;
+  spec.num_features = features;
+  spec.num_informative = std::max<size_t>(3, features / 4);
+  spec.num_interactions = 3;
+  spec.missing_rate = 0.05;
+  spec.seed = 29;
+
+  TablePrinter table({"stage", "seconds", "rows/s"}, {18, 9, 12});
+  table.PrintHeader();
+  obs::JsonValue stages = obs::JsonValue::Array();
+  double pipeline_seconds = 0.0;
+  auto record_stage = [&](const std::string& name, double seconds) {
+    pipeline_seconds += seconds;
+    const double rate = seconds > 0.0 ? rows / seconds : 0.0;
+    table.PrintRow({name, FormatDouble(seconds, 3),
+                    FormatDouble(rate, 0)});
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("stage", name);
+    entry.Set("seconds", seconds);
+    entry.Set("rows_per_s", rate);
+    stages.Append(std::move(entry));
+  };
+
+  Stopwatch watch;
+  auto dataset = data::MakeSyntheticDatasetChunked(spec, *pool, group_rows);
+  SAFE_CHECK(dataset.ok()) << dataset.status().ToString();
+  record_stage("generate", watch.ElapsedSeconds());
+
+  gbdt::GbdtParams gbdt_params;
+  gbdt_params.num_trees = quick ? 4 : 8;
+  gbdt_params.max_depth = 4;
+  gbdt_params.max_bins = 64;
+  watch.Restart();
+  auto model = gbdt::Booster::Fit(*dataset, nullptr, gbdt_params);
+  SAFE_CHECK(model.ok()) << model.status().ToString();
+  record_stage("quantize+train", watch.ElapsedSeconds());
+
+  watch.Restart();
+  const std::vector<double> iv =
+      InformationValueBatch(dataset->x, *dataset->y, 10);
+  SAFE_CHECK(iv.size() == features);
+  record_stage("iv_filter", watch.ElapsedSeconds());
+
+  watch.Restart();
+  std::vector<size_t> others;
+  for (size_t c = 1; c < features; ++c) others.push_back(c);
+  const std::vector<double> pearson =
+      PearsonAgainst(dataset->x, 0, others);
+  SAFE_CHECK(pearson.size() == others.size());
+  record_stage("pearson", watch.ElapsedSeconds());
+
+  watch.Restart();
+  const FeaturePlan plan = MakeGenerationPlan(features, 8);
+  auto generated = plan.Transform(dataset->x);
+  SAFE_CHECK(generated.ok()) << generated.status().ToString();
+  SAFE_CHECK(generated->HasChunkedColumns());
+  record_stage("generate_features", watch.ElapsedSeconds());
+  table.PrintSeparator();
+
+  const double external_rows_per_s =
+      pipeline_seconds > 0.0 ? rows / pipeline_seconds : 0.0;
+  const size_t peak_rss = PeakRssBytes();
+  const SpillPoolStats spill = (*pool)->stats();
+  std::cout << "pipeline: " << FormatDouble(pipeline_seconds, 2) << " s ("
+            << FormatDouble(external_rows_per_s, 0) << " rows/s), peak RSS "
+            << (peak_rss >> 20) << " MiB, spill wrote "
+            << (spill.spill_write_bytes >> 20) << " MiB / read "
+            << (spill.spill_read_bytes >> 20) << " MiB, " << spill.evictions
+            << " evictions, " << spill.faults << " faults\n";
+  std::cout << "dataset/budget ratio: "
+            << FormatDouble(static_cast<double>(dataset_bytes) /
+                                static_cast<double>(budget_bytes),
+                            2)
+            << "x\n\n";
+
+  obs::JsonValue section = obs::JsonValue::Object();
+  section.Set("rows", static_cast<double>(rows));
+  section.Set("features", static_cast<double>(features));
+  section.Set("group_rows", static_cast<double>(group_rows));
+  section.Set("dataset_bytes", static_cast<double>(dataset_bytes));
+  section.Set("budget_bytes", static_cast<double>(budget_bytes));
+  section.Set("outputs_identical", outputs_identical);
+  section.Set("stages", std::move(stages));
+  section.Set("pipeline_seconds", pipeline_seconds);
+  section.Set("external_rows_per_s", external_rows_per_s);
+  section.Set("peak_rss_bytes", static_cast<double>(peak_rss));
+  obs::JsonValue spill_json = obs::JsonValue::Object();
+  spill_json.Set("evictions", static_cast<double>(spill.evictions));
+  spill_json.Set("faults", static_cast<double>(spill.faults));
+  spill_json.Set("write_bytes", static_cast<double>(spill.spill_write_bytes));
+  spill_json.Set("read_bytes", static_cast<double>(spill.spill_read_bytes));
+  spill_json.Set("file_bytes", static_cast<double>(spill.file_bytes));
+  spill_json.Set("resident_bytes", static_cast<double>(spill.resident_bytes));
+  spill_json.Set("num_groups", static_cast<double>(spill.num_groups));
+  section.Set("spill", std::move(spill_json));
+
+  std::vector<std::pair<std::string, obs::JsonValue>> sections;
+  sections.emplace_back("external_memory", std::move(section));
+  EmitRunReport(flags, "bench_scaling", total_watch.ElapsedSeconds(),
+                nullptr, false, &sections);
+
+  const std::string gate_path = flags.GetString("gate", "");
+  if (!gate_path.empty()) {
+    auto gate = ReadScalingGate(gate_path);
+    if (!gate.ok()) {
+      std::cerr << "bench_scaling: " << gate.status().ToString() << "\n";
+      return 1;
+    }
+    bool failed = false;
+    if (gate->require_identical && !outputs_identical) {
+      std::cerr << "scaling gate failed: chunked outputs diverged from the "
+                   "monolithic path\n";
+      failed = true;
+    }
+    if (gate->max_peak_rss_bytes > 0 &&
+        static_cast<double>(peak_rss) > gate->max_peak_rss_bytes) {
+      std::cerr << "scaling gate failed: peak RSS " << peak_rss
+                << " bytes exceeds ceiling "
+                << FormatDouble(gate->max_peak_rss_bytes, 0) << "\n";
+      failed = true;
+    }
+    if (gate->min_external_rows_per_s > 0 &&
+        external_rows_per_s < gate->min_external_rows_per_s) {
+      std::cerr << "scaling gate failed: " << FormatDouble(external_rows_per_s, 0)
+                << " rows/s below floor "
+                << FormatDouble(gate->min_external_rows_per_s, 0) << "\n";
+      failed = true;
+    }
+    if (failed) return 1;
+    std::cout << "scaling gate passed (" << gate_path << ")\n";
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Stopwatch total_watch;
   Flags flags(argc, argv);
   ArmTraceFromFlags(flags);
   const bool quick = flags.GetBool("quick", false);
+  if (flags.GetBool("external_memory", false)) {
+    return ExternalMemoryMain(flags, quick);
+  }
   const double scale = quick ? 0.2 : 1.0;
 
   std::cout << "=== Scaling: SAFE fit time vs N (rows), Eq. 13 predicts "

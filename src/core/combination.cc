@@ -117,11 +117,18 @@ std::vector<FeatureCombination> RankCombinations(
       return;
     }
     std::vector<PartitionCell> cells(num_cells);
+    // Per-feature cursors: the ascending row scan touches each spilled
+    // row group once per feature, and the cell tallies are integer
+    // counts, so storage never changes the result.
+    std::vector<ChunkedCursor<double>> cursors;
+    cursors.reserve(combo.features.size());
+    for (int f : combo.features) {
+      cursors.push_back(x.column(static_cast<size_t>(f)).cursor());
+    }
     for (size_t r = 0; r < x.num_rows(); ++r) {
       size_t cell = 0;
       for (size_t f = 0; f < combo.features.size(); ++f) {
-        const double v =
-            x.column(static_cast<size_t>(combo.features[f]))[r];
+        const double v = cursors[f].At(r);
         const auto& splits = combo.split_values[f];
         size_t slot;
         if (std::isnan(v)) {

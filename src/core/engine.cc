@@ -340,12 +340,33 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
       GenerationTask& task = tasks[t];
       std::vector<const std::vector<double>*> train_parents;
       std::vector<const std::vector<double>*> valid_parents;
+      // Operators consume whole vectors, so chunked parents are gathered
+      // per task — at most arity columns resident at once, regardless of
+      // frame width. The gathered bits equal the dense bits, so the
+      // generated column is unchanged by storage.
+      std::vector<std::vector<double>> gathered_train;
+      std::vector<std::vector<double>> gathered_valid;
+      gathered_train.reserve(task.ordering.size());
+      gathered_valid.reserve(task.ordering.size());
+      const ChunkedVector<double>* chunk_home = nullptr;
       for (int f : task.ordering) {
-        train_parents.push_back(
-            &current.x.column(static_cast<size_t>(f)).values());
+        const Column& parent = current.x.column(static_cast<size_t>(f));
+        if (parent.chunked()) {
+          if (chunk_home == nullptr) chunk_home = parent.chunks().get();
+          gathered_train.push_back(parent.Gather());
+          train_parents.push_back(&gathered_train.back());
+        } else {
+          train_parents.push_back(&parent.values());
+        }
         if (has_valid) {
-          valid_parents.push_back(
-              &current_valid.x.column(static_cast<size_t>(f)).values());
+          const Column& valid_parent =
+              current_valid.x.column(static_cast<size_t>(f));
+          if (valid_parent.chunked()) {
+            gathered_valid.push_back(valid_parent.Gather());
+            valid_parents.push_back(&gathered_valid.back());
+          } else {
+            valid_parents.push_back(&valid_parent.values());
+          }
         }
       }
       // Failures here (unfittable params, inapplicable operator,
@@ -359,6 +380,12 @@ Result<SafeFitResult> SafeEngine::Fit(const Dataset& train,
       Column column(task.name, std::move(*values_result));
       if (column.IsConstant()) return;  // carries no information
       if (column.CountMissing() == column.size()) return;
+      if (chunk_home != nullptr) {
+        // Children of chunked parents go back to chunked storage (same
+        // pool and group size), keeping the candidate pool spillable.
+        column = column.AsChunked(chunk_home->pool(),
+                                  chunk_home->group_rows());
+      }
       if (has_valid) {
         auto valid_values =
             ApplyOperator(*task.op, *params_result, valid_parents);

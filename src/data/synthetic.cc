@@ -213,6 +213,242 @@ Result<Dataset> MakeSyntheticDataset(const SyntheticSpec& spec) {
   return MakeDataset(std::move(x), std::move(labels));
 }
 
+namespace {
+
+/// Stream purposes for the counter-seeded per-(column, row-group) RNGs of
+/// the chunked generator. Each (purpose, column, group) triple names an
+/// independent deterministic stream.
+enum class StreamPurpose : uint64_t {
+  kInformative = 1,
+  kRedundantNoise = 2,
+  kNuisance = 3,
+  kScoreNoise = 4,
+  kLabelFlip = 5,
+  kMissing = 6,
+};
+
+/// SplitMix64-style mix of (seed, purpose, column, group) into one
+/// stream seed. Sequential counters would correlate xoshiro states; the
+/// finalizer scatters them.
+uint64_t MixStreamSeed(uint64_t seed, StreamPurpose purpose, uint64_t column,
+                       uint64_t group) {
+  uint64_t z = seed;
+  for (uint64_t word : {static_cast<uint64_t>(purpose), column, group}) {
+    z += 0x9E3779B97F4A7C15ULL + word;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z = z ^ (z >> 31);
+  }
+  return z;
+}
+
+/// The fitted (config-stream) recipe of a chunked synthetic dataset:
+/// everything drawn once up front, so per-group generation is pure.
+struct ChunkedRecipe {
+  struct Interaction {
+    size_t a = 0;
+    size_t b = 0;
+    InteractionKind kind = InteractionKind::kProduct;
+    double weight = 0.0;
+  };
+  struct Redundant {
+    size_t src = 0;
+    double scale = 1.0;
+    double shift = 0.0;
+  };
+
+  std::vector<ColumnGen> informative;
+  std::vector<Interaction> interactions;
+  std::vector<double> linear_weights;  ///< per informative column
+  std::vector<Redundant> redundant;
+  std::vector<ColumnGen> nuisance;
+  std::vector<size_t> order;  ///< position -> role-order column index
+
+  static ChunkedRecipe Draw(const SyntheticSpec& spec, Rng* rng) {
+    ChunkedRecipe recipe;
+    const size_t n_info = spec.num_informative;
+    recipe.informative.reserve(n_info);
+    for (size_t c = 0; c < n_info; ++c) {
+      recipe.informative.push_back(RandomColumnGen(rng));
+    }
+    for (size_t k = 0; k < spec.num_interactions; ++k) {
+      Interaction inter;
+      inter.a = rng->NextUint64Below(n_info);
+      inter.b = rng->NextUint64Below(n_info);
+      if (n_info > 1) {
+        while (inter.b == inter.a) inter.b = rng->NextUint64Below(n_info);
+      }
+      inter.kind = static_cast<InteractionKind>(rng->NextUint64Below(4));
+      const double sign = rng->NextBernoulli(0.5) ? 1.0 : -1.0;
+      inter.weight = sign * rng->NextUniform(1.0, 2.0);
+      recipe.interactions.push_back(inter);
+    }
+    for (size_t c = 0; c < n_info; ++c) {
+      recipe.linear_weights.push_back(rng->NextUniform(-1.0, 1.0));
+    }
+    for (size_t k = 0; k < spec.num_redundant; ++k) {
+      Redundant red;
+      red.src = rng->NextUint64Below(n_info);
+      red.scale = rng->NextUniform(0.5, 2.0);
+      red.shift = rng->NextUniform(-1.0, 1.0);
+      recipe.redundant.push_back(red);
+    }
+    const size_t n_nuis =
+        spec.num_features - n_info - spec.num_redundant;
+    for (size_t k = 0; k < n_nuis; ++k) {
+      recipe.nuisance.push_back(RandomColumnGen(rng));
+    }
+    recipe.order.resize(spec.num_features);
+    for (size_t i = 0; i < spec.num_features; ++i) recipe.order[i] = i;
+    rng->Shuffle(&recipe.order);
+    return recipe;
+  }
+};
+
+/// One row group's worth of every column (role order) plus the latent
+/// score, generated purely from (spec, recipe, group index). NaN
+/// injection happens after the score so missingness never perturbs
+/// labels, mirroring the monolithic generator.
+struct GroupScratch {
+  std::vector<std::vector<double>> columns;  ///< [role-order column][row]
+  std::vector<double> score;
+};
+
+void GenerateGroup(const SyntheticSpec& spec, const ChunkedRecipe& recipe,
+                   size_t group, size_t lo, size_t hi, GroupScratch* out) {
+  const size_t len = hi - lo;
+  const size_t n_info = spec.num_informative;
+  out->columns.assign(spec.num_features, {});
+  out->score.assign(len, 0.0);
+
+  // Informative columns, one independent stream per (column, group).
+  for (size_t c = 0; c < n_info; ++c) {
+    Rng rng(MixStreamSeed(spec.seed, StreamPurpose::kInformative, c, group));
+    auto& col = out->columns[c];
+    col.resize(len);
+    for (size_t i = 0; i < len; ++i) {
+      col[i] = recipe.informative[c].Draw(&rng);
+    }
+  }
+
+  // Latent score: interactions + linear part at raw scale (the chunked
+  // generator skips full-column standardization by design), plus noise.
+  {
+    Rng noise_rng(
+        MixStreamSeed(spec.seed, StreamPurpose::kScoreNoise, 0, group));
+    for (size_t i = 0; i < len; ++i) {
+      double s = 0.0;
+      for (const auto& inter : recipe.interactions) {
+        s += inter.weight * ApplyInteraction(inter.kind,
+                                             out->columns[inter.a][i],
+                                             out->columns[inter.b][i]);
+      }
+      s *= (1.0 - spec.linear_weight);
+      double linear = 0.0;
+      for (size_t c = 0; c < n_info; ++c) {
+        linear += recipe.linear_weights[c] * out->columns[c][i];
+      }
+      out->score[i] = s + spec.linear_weight * linear +
+                      spec.noise * noise_rng.NextGaussian();
+    }
+  }
+
+  // Redundant (near-affine copies) and nuisance columns.
+  for (size_t k = 0; k < recipe.redundant.size(); ++k) {
+    Rng rng(
+        MixStreamSeed(spec.seed, StreamPurpose::kRedundantNoise, k, group));
+    const auto& red = recipe.redundant[k];
+    auto& col = out->columns[n_info + k];
+    col.resize(len);
+    for (size_t i = 0; i < len; ++i) {
+      col[i] = red.scale * out->columns[red.src][i] + red.shift +
+               0.01 * rng.NextGaussian();
+    }
+  }
+  for (size_t k = 0; k < recipe.nuisance.size(); ++k) {
+    Rng rng(MixStreamSeed(spec.seed, StreamPurpose::kNuisance, k, group));
+    auto& col = out->columns[n_info + recipe.redundant.size() + k];
+    col.resize(len);
+    for (size_t i = 0; i < len; ++i) {
+      col[i] = recipe.nuisance[k].Draw(&rng);
+    }
+  }
+
+  // Missing-value injection (after the score is computed).
+  if (spec.missing_rate > 0.0) {
+    for (size_t c = 0; c < spec.num_features; ++c) {
+      Rng rng(MixStreamSeed(spec.seed, StreamPurpose::kMissing, c, group));
+      for (double& v : out->columns[c]) {
+        if (rng.NextBernoulli(spec.missing_rate)) {
+          v = std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<Dataset> MakeSyntheticDatasetChunked(
+    const SyntheticSpec& spec, const std::shared_ptr<SpillPool>& pool,
+    size_t group_rows) {
+  SAFE_RETURN_NOT_OK(ValidateSpec(spec));
+  if (pool == nullptr) {
+    return Status::InvalidArgument("synthetic chunked: null spill pool");
+  }
+  if (!ValidRowGroupRows(group_rows)) {
+    return Status::InvalidArgument(
+        "synthetic chunked: group_rows must be a power of two >= " +
+        std::to_string(kMinRowGroupRows));
+  }
+  const size_t n = spec.num_rows;
+  const size_t m = spec.num_features;
+  Rng config_rng(spec.seed);
+  const ChunkedRecipe recipe = ChunkedRecipe::Draw(spec, &config_rng);
+
+  // Label threshold from the first row group's score sample: streaming
+  // cannot see the global quantile without a second full pass, and the
+  // first group is an unbiased (row-order-independent) draw.
+  GroupScratch scratch;
+  GenerateGroup(spec, recipe, 0, 0, std::min(n, group_rows), &scratch);
+  const double threshold = Quantile(scratch.score, 1.0 - spec.positive_rate);
+
+  std::vector<ChunkedVectorBuilder<double>> builders;
+  builders.reserve(m);
+  for (size_t c = 0; c < m; ++c) builders.emplace_back(pool, group_rows);
+  std::vector<double> labels;
+  labels.reserve(n);
+
+  const size_t num_groups = (n + group_rows - 1) / group_rows;
+  for (size_t g = 0; g < num_groups; ++g) {
+    const size_t lo = g * group_rows;
+    const size_t hi = std::min(n, lo + group_rows);
+    if (g != 0) GenerateGroup(spec, recipe, g, lo, hi, &scratch);
+    Rng flip_rng(
+        MixStreamSeed(spec.seed, StreamPurpose::kLabelFlip, 0, g));
+    for (double s : scratch.score) {
+      bool positive = s > threshold;
+      if (spec.label_flip > 0.0 && flip_rng.NextBernoulli(spec.label_flip)) {
+        positive = !positive;
+      }
+      labels.push_back(positive ? 1.0 : 0.0);
+    }
+    for (size_t c = 0; c < m; ++c) {
+      builders[c].Append(scratch.columns[c].data(), hi - lo);
+    }
+  }
+  // Guarantee both classes exist (tiny datasets + quantile ties).
+  if (CountEqual(labels, 1.0) == 0) labels[0] = 1.0;
+  if (CountEqual(labels, 0.0) == 0) labels[0] = 0.0;
+
+  DataFrame x;
+  for (size_t i = 0; i < m; ++i) {
+    SAFE_RETURN_NOT_OK(x.AddColumn(Column(
+        "f" + std::to_string(i), builders[recipe.order[i]].Finish())));
+  }
+  return MakeDataset(std::move(x), std::move(labels));
+}
+
 Result<DatasetSplit> MakeSyntheticSplit(SyntheticSpec spec, size_t n_train,
                                         size_t n_valid, size_t n_test) {
   spec.num_rows = n_train + n_valid + n_test;

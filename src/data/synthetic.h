@@ -52,6 +52,26 @@ struct SyntheticSpec {
 /// mapping from columns to roles is internal (and seed-deterministic).
 [[nodiscard]] Result<Dataset> MakeSyntheticDataset(const SyntheticSpec& spec);
 
+/// \brief Streaming out-of-core generator: writes row groups of
+/// `group_rows` rows directly into `pool`-backed chunked columns, never
+/// materializing a full column (peak scratch is one row group × M
+/// doubles, independent of num_rows — the entry point for multi-GB
+/// datasets).
+///
+/// Deterministic for a fixed (spec, group_rows): every column × row-group
+/// cell is drawn from its own counter-seeded RNG stream, so the values do
+/// not depend on generation order, thread count, or resident budget.
+/// The planted structure (informative/interaction/redundant/nuisance
+/// roles, missing cells, label mechanics) matches MakeSyntheticDataset,
+/// but the realized values are a *different* deterministic draw than the
+/// monolithic generator's single sequential stream, and the latent score
+/// skips full-column standardization (terms use their raw scale) with the
+/// label threshold estimated from the first row group's score quantile
+/// rather than the global one. Labels stay resident (one double per row).
+[[nodiscard]] Result<Dataset> MakeSyntheticDatasetChunked(
+    const SyntheticSpec& spec, const std::shared_ptr<SpillPool>& pool,
+    size_t group_rows);
+
 /// \brief Generates and splits in one call: `n_train`+`n_valid`+`n_test`
 /// rows, split deterministically from `spec.seed`. A zero `n_valid`
 /// mirrors the paper's small datasets (train doubles as validation).

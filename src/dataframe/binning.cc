@@ -28,18 +28,30 @@ Result<std::vector<double>> SortedNonMissing(
   std::sort(sorted.begin(), sorted.end());
   return sorted;
 }
-}  // namespace
 
-Result<BinEdges> EqualFrequencyEdges(const std::vector<double>& values,
-                                     size_t num_bins) {
-  if (num_bins < 2) {
-    return Status::InvalidArgument("num_bins must be >= 2");
+/// Column analogue of SortedNonMissing: the filter walks rows in the same
+/// ascending order (span by span), so the pre-sort sequence — and hence
+/// the sorted result — is bit-identical to the dense path.
+Result<std::vector<double>> SortedNonMissingColumn(const Column& column) {
+  std::vector<double> sorted;
+  sorted.reserve(column.size());
+  column.ForEachSpan(0, column.size(),
+                     [&](size_t, const double* values, size_t len) {
+                       for (size_t i = 0; i < len; ++i) {
+                         if (!std::isnan(values[i])) {
+                           sorted.push_back(values[i]);
+                         }
+                       }
+                     });
+  if (sorted.empty()) {
+    return Status::InvalidArgument("binning: all values are missing");
   }
-  static obs::Counter* fits =
-      obs::MetricsRegistry::Global()->counter("binning.equal_frequency_fits");
-  fits->Increment();
-  SAFE_ASSIGN_OR_RETURN(std::vector<double> sorted,
-                        SortedNonMissing(values));
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+BinEdges EqualFrequencyEdgesFromSorted(const std::vector<double>& sorted,
+                                       size_t num_bins) {
   BinEdges out;
   const size_t n = sorted.size();
   for (size_t b = 1; b < num_bins; ++b) {
@@ -57,6 +69,32 @@ Result<BinEdges> EqualFrequencyEdges(const std::vector<double>& values,
     out.edges.pop_back();
   }
   return out;
+}
+}  // namespace
+
+Result<BinEdges> EqualFrequencyEdges(const std::vector<double>& values,
+                                     size_t num_bins) {
+  if (num_bins < 2) {
+    return Status::InvalidArgument("num_bins must be >= 2");
+  }
+  static obs::Counter* fits =
+      obs::MetricsRegistry::Global()->counter("binning.equal_frequency_fits");
+  fits->Increment();
+  SAFE_ASSIGN_OR_RETURN(std::vector<double> sorted,
+                        SortedNonMissing(values));
+  return EqualFrequencyEdgesFromSorted(sorted, num_bins);
+}
+
+Result<BinEdges> EqualFrequencyEdges(const Column& column, size_t num_bins) {
+  if (num_bins < 2) {
+    return Status::InvalidArgument("num_bins must be >= 2");
+  }
+  static obs::Counter* fits =
+      obs::MetricsRegistry::Global()->counter("binning.equal_frequency_fits");
+  fits->Increment();
+  SAFE_ASSIGN_OR_RETURN(std::vector<double> sorted,
+                        SortedNonMissingColumn(column));
+  return EqualFrequencyEdgesFromSorted(sorted, num_bins);
 }
 
 Result<BinEdges> EqualWidthEdges(const std::vector<double>& values,

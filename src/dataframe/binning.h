@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/dataframe/column.h"
 
 namespace safe {
 
@@ -27,6 +28,14 @@ struct BinEdges {
 /// so the result may have fewer than `num_bins - 1` edges. Requires
 /// num_bins >= 2 and at least one non-missing value.
 [[nodiscard]] Result<BinEdges> EqualFrequencyEdges(const std::vector<double>& values,
+                                     size_t num_bins);
+
+/// Storage-agnostic overload: streams the column row-group-wise (never
+/// materializing a chunked column) and produces the exact bits of the
+/// vector overload — the non-missing filter walks rows in ascending
+/// order either way, so the pre-sort sequence (and therefore the sorted
+/// order and every cut) is identical.
+[[nodiscard]] Result<BinEdges> EqualFrequencyEdges(const Column& column,
                                      size_t num_bins);
 
 /// Equal-width cut points over [min, max] of the non-missing values.

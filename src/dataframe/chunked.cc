@@ -1,0 +1,15 @@
+#include "src/dataframe/chunked.h"
+
+namespace safe {
+
+// The two payload types used across the pipeline: double feature columns
+// and uint16_t quantized-bin columns. Explicit instantiation keeps one
+// copy of the (header-defined) template code in this TU.
+template class ChunkedVector<double>;
+template class ChunkedVector<uint16_t>;
+template class ChunkedVectorBuilder<double>;
+template class ChunkedVectorBuilder<uint16_t>;
+template class ChunkedCursor<double>;
+template class ChunkedCursor<uint16_t>;
+
+}  // namespace safe

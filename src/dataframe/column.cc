@@ -2,19 +2,65 @@
 
 namespace safe {
 
+void Column::ForEachSpan(
+    size_t lo, size_t hi,
+    const std::function<void(size_t, const double*, size_t)>& fn) const {
+  SAFE_CHECK(lo <= hi && hi <= size());
+  if (lo == hi) return;
+  if (chunks_) {
+    chunks_->ForEachSpan(lo, hi, fn);
+  } else {
+    fn(lo, data_->data() + lo, hi - lo);
+  }
+}
+
+std::vector<double> Column::Gather() const {
+  std::vector<double> out(size());
+  if (chunks_) {
+    chunks_->CopyRange(0, chunks_->size(), out.data());
+  } else {
+    out.assign(data_->begin(), data_->end());
+  }
+  return out;
+}
+
+size_t Column::CountMissing() const {
+  size_t n = 0;
+  ForEachSpan(0, size(), [&](size_t, const double* values, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      if (std::isnan(values[i])) ++n;
+    }
+  });
+  return n;
+}
+
 bool Column::IsConstant() const {
   bool seen = false;
+  bool constant = true;
   double first = 0.0;
-  for (double v : *data_) {
-    if (std::isnan(v)) continue;
-    if (!seen) {
-      first = v;
-      seen = true;
-    } else if (v != first) {
-      return false;
+  ForEachSpan(0, size(), [&](size_t, const double* values, size_t len) {
+    if (!constant) return;
+    for (size_t i = 0; i < len; ++i) {
+      const double v = values[i];
+      if (std::isnan(v)) continue;
+      if (!seen) {
+        first = v;
+        seen = true;
+      } else if (v != first) {
+        constant = false;
+        return;
+      }
     }
-  }
-  return true;
+  });
+  return constant;
+}
+
+Column Column::AsChunked(const std::shared_ptr<SpillPool>& pool,
+                         size_t group_rows) const {
+  if (chunks_) return *this;
+  ChunkedVectorBuilder<double> builder(pool, group_rows);
+  builder.Append(data_->data(), data_->size());
+  return Column(name_, builder.Finish());
 }
 
 }  // namespace safe

@@ -1,21 +1,33 @@
 #pragma once
 
 #include <cmath>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/dataframe/chunked.h"
 
 namespace safe {
 
 /// \brief An immutable, named column of doubles.
 ///
 /// All values in this library are doubles; NaN encodes a missing value.
-/// Column data is held behind a shared_ptr so that selecting / reordering
-/// columns in a DataFrame is O(1) per column — essential when SAFE's
-/// candidate pool holds thousands of columns over millions of rows.
+/// A column owns exactly one of two storages:
+///   - dense: one contiguous shared `std::vector<double>` (the default),
+///   - chunked: a ChunkedVector of fixed-size row groups whose payloads
+///     live in a SpillPool and may be evicted to disk under a resident
+///     budget (see spill.h).
+/// Either way the buffer is shared, so selecting / reordering columns in
+/// a DataFrame is O(1) per column — essential when SAFE's candidate pool
+/// holds thousands of columns over millions of rows.
+///
+/// `values()` / `data()` are the resident-only accessors and CHECK-fail
+/// on a chunked column; streaming consumers use `ForEachSpan` / `cursor`
+/// which serve both storages, dense appearing as one maximal span so the
+/// iteration order (and therefore every FP reduction) is identical.
 class Column {
  public:
   Column() : data_(std::make_shared<std::vector<double>>()) {}
@@ -29,36 +41,89 @@ class Column {
     SAFE_CHECK(data_ != nullptr);
   }
 
-  const std::string& name() const { return name_; }
-  size_t size() const { return data_->size(); }
-  const std::vector<double>& values() const { return *data_; }
-  double operator[](size_t i) const { return (*data_)[i]; }
-
-  /// Shares the underlying buffer under a new name.
-  Column Renamed(std::string new_name) const {
-    return Column(std::move(new_name), data_);
+  /// A chunked (out-of-core capable) column.
+  Column(std::string name,
+         std::shared_ptr<const ChunkedVector<double>> chunks)
+      : name_(std::move(name)), chunks_(std::move(chunks)) {
+    SAFE_CHECK(chunks_ != nullptr);
   }
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return chunks_ ? chunks_->size() : data_->size(); }
+
+  /// True when this column is row-group backed (possibly spilled).
+  bool chunked() const { return chunks_ != nullptr; }
+
+  /// Dense values — CHECK-fails on a chunked column (use ForEachSpan /
+  /// cursor / Gather for storage-agnostic access).
+  const std::vector<double>& values() const {
+    SAFE_CHECK(data_ != nullptr)
+        << "Column '" << name_ << "': values() on a chunked column";
+    return *data_;
+  }
+
+  /// Single-element read. On a chunked column this pins and unpins the
+  /// containing row group — use spans or a cursor in loops.
+  double operator[](size_t i) const {
+    return chunks_ ? chunks_->At(i) : (*data_)[i];
+  }
+
+  /// Shares the underlying buffer (either storage) under a new name.
+  Column Renamed(std::string new_name) const {
+    Column out;
+    out.name_ = std::move(new_name);
+    out.data_ = data_;
+    out.chunks_ = chunks_;
+    return out;
+  }
+
+  /// Invokes fn(base_row, values, len) for consecutive row spans covering
+  /// [lo, hi) in ascending row order; a dense column yields one maximal
+  /// span, a chunked column one span per row group. Serial iteration over
+  /// the spans accumulates in exactly the order a contiguous loop would.
+  void ForEachSpan(
+      size_t lo, size_t hi,
+      const std::function<void(size_t, const double*, size_t)>& fn) const;
+
+  /// Sequential-friendly element reader over either storage.
+  ChunkedCursor<double> cursor() const {
+    return chunks_ ? ChunkedCursor<double>(chunks_.get())
+                   : ChunkedCursor<double>(data_->data(), data_->size());
+  }
+
+  /// Materializes all rows into one contiguous vector (faulting spilled
+  /// groups as needed). On a dense column this is a plain copy.
+  std::vector<double> Gather() const;
 
   /// Number of NaN entries.
-  size_t CountMissing() const {
-    size_t n = 0;
-    for (double v : *data_) {
-      if (std::isnan(v)) ++n;
-    }
-    return n;
-  }
+  size_t CountMissing() const;
 
   /// True when every non-missing value equals the first non-missing value.
   bool IsConstant() const;
 
-  /// The shared buffer (for zero-copy hand-off).
+  /// The shared dense buffer (for zero-copy hand-off). CHECK-fails on a
+  /// chunked column.
   const std::shared_ptr<const std::vector<double>>& data() const {
+    SAFE_CHECK(data_ != nullptr)
+        << "Column '" << name_ << "': data() on a chunked column";
     return data_;
   }
+
+  /// The chunked storage, or null for a dense column.
+  const std::shared_ptr<const ChunkedVector<double>>& chunks() const {
+    return chunks_;
+  }
+
+  /// Copy of this column re-homed into `pool`-backed row groups of
+  /// `group_rows` rows (identical bits, chunked storage). A no-op share
+  /// if already chunked.
+  Column AsChunked(const std::shared_ptr<SpillPool>& pool,
+                   size_t group_rows) const;
 
  private:
   std::string name_;
   std::shared_ptr<const std::vector<double>> data_;
+  std::shared_ptr<const ChunkedVector<double>> chunks_;
 };
 
 }  // namespace safe

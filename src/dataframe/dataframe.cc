@@ -28,6 +28,13 @@ Result<size_t> DataFrame::ColumnIndex(const std::string& name) const {
   return it->second;
 }
 
+bool DataFrame::HasChunkedColumns() const {
+  for (const auto& c : columns_) {
+    if (c.chunked()) return true;
+  }
+  return false;
+}
+
 std::vector<std::string> DataFrame::ColumnNames() const {
   std::vector<std::string> names;
   names.reserve(columns_.size());
@@ -51,9 +58,10 @@ Result<DataFrame> DataFrame::Select(const std::vector<size_t>& indices) const {
 DataFrame DataFrame::TakeRows(const std::vector<size_t>& rows) const {
   DataFrame out;
   for (const auto& col : columns_) {
+    ChunkedCursor<double> cursor = col.cursor();
     std::vector<double> data;
     data.reserve(rows.size());
-    for (size_t r : rows) data.push_back(col[r]);
+    for (size_t r : rows) data.push_back(cursor.At(r));
     SAFE_CHECK(out.AddColumn(Column(col.name(), std::move(data))).ok());
   }
   return out;
@@ -63,8 +71,12 @@ DataFrame DataFrame::SliceRows(size_t begin, size_t end) const {
   SAFE_CHECK(begin <= end && end <= num_rows());
   DataFrame out;
   for (const auto& col : columns_) {
-    std::vector<double> data(col.values().begin() + begin,
-                             col.values().begin() + end);
+    std::vector<double> data(end - begin);
+    col.ForEachSpan(begin, end,
+                    [&](size_t base, const double* values, size_t len) {
+                      std::copy(values, values + len,
+                                data.data() + (base - begin));
+                    });
     SAFE_CHECK(out.AddColumn(Column(col.name(), std::move(data))).ok());
   }
   return out;
@@ -91,6 +103,21 @@ Result<DataFrame> DataFrame::Concat(const DataFrame& other) const {
   return out;
 }
 
+FrameWindow::FrameWindow(const DataFrame& frame, size_t lo, size_t hi)
+    : lo_(lo), hi_(hi) {
+  SAFE_CHECK(lo < hi && hi <= frame.num_rows());
+  cols_.resize(frame.num_columns());
+  for (size_t c = 0; c < frame.num_columns(); ++c) {
+    const Column& col = frame.column(c);
+    if (col.chunked()) {
+      spans_.push_back(col.chunks()->PinSpan(lo, hi));
+      cols_[c] = spans_.back().data();
+    } else {
+      cols_[c] = col.values().data() + lo;
+    }
+  }
+}
+
 Result<Dataset> MakeDataset(DataFrame x, std::vector<double> y) {
   if (x.num_rows() != y.size()) {
     return Status::InvalidArgument(
@@ -107,6 +134,25 @@ Result<Dataset> MakeDataset(DataFrame x, std::vector<double> y) {
   d.x = std::move(x);
   d.y = std::make_shared<const std::vector<double>>(std::move(y));
   return d;
+}
+
+DataFrame ToChunkedFrame(const DataFrame& frame,
+                         const std::shared_ptr<SpillPool>& pool,
+                         size_t group_rows) {
+  DataFrame out;
+  for (const auto& col : frame.columns()) {
+    SAFE_CHECK(out.AddColumn(col.AsChunked(pool, group_rows)).ok());
+  }
+  return out;
+}
+
+Dataset ToChunkedDataset(const Dataset& dataset,
+                         const std::shared_ptr<SpillPool>& pool,
+                         size_t group_rows) {
+  Dataset out;
+  out.x = ToChunkedFrame(dataset.x, pool, group_rows);
+  out.y = dataset.y;
+  return out;
 }
 
 }  // namespace safe

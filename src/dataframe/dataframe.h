@@ -10,11 +10,13 @@
 
 namespace safe {
 
-/// \brief A column-major, in-memory table of features.
+/// \brief A column-major table of features.
 ///
 /// Columns are immutable and shared; DataFrame operations that rearrange
 /// columns (Select, Concat) are zero-copy, while row operations (Take,
 /// Slice) materialize new buffers. Column names are unique within a frame.
+/// Columns may be dense (fully resident) or chunked/spillable (see
+/// column.h); a frame may mix both.
 class DataFrame {
  public:
   DataFrame() = default;
@@ -38,6 +40,9 @@ class DataFrame {
     return index_.find(name) != index_.end();
   }
 
+  /// True if any column is chunked (possibly spilled).
+  bool HasChunkedColumns() const;
+
   std::vector<std::string> ColumnNames() const;
 
   /// New frame holding the given columns (zero-copy). Indices may repeat
@@ -45,13 +50,14 @@ class DataFrame {
   /// duplicate name fails.
   [[nodiscard]] Result<DataFrame> Select(const std::vector<size_t>& indices) const;
 
-  /// New frame with the given rows gathered (copies data).
+  /// New frame with the given rows gathered (copies data; dense result).
   DataFrame TakeRows(const std::vector<size_t>& rows) const;
 
-  /// New frame with rows [begin, end) (copies data).
+  /// New frame with rows [begin, end) (copies data; dense result).
   DataFrame SliceRows(size_t begin, size_t end) const;
 
-  /// Value at (row, col).
+  /// Value at (row, col). On a chunked column this pins/unpins the row
+  /// group — use FrameWindow in loops.
   double at(size_t row, size_t col) const { return columns_[col][row]; }
 
   /// One materialized row (used by the real-time inference path).
@@ -63,10 +69,38 @@ class DataFrame {
 
  private:
   std::vector<Column> columns_;
+  // lint: unordered-ok(name->index lookup only; never iterated)
   std::unordered_map<std::string, size_t> index_;
 };
 
+/// \brief A pinned row window [lo, hi) over every column of a frame.
+///
+/// Pins each chunked column's containing row group once at construction
+/// (so the window must not straddle a group boundary — guaranteed when
+/// the window is a ParallelForChunks chunk whose grain divides the
+/// frame's group_rows) and exposes allocation-free random access inside
+/// the window. Dense columns need no pin; their pointer is the shared
+/// buffer offset by lo.
+class FrameWindow {
+ public:
+  FrameWindow(const DataFrame& frame, size_t lo, size_t hi);
+
+  size_t lo() const { return lo_; }
+  size_t hi() const { return hi_; }
+
+  // lint: hot-path
+  double at(size_t row, size_t col) const { return cols_[col][row - lo_]; }
+
+ private:
+  size_t lo_ = 0;
+  size_t hi_ = 0;
+  std::vector<ChunkedVector<double>::Span> spans_;
+  std::vector<const double*> cols_;  ///< per column, points at row lo_
+};
+
 /// \brief A supervised dataset: features plus a binary {0,1} label vector.
+/// Labels stay resident even for chunked frames — one double per row is
+/// the working set every training pass touches anyway.
 struct Dataset {
   DataFrame x;
   std::shared_ptr<const std::vector<double>> y;
@@ -78,5 +112,17 @@ struct Dataset {
 /// Builds a Dataset from parallel containers, validating shape and that
 /// labels are binary {0,1}.
 [[nodiscard]] Result<Dataset> MakeDataset(DataFrame x, std::vector<double> y);
+
+/// Copy of `frame` with every column re-homed into `pool`-backed row
+/// groups of `group_rows` rows. Bits are identical; only the storage
+/// (and therefore residency) changes.
+DataFrame ToChunkedFrame(const DataFrame& frame,
+                         const std::shared_ptr<SpillPool>& pool,
+                         size_t group_rows);
+
+/// ToChunkedFrame over a dataset's features; labels stay resident.
+Dataset ToChunkedDataset(const Dataset& dataset,
+                         const std::shared_ptr<SpillPool>& pool,
+                         size_t group_rows);
 
 }  // namespace safe

@@ -1,0 +1,266 @@
+#include "src/dataframe/spill.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+
+namespace safe {
+
+namespace {
+
+/// Slot alignment inside the backing file. Offsets and slot sizes are
+/// rounded to this, so madvise(MADV_DONTNEED) on one slot can never touch
+/// a neighbouring group's pages.
+constexpr size_t kSlotAlign = 4096;
+
+constexpr size_t AlignUp(size_t v, size_t a) { return (v + a - 1) / a * a; }
+
+/// Registry series mirrored from SpillPoolStats (no-ops when telemetry is
+/// compiled out; the plain stats_ struct remains authoritative).
+struct SpillMetrics {
+  obs::Counter* evictions;
+  obs::Counter* faults;
+  obs::Counter* write_bytes;
+  obs::Counter* read_bytes;
+  obs::Gauge* resident_bytes;
+
+  static const SpillMetrics& Get() {
+    static const SpillMetrics metrics = [] {
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+      return SpillMetrics{registry->counter("dataframe.spill.evictions"),
+                          registry->counter("dataframe.spill.faults"),
+                          registry->counter("dataframe.spill.write_bytes"),
+                          registry->counter("dataframe.spill.read_bytes"),
+                          registry->gauge("dataframe.spill.resident_bytes")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+SpillPool::Pin& SpillPool::Pin::operator=(Pin&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    bytes_ = other.bytes_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void SpillPool::Pin::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+Result<std::shared_ptr<SpillPool>> SpillPool::Create(const Options& options) {
+  std::string dir = options.dir;
+  if (dir.empty()) {
+    const char* tmpdir = std::getenv("TMPDIR");
+    dir = (tmpdir != nullptr && tmpdir[0] != '\0') ? tmpdir : "/tmp";
+  }
+  std::string path_template = dir + "/safe-spill-XXXXXX";
+  std::vector<char> path(path_template.begin(), path_template.end());
+  path.push_back('\0');
+  const int fd = mkstemp(path.data());
+  if (fd < 0) {
+    return Status::IoError("spill: cannot create temp file under '" + dir +
+                           "': " + std::strerror(errno));
+  }
+  // Unlink immediately: the file stays usable through the fd and the
+  // kernel reclaims it when the pool (or a crashed process) lets go —
+  // nothing is ever left behind in the directory.
+  ::unlink(path.data());
+  auto pool = std::shared_ptr<SpillPool>(new SpillPool(options));
+  pool->spill_dir_ = std::move(dir);
+  pool->fd_ = fd;
+  return pool;
+}
+
+SpillPool::SpillPool(const Options& options) : options_(options) {}
+
+SpillPool::~SpillPool() {
+  MutexLock lock(mu_);
+  if (map_ != nullptr) {
+    SAFE_CHECK(::munmap(map_, map_bytes_) == 0);
+    map_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+uint64_t SpillPool::Seal(const void* data, size_t bytes) {
+  SAFE_CHECK(bytes > 0);
+  auto buffer = std::make_unique<char[]>(bytes);
+  std::memcpy(buffer.get(), data, bytes);
+  MutexLock lock(mu_);
+  const uint64_t id = groups_.size();
+  groups_.emplace_back();
+  Group& g = groups_.back();
+  g.data = std::move(buffer);
+  g.bytes = bytes;
+  g.lru_it = lru_.insert(lru_.end(), id);
+  g.in_lru = true;
+  stats_.resident_bytes += bytes;
+  stats_.total_bytes += bytes;
+  stats_.num_groups += 1;
+  EvictUntilUnderBudgetLocked();
+  SpillMetrics::Get().resident_bytes->Set(
+      static_cast<double>(stats_.resident_bytes));
+  return id;
+}
+
+SpillPool::Pin SpillPool::PinGroup(uint64_t id) {
+  MutexLock lock(mu_);
+  SAFE_CHECK(id < groups_.size()) << "spill: pin of unknown group " << id;
+  Group& g = groups_[id];
+  if (g.data == nullptr) {
+    FaultGroupLocked(id);
+    // Pin before rebalancing so the faulted group cannot be chosen as
+    // its own eviction victim under a tiny budget.
+    ++g.pins;
+    EvictUntilUnderBudgetLocked();
+  } else {
+    ++g.pins;
+  }
+  SpillMetrics::Get().resident_bytes->Set(
+      static_cast<double>(stats_.resident_bytes));
+  return Pin(this, id, g.data.get(), g.bytes);
+}
+
+void SpillPool::Unpin(uint64_t id) {
+  MutexLock lock(mu_);
+  Group& g = groups_[id];
+  SAFE_CHECK(g.pins > 0);
+  --g.pins;
+  // Unpinned groups stay resident (at their original FIFO position)
+  // until budget pressure evicts them.
+  EvictUntilUnderBudgetLocked();
+  SpillMetrics::Get().resident_bytes->Set(
+      static_cast<double>(stats_.resident_bytes));
+}
+
+SpillPoolStats SpillPool::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+std::vector<uint64_t> SpillPool::ResidentGroupIdsForTest() const {
+  MutexLock lock(mu_);
+  return std::vector<uint64_t>(lru_.begin(), lru_.end());
+}
+
+void SpillPool::EnsureFileCapacityLocked(size_t need) {
+  if (need <= map_bytes_) return;
+  size_t new_bytes = map_bytes_ == 0 ? size_t{1} << 20 : map_bytes_ * 2;
+  while (new_bytes < need) new_bytes *= 2;
+  SAFE_CHECK(::ftruncate(fd_, static_cast<off_t>(new_bytes)) == 0)
+      << "spill: ftruncate to " << new_bytes
+      << " bytes failed: " << std::strerror(errno);
+  if (map_ != nullptr) {
+    SAFE_CHECK(::munmap(map_, map_bytes_) == 0);
+  }
+  void* mapped = ::mmap(nullptr, new_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, fd_, 0);
+  SAFE_CHECK(mapped != MAP_FAILED)
+      << "spill: mmap of " << new_bytes
+      << " bytes failed: " << std::strerror(errno);
+  map_ = static_cast<char*>(mapped);
+  map_bytes_ = new_bytes;
+}
+
+void SpillPool::EvictUntilUnderBudgetLocked() {
+  const size_t budget = options_.resident_budget_bytes;
+  if (budget == 0) return;
+  while (stats_.resident_bytes > budget) {
+    // Oldest unpinned group first; pinned groups are skipped in place so
+    // they keep their FIFO position for later rounds.
+    uint64_t victim = 0;
+    bool found = false;
+    for (const uint64_t id : lru_) {
+      if (groups_[id].pins == 0) {
+        victim = id;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return;  // everything resident is pinned: over budget
+    EvictGroupLocked(victim);
+  }
+}
+
+void SpillPool::EvictGroupLocked(uint64_t id) {
+  SAFE_FR_SCOPE("dataframe.spill.evict");
+  Group& g = groups_[id];
+  SAFE_CHECK(g.data != nullptr && g.pins == 0 && g.in_lru);
+  if (!g.has_file_slot) {
+    // First eviction of this group: assign its (immutable) file slot and
+    // write the payload. Later evictions only drop the heap copy.
+    const size_t offset = AlignUp(file_used_, kSlotAlign);
+    const size_t slot = AlignUp(g.bytes, kSlotAlign);
+    EnsureFileCapacityLocked(offset + slot);
+    g.file_offset = offset;
+    g.has_file_slot = true;
+    file_used_ = offset + slot;
+    stats_.file_bytes = file_used_;
+    std::memcpy(map_ + offset, g.data.get(), g.bytes);
+    stats_.spill_write_bytes += g.bytes;
+    SpillMetrics::Get().write_bytes->Increment(g.bytes);
+    // Release the dirty mapping pages: the payload lives on in the page
+    // cache / file, outside this process's resident set (best-effort —
+    // a failed hint only costs RSS, never data).
+    ::madvise(map_ + offset, slot, MADV_DONTNEED);
+  }
+  g.data.reset();
+  lru_.erase(g.lru_it);
+  g.in_lru = false;
+  stats_.resident_bytes -= g.bytes;
+  stats_.evictions += 1;
+  SpillMetrics::Get().evictions->Increment();
+  SAFE_FR_COUNTER("dataframe.spill.resident_bytes",
+                  static_cast<double>(stats_.resident_bytes));
+}
+
+void SpillPool::FaultGroupLocked(uint64_t id) {
+  SAFE_FR_SCOPE("dataframe.spill.fault");
+  Group& g = groups_[id];
+  SAFE_CHECK(g.has_file_slot && !g.in_lru);
+  auto buffer = std::make_unique<char[]>(g.bytes);
+  std::memcpy(buffer.get(), map_ + g.file_offset, g.bytes);
+  // Drop the mapping pages the copy just repopulated (see EvictGroupLocked).
+  ::madvise(map_ + g.file_offset, AlignUp(g.bytes, kSlotAlign),
+            MADV_DONTNEED);
+  g.data = std::move(buffer);
+  // A faulted group re-enters the FIFO at the back: insertion-order LRU
+  // over (seal | fault) events.
+  g.lru_it = lru_.insert(lru_.end(), id);
+  g.in_lru = true;
+  stats_.resident_bytes += g.bytes;
+  stats_.faults += 1;
+  stats_.spill_read_bytes += g.bytes;
+  SpillMetrics::Get().faults->Increment();
+  SpillMetrics::Get().read_bytes->Increment(g.bytes);
+  SAFE_FR_COUNTER("dataframe.spill.resident_bytes",
+                  static_cast<double>(stats_.resident_bytes));
+}
+
+}  // namespace safe

@@ -47,15 +47,18 @@ obs::Histogram* TreeFitHistogram() {
 /// invariant (each row is written independently anyway).
 constexpr size_t kPredictRowGrain = 2048;
 
-/// Tree traversal over a column-major frame for one row index.
-double PredictTreeOnFrame(const RegressionTree& tree, const DataFrame& x,
-                          size_t row) {
+/// Tree traversal over a pinned row window for one row index. All
+/// prediction loops chunk rows at kPredictRowGrain (which divides every
+/// legal row-group size), so each chunk's window pins one row group per
+/// chunked column and traversal stays allocation-free.
+double PredictTreeOnWindow(const RegressionTree& tree,
+                           const FrameWindow& window, size_t row) {
   const auto& nodes = tree.nodes();
   if (nodes.empty()) return 0.0;
   int idx = 0;
   while (!nodes[static_cast<size_t>(idx)].is_leaf()) {
     const TreeNode& node = nodes[static_cast<size_t>(idx)];
-    const double v = x.column(static_cast<size_t>(node.feature))[row];
+    const double v = window.at(row, static_cast<size_t>(node.feature));
     if (std::isnan(v)) {
       idx = node.default_left ? node.left : node.right;
     } else {
@@ -89,6 +92,13 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
   }
   if (valid != nullptr && valid->x.num_columns() != m) {
     return Status::InvalidArgument("gbdt: valid column count mismatch");
+  }
+  if (params.tree_method == TreeMethod::kExact &&
+      train.x.HasChunkedColumns()) {
+    // The exact trainer pre-sorts whole columns in place; only the
+    // histogram path streams over row groups.
+    return Status::InvalidArgument(
+        "gbdt: tree_method=exact requires resident (non-chunked) columns");
   }
 
   SAFE_TRACE_SPAN("gbdt.fit");
@@ -179,8 +189,9 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
     // Update margins over the full training set (each row independent).
     ParallelForChunks(pool, 0, n, kPredictRowGrain,
                       [&](size_t, size_t lo, size_t hi) {
+                        FrameWindow window(train.x, lo, hi);
                         for (size_t i = lo; i < hi; ++i) {
-                          margins[i] += PredictTreeOnFrame(tree, train.x, i);
+                          margins[i] += PredictTreeOnWindow(tree, window, i);
                         }
                       });
     model.trees_.push_back(std::move(tree));
@@ -193,9 +204,10 @@ Result<Booster> Booster::Fit(const Dataset& train, const Dataset* valid,
       const auto& t = model.trees_.back();
       ParallelForChunks(pool, 0, valid_margins.size(), kPredictRowGrain,
                         [&](size_t, size_t lo, size_t hi) {
+                          FrameWindow window(valid->x, lo, hi);
                           for (size_t i = lo; i < hi; ++i) {
                             valid_margins[i] +=
-                                PredictTreeOnFrame(t, valid->x, i);
+                                PredictTreeOnWindow(t, window, i);
                           }
                         });
       if (params.early_stopping_rounds > 0) {
@@ -227,9 +239,10 @@ Result<std::vector<double>> Booster::PredictMargin(const DataFrame& x) const {
   std::vector<double> margins(x.num_rows(), base_score_);
   ParallelForChunks(ThreadPool::Global(), 0, x.num_rows(), kPredictRowGrain,
                     [&](size_t, size_t lo, size_t hi) {
+                      FrameWindow window(x, lo, hi);
                       for (size_t r = lo; r < hi; ++r) {
                         for (const auto& tree : trees_) {
-                          margins[r] += PredictTreeOnFrame(tree, x, r);
+                          margins[r] += PredictTreeOnWindow(tree, window, r);
                         }
                       }
                     });

@@ -21,11 +21,11 @@ Result<FeatureQuantizer> FeatureQuantizer::Fit(const DataFrame& frame,
   q.edges_.resize(frame.num_columns());
   std::vector<Status> statuses(frame.num_columns());
   ParallelFor(pool, 0, frame.num_columns(), [&](size_t f) {
-    const auto& values = frame.column(f).values();
-    auto result = EqualFrequencyEdges(values, max_bins);
+    const Column& column = frame.column(f);
+    auto result = EqualFrequencyEdges(column, max_bins);
     if (result.ok()) {
       q.edges_[f] = std::move(*result);
-    } else if (frame.column(f).CountMissing() == values.size()) {
+    } else if (column.CountMissing() == column.size()) {
       // All-missing column: a single (missing) bin, never splittable.
       q.edges_[f] = BinEdges{};
     } else {
@@ -50,11 +50,32 @@ Result<BinnedMatrix> FeatureQuantizer::Transform(const DataFrame& frame,
   out.edges = edges_;
   out.bins.resize(edges_.size());
   ParallelFor(pool, 0, edges_.size(), [&](size_t f) {
-    const auto& values = frame.column(f).values();
-    auto& bins = out.bins[f];
-    bins.resize(values.size());
-    for (size_t r = 0; r < values.size(); ++r) {
-      bins[r] = static_cast<uint16_t>(edges_[f].BinIndex(values[r]));
+    const Column& column = frame.column(f);
+    if (column.chunked()) {
+      // Stream: quantize one row group at a time into a chunked bin
+      // column sealed into the same pool (and budget) as the features.
+      const auto& chunks = *column.chunks();
+      ChunkedVectorBuilder<uint16_t> builder(chunks.pool(),
+                                             chunks.group_rows());
+      std::vector<uint16_t> scratch;
+      column.ForEachSpan(
+          0, column.size(),
+          [&](size_t, const double* values, size_t len) {
+            scratch.resize(len);
+            for (size_t i = 0; i < len; ++i) {
+              scratch[i] =
+                  static_cast<uint16_t>(edges_[f].BinIndex(values[i]));
+            }
+            builder.Append(scratch.data(), len);
+          });
+      out.bins[f] = BinnedColumn(builder.Finish());
+    } else {
+      const auto& values = column.values();
+      std::vector<uint16_t> bins(values.size());
+      for (size_t r = 0; r < values.size(); ++r) {
+        bins[r] = static_cast<uint16_t>(edges_[f].BinIndex(values[r]));
+      }
+      out.bins[f] = BinnedColumn(std::move(bins));
     }
   });
   return out;

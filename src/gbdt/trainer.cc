@@ -58,9 +58,11 @@ NodeHistograms TreeTrainer::BuildHistograms(
     const size_t f = static_cast<size_t>(features[i]);
     auto& cells = hist[i];
     cells.assign(matrix_->num_cells(f), GradHistBin{});
-    const auto& bins = matrix_->bins[f];
+    // Node row lists are ascending within each fixed chunk, so a cursor
+    // re-pins each spilled row group at most once per pass.
+    ChunkedCursor<uint16_t> bins = matrix_->bins[f].cursor();
     for (size_t r : rows) {
-      GradHistBin& hb = cells[bins[r]];
+      GradHistBin& hb = cells[bins.At(r)];
       hb.grad += grad[r];
       hb.hess += hess[r];
     }
@@ -262,7 +264,7 @@ RegressionTree TreeTrainer::Train(const std::vector<double>& grad,
     }
 
     const size_t f = static_cast<size_t>(split.feature);
-    const auto& bins = matrix_->bins[f];
+    const BinnedColumn& split_bins = matrix_->bins[f];
     const size_t missing_bin = matrix_->edges[f].missing_bin();
 
     // Partition rows over fixed chunks; concatenating the per-chunk
@@ -279,11 +281,13 @@ RegressionTree TreeTrainer::Train(const std::vector<double>& grad,
         [&](size_t c, size_t lo, size_t hi) {
           auto& left = left_parts[c];
           auto& right = right_parts[c];
+          // Per-chunk cursor: each worker pins its own window.
+          ChunkedCursor<uint16_t> bins = split_bins.cursor();
           double g = 0.0;
           double h = 0.0;
           for (size_t i = lo; i < hi; ++i) {
             const size_t r = task.rows[i];
-            const size_t b = bins[r];
+            const size_t b = bins.At(r);
             const bool go_left =
                 (b == missing_bin) ? split.missing_left : (b <= split.bin);
             if (go_left) {

@@ -186,7 +186,7 @@ void RuleNondeterminism(RuleContext& ctx) {
 void RuleUnordered(RuleContext& ctx) {
   const std::string dir = SrcSubdir(ctx.file.path());
   if (dir != "core" && dir != "stats" && dir != "gbdt" &&
-      dir != "baselines" && dir != "serve") {
+      dir != "baselines" && dir != "serve" && dir != "dataframe") {
     return;
   }
   const std::string& s = ctx.file.scrubbed();

@@ -1,5 +1,6 @@
 #include "src/stats/correlation.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/obs/metrics.h"
@@ -30,6 +31,91 @@ const char* PearsonBandName(PearsonBand band) {
       return "Extremely strong correlation";
   }
   return "?";
+}
+
+namespace {
+
+/// Walking read head over one column: Seek(pos) yields a contiguous
+/// window starting at pos and ending at the column's next span boundary
+/// (the whole column when dense).
+struct ColumnWalker {
+  explicit ColumnWalker(const Column& c) : col(c) {}
+
+  void Seek(size_t pos) {
+    if (!col.chunked()) {
+      ptr = col.values().data() + pos;
+      end = col.size();
+      return;
+    }
+    const ChunkedVector<double>& chunks = *col.chunks();
+    span = chunks.PinSpan(pos, chunks.GroupEnd(chunks.GroupOf(pos)));
+    ptr = span.data();
+    end = span.end();
+  }
+
+  const Column& col;
+  ChunkedVector<double>::Span span;
+  const double* ptr = nullptr;  ///< first value of the current window
+  size_t end = 0;               ///< row index one past the window
+};
+
+/// Invokes fn(pa, pb, len) over maximal windows where both columns are
+/// contiguous, in ascending row order; pa/pb point at the same row.
+template <typename Fn>
+void ZipSpans(const Column& a, const Column& b, Fn&& fn) {
+  const size_t n = a.size();
+  ColumnWalker wa(a);
+  ColumnWalker wb(b);
+  size_t pos = 0;
+  while (pos < n) {
+    wa.Seek(pos);
+    wb.Seek(pos);
+    const size_t stop = std::min(wa.end, wb.end);
+    fn(wa.ptr, wb.ptr, stop - pos);
+    pos = stop;
+  }
+}
+
+}  // namespace
+
+double PearsonCorrelation(const Column& a, const Column& b) {
+  SAFE_CHECK(a.size() == b.size());
+  // Two-pass: means over paired non-missing rows, then moments. Each
+  // pass accumulates in ascending row order regardless of storage, so
+  // the arithmetic matches the dense overload bit for bit.
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  size_t n = 0;
+  ZipSpans(a, b, [&](const double* pa, const double* pb, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      if (std::isnan(pa[i]) || std::isnan(pb[i])) continue;
+      sum_a += pa[i];
+      sum_b += pb[i];
+      ++n;
+    }
+  });
+  if (n < 2) return 0.0;
+  const double mu_a = sum_a / static_cast<double>(n);
+  const double mu_b = sum_b / static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  ZipSpans(a, b, [&](const double* pa, const double* pb, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      if (std::isnan(pa[i]) || std::isnan(pb[i])) continue;
+      const double da = pa[i] - mu_a;
+      const double db = pb[i] - mu_b;
+      cov += da * db;
+      var_a += da * da;
+      var_b += db * db;
+    }
+  });
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  double r = cov / std::sqrt(var_a * var_b);
+  // Clamp tiny floating-point excursions outside [-1, 1].
+  if (r > 1.0) r = 1.0;
+  if (r < -1.0) r = -1.0;
+  return r;
 }
 
 double PearsonCorrelation(const std::vector<double>& a,
@@ -75,8 +161,7 @@ std::vector<std::vector<double>> PearsonMatrix(const DataFrame& frame,
   ParallelFor(pool, 0, m, [&](size_t i) {
     mat[i][i] = 1.0;
     for (size_t j = i + 1; j < m; ++j) {
-      mat[i][j] = PearsonCorrelation(frame.column(i).values(),
-                                     frame.column(j).values());
+      mat[i][j] = PearsonCorrelation(frame.column(i), frame.column(j));
     }
   });
   for (size_t i = 0; i < m; ++i) {
@@ -91,11 +176,10 @@ std::vector<double> PearsonAgainst(const DataFrame& frame, size_t anchor,
   static obs::Counter* pairs_counter =
       obs::MetricsRegistry::Global()->counter("stats.pearson_pairs");
   std::vector<double> out(others.size(), 0.0);
-  const std::vector<double>& anchor_values = frame.column(anchor).values();
+  const Column& anchor_column = frame.column(anchor);
   ParallelFor(pool, 0, others.size(), [&](size_t i) {
     const uint64_t start_ns = obs::NowNanos();
-    out[i] = PearsonCorrelation(anchor_values,
-                                frame.column(others[i]).values());
+    out[i] = PearsonCorrelation(anchor_column, frame.column(others[i]));
     obs::PerThreadHistogram("stats.pearson_pair_us",
                             obs::DefaultLatencyBucketsUs())
         ->Observe(static_cast<double>(obs::NowNanos() - start_ns) / 1e3);

@@ -30,6 +30,12 @@ const char* PearsonBandName(PearsonBand band);
 double PearsonCorrelation(const std::vector<double>& a,
                           const std::vector<double>& b);
 
+/// Storage-agnostic overload: zip-walks the two columns span by span in
+/// ascending row order, so both passes accumulate in exactly the order
+/// the dense overload does — bit-identical results on the same data,
+/// dense, chunked, or mixed.
+double PearsonCorrelation(const Column& a, const Column& b);
+
 /// Dense symmetric correlation matrix of all frame columns, with the
 /// upper triangle computed in parallel on `pool` (nullptr = global pool).
 std::vector<std::vector<double>> PearsonMatrix(const DataFrame& frame,

@@ -43,6 +43,14 @@ const char* IvBandName(IvBand band);
                                          const std::vector<double>& labels,
                                          const BinEdges& edges);
 
+/// Storage-agnostic InformationValue: fits edges and counts bins by
+/// streaming the column row-group-wise. The bin tallies are integer
+/// counts accumulated in ascending row order either way, so the result
+/// is bit-identical to the vector overload on the same data.
+[[nodiscard]] Result<double> InformationValue(const Column& feature,
+                                const std::vector<double>& labels,
+                                size_t num_bins);
+
 /// \brief IV of every frame column, one pool task per column (Alg. 3's
 /// per-feature loop). Each task fits its own equal-frequency edges, so
 /// binning parallelizes together with the IV itself. Columns whose IV is

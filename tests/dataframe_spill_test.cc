@@ -1,0 +1,264 @@
+#include "src/dataframe/spill.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace safe {
+namespace {
+
+std::vector<double> MakePayload(size_t n, double base) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = base + static_cast<double>(i);
+  return out;
+}
+
+size_t PayloadBytes(const std::vector<double>& payload) {
+  return payload.size() * sizeof(double);
+}
+
+TEST(SpillPoolTest, UnboundedBudgetNeverEvicts) {
+  auto pool = SpillPool::Create({});
+  ASSERT_TRUE(pool.ok());
+  std::vector<uint64_t> ids;
+  for (int k = 0; k < 8; ++k) {
+    auto payload = MakePayload(1024, k * 1000.0);
+    ids.push_back((*pool)->Seal(payload.data(), PayloadBytes(payload)));
+  }
+  const SpillPoolStats stats = (*pool)->stats();
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.faults, 0u);
+  EXPECT_EQ(stats.num_groups, 8u);
+  EXPECT_EQ(stats.resident_bytes, stats.total_bytes);
+  EXPECT_EQ(stats.file_bytes, 0u);
+  for (uint64_t id : ids) {
+    SpillPool::Pin pin = (*pool)->PinGroup(id);
+    EXPECT_TRUE(pin.valid());
+  }
+  EXPECT_EQ((*pool)->stats().faults, 0u);
+}
+
+TEST(SpillPoolTest, EvictionIsInsertionOrderFifo) {
+  // Budget of exactly two 1024-double groups.
+  SpillPool::Options options;
+  options.resident_budget_bytes = 2 * 1024 * sizeof(double);
+  auto pool = SpillPool::Create(options);
+  ASSERT_TRUE(pool.ok());
+
+  auto pa = MakePayload(1024, 0.0);
+  auto pb = MakePayload(1024, 1e6);
+  auto pc = MakePayload(1024, 2e6);
+  const uint64_t a = (*pool)->Seal(pa.data(), PayloadBytes(pa));
+  const uint64_t b = (*pool)->Seal(pb.data(), PayloadBytes(pb));
+  const uint64_t c = (*pool)->Seal(pc.data(), PayloadBytes(pc));
+
+  // Sealing C pushed the pool over budget; the oldest group (A) went out.
+  EXPECT_EQ((*pool)->ResidentGroupIdsForTest(),
+            (std::vector<uint64_t>{b, c}));
+  EXPECT_EQ((*pool)->stats().evictions, 1u);
+
+  // Faulting A back re-inserts it at the FIFO tail and evicts B (now the
+  // oldest) — deterministic, no wall-clock involved.
+  {
+    SpillPool::Pin pin = (*pool)->PinGroup(a);
+    EXPECT_EQ((*pool)->ResidentGroupIdsForTest(),
+              (std::vector<uint64_t>{c, a}));
+  }
+  EXPECT_EQ((*pool)->stats().faults, 1u);
+  EXPECT_EQ((*pool)->stats().evictions, 2u);
+}
+
+TEST(SpillPoolTest, PinnedGroupsAreSkippedInPlace) {
+  SpillPool::Options options;
+  options.resident_budget_bytes = 2 * 1024 * sizeof(double);
+  auto pool = SpillPool::Create(options);
+  ASSERT_TRUE(pool.ok());
+
+  auto pa = MakePayload(1024, 0.0);
+  auto pb = MakePayload(1024, 1e6);
+  const uint64_t a = (*pool)->Seal(pa.data(), PayloadBytes(pa));
+  const uint64_t b = (*pool)->Seal(pb.data(), PayloadBytes(pb));
+
+  // Pin A (the would-be victim), then push over budget: B must go
+  // instead, and A keeps its FIFO position for later rounds.
+  SpillPool::Pin pin_a = (*pool)->PinGroup(a);
+  auto pc = MakePayload(1024, 2e6);
+  const uint64_t c = (*pool)->Seal(pc.data(), PayloadBytes(pc));
+  EXPECT_EQ((*pool)->ResidentGroupIdsForTest(),
+            (std::vector<uint64_t>{a, c}));
+
+  // Releasing the pin makes A evictable again at its original position.
+  pin_a.Release();
+  auto pd = MakePayload(1024, 3e6);
+  (*pool)->Seal(pd.data(), PayloadBytes(pd));
+  const std::vector<uint64_t> resident = (*pool)->ResidentGroupIdsForTest();
+  ASSERT_EQ(resident.size(), 2u);
+  EXPECT_EQ(resident[0], c);
+  (void)b;
+}
+
+TEST(SpillPoolTest, FaultBackIsBitLossless) {
+  SpillPool::Options options;
+  options.resident_budget_bytes = 1;  // smaller than any group: always spill
+  auto pool = SpillPool::Create(options);
+  ASSERT_TRUE(pool.ok());
+
+  // Adversarial payload: NaN with payload bits, -0.0, denormals, infs.
+  std::vector<double> payload(4096, 0.0);
+  Rng rng(123);
+  for (auto& v : payload) v = rng.NextGaussian();
+  payload[0] = std::numeric_limits<double>::quiet_NaN();
+  uint64_t nan_bits = 0x7FF800000000BEEFULL;  // NaN with a payload
+  std::memcpy(&payload[1], &nan_bits, sizeof(nan_bits));
+  payload[2] = -0.0;
+  payload[3] = std::numeric_limits<double>::denorm_min();
+  payload[4] = -std::numeric_limits<double>::infinity();
+
+  const uint64_t id = (*pool)->Seal(payload.data(), PayloadBytes(payload));
+  // The tiny budget evicted it immediately.
+  EXPECT_EQ((*pool)->stats().evictions, 1u);
+
+  SpillPool::Pin pin = (*pool)->PinGroup(id);
+  ASSERT_TRUE(pin.valid());
+  ASSERT_EQ(pin.bytes(), PayloadBytes(payload));
+  EXPECT_EQ(std::memcmp(pin.data(), payload.data(), pin.bytes()), 0);
+  EXPECT_EQ((*pool)->stats().faults, 1u);
+  EXPECT_EQ((*pool)->stats().spill_read_bytes, PayloadBytes(payload));
+}
+
+TEST(SpillPoolTest, SpillsOnlyOnFirstEviction) {
+  SpillPool::Options options;
+  options.resident_budget_bytes = 1;
+  auto pool = SpillPool::Create(options);
+  ASSERT_TRUE(pool.ok());
+
+  auto payload = MakePayload(4096, 5.0);
+  const uint64_t id = (*pool)->Seal(payload.data(), PayloadBytes(payload));
+  for (int round = 0; round < 3; ++round) {
+    SpillPool::Pin pin = (*pool)->PinGroup(id);
+    EXPECT_EQ(std::memcmp(pin.data(), payload.data(), pin.bytes()), 0);
+  }
+  const SpillPoolStats stats = (*pool)->stats();
+  // Written once; every later eviction only drops the heap copy.
+  EXPECT_EQ(stats.spill_write_bytes, PayloadBytes(payload));
+  EXPECT_EQ(stats.faults, 3u);
+  EXPECT_EQ(stats.evictions, 4u);
+}
+
+TEST(SpillPoolTest, BudgetAccounting) {
+  const size_t group_bytes = 1024 * sizeof(double);
+  SpillPool::Options options;
+  options.resident_budget_bytes = 3 * group_bytes;
+  auto pool = SpillPool::Create(options);
+  ASSERT_TRUE(pool.ok());
+
+  for (int k = 0; k < 10; ++k) {
+    auto payload = MakePayload(1024, k * 1.0);
+    (*pool)->Seal(payload.data(), PayloadBytes(payload));
+  }
+  const SpillPoolStats stats = (*pool)->stats();
+  EXPECT_EQ(stats.num_groups, 10u);
+  EXPECT_EQ(stats.total_bytes, 10 * group_bytes);
+  EXPECT_LE(stats.resident_bytes, options.resident_budget_bytes);
+  EXPECT_EQ(stats.resident_bytes, 3 * group_bytes);
+  EXPECT_EQ(stats.evictions, 7u);
+  EXPECT_GE(stats.file_bytes, 7 * group_bytes);
+}
+
+TEST(SpillPoolTest, LeavesNoFilesBehind) {
+  const std::string dir = ::testing::TempDir() + "spill_cleanup_test";
+  std::filesystem::create_directories(dir);
+  {
+    SpillPool::Options options;
+    options.dir = dir;
+    options.resident_budget_bytes = 1;
+    auto pool = SpillPool::Create(options);
+    ASSERT_TRUE(pool.ok());
+    EXPECT_EQ((*pool)->spill_dir(), dir);
+    auto payload = MakePayload(4096, 1.0);
+    (*pool)->Seal(payload.data(), PayloadBytes(payload));
+    // The backing file is unlinked at creation: the directory is already
+    // empty even while the pool is alive and spilling.
+    EXPECT_TRUE(std::filesystem::is_empty(dir));
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SpillPoolTest, CreateFailsOnMissingDirectory) {
+  SpillPool::Options options;
+  options.dir = "/nonexistent-safe-spill-dir/xyz";
+  auto pool = SpillPool::Create(options);
+  EXPECT_FALSE(pool.ok());
+}
+
+TEST(SpillPoolTest, BudgetSmallerThanOneGroupStillWorks) {
+  SpillPool::Options options;
+  options.resident_budget_bytes = 8;  // one double
+  auto pool = SpillPool::Create(options);
+  ASSERT_TRUE(pool.ok());
+  auto pa = MakePayload(4096, 0.0);
+  auto pb = MakePayload(4096, 1e6);
+  const uint64_t a = (*pool)->Seal(pa.data(), PayloadBytes(pa));
+  const uint64_t b = (*pool)->Seal(pb.data(), PayloadBytes(pb));
+  for (int round = 0; round < 2; ++round) {
+    SpillPool::Pin pin_a = (*pool)->PinGroup(a);
+    SpillPool::Pin pin_b = (*pool)->PinGroup(b);
+    EXPECT_EQ(std::memcmp(pin_a.data(), pa.data(), pin_a.bytes()), 0);
+    EXPECT_EQ(std::memcmp(pin_b.data(), pb.data(), pin_b.bytes()), 0);
+  }
+}
+
+// Concurrent readers over a spilling pool: every pin must observe its
+// group's exact payload regardless of interleaving (run under tsan via
+// the "tsan" label).
+TEST(SpillPoolConcurrencyTest, ConcurrentReadersSeeConsistentPayloads) {
+  const size_t kGroups = 16;
+  const size_t kRowsPerGroup = 1024;
+  SpillPool::Options options;
+  options.resident_budget_bytes = 4 * kRowsPerGroup * sizeof(double);
+  auto created = SpillPool::Create(options);
+  ASSERT_TRUE(created.ok());
+  std::shared_ptr<SpillPool> pool = *created;
+
+  std::vector<std::vector<double>> payloads;
+  std::vector<uint64_t> ids;
+  for (size_t g = 0; g < kGroups; ++g) {
+    payloads.push_back(MakePayload(kRowsPerGroup, g * 1e5));
+    ids.push_back(
+        pool->Seal(payloads.back().data(), PayloadBytes(payloads.back())));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (int iter = 0; iter < 200; ++iter) {
+        const size_t g = rng.NextUint64Below(kGroups);
+        SpillPool::Pin pin = pool->PinGroup(ids[g]);
+        if (std::memcmp(pin.data(), payloads[g].data(), pin.bytes()) != 0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const SpillPoolStats stats = pool->stats();
+  EXPECT_GT(stats.faults, 0u);
+  EXPECT_LE(stats.resident_bytes,
+            options.resident_budget_bytes + kRowsPerGroup * sizeof(double));
+}
+
+}  // namespace
+}  // namespace safe

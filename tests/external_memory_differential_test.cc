@@ -1,0 +1,248 @@
+// Differential test for the out-of-core dataframe: the chunked/spilling
+// path must produce byte-identical models, plans, and statistics to the
+// monolithic path — at every resident budget and every thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/data/synthetic.h"
+#include "src/dataframe/dataframe.h"
+#include "src/dataframe/spill.h"
+#include "src/gbdt/booster.h"
+#include "src/stats/correlation.h"
+#include "src/stats/iv.h"
+
+namespace safe {
+namespace {
+
+constexpr size_t kGroupRows = 4096;
+constexpr size_t kGroupBytes = kGroupRows * sizeof(double);
+
+data::SyntheticSpec Spec() {
+  data::SyntheticSpec spec;
+  spec.num_rows = 5 * kGroupRows;  // five row groups per column
+  spec.num_features = 6;
+  spec.num_informative = 3;
+  spec.num_interactions = 2;
+  spec.num_redundant = 1;
+  spec.missing_rate = 0.1;
+  spec.seed = 17;
+  return spec;
+}
+
+gbdt::GbdtParams BoosterParams(size_t n_threads) {
+  gbdt::GbdtParams params;
+  params.num_trees = 8;
+  params.max_depth = 3;
+  params.n_threads = n_threads;
+  return params;
+}
+
+SafeParams EngineParams(size_t n_threads) {
+  SafeParams params;
+  params.miner.num_trees = 8;
+  params.miner.max_depth = 3;
+  params.ranker.num_trees = 8;
+  params.ranker.max_depth = 3;
+  params.n_threads = n_threads;
+  return params;
+}
+
+std::shared_ptr<SpillPool> MakePool(size_t budget_bytes) {
+  SpillPool::Options options;
+  options.resident_budget_bytes = budget_bytes;
+  auto pool = SpillPool::Create(options);
+  SAFE_CHECK(pool.ok());
+  return *pool;
+}
+
+bool BitsEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+class ExternalMemoryDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto dataset = data::MakeSyntheticDataset(Spec());
+    SAFE_CHECK(dataset.ok());
+    dense_ = new Dataset(std::move(*dataset));
+
+    auto booster = gbdt::Booster::Fit(*dense_, nullptr, BoosterParams(1));
+    SAFE_CHECK(booster.ok());
+    dense_model_ = new std::string(booster->Serialize());
+    auto margins = booster->PredictMargin(dense_->x);
+    SAFE_CHECK(margins.ok());
+    dense_margins_ = new std::vector<double>(std::move(*margins));
+
+    SafeEngine engine(EngineParams(1));
+    auto fit = engine.Fit(*dense_);
+    SAFE_CHECK(fit.ok());
+    dense_plan_ = new std::string(fit->plan.Serialize());
+
+    dense_iv_ = new std::vector<double>(
+        InformationValueBatch(dense_->x, *dense_->y, 10));
+    dense_pearson_ = new std::vector<std::vector<double>>(
+        PearsonMatrix(dense_->x));
+  }
+
+  static void TearDownTestSuite() {
+    delete dense_;
+    delete dense_model_;
+    delete dense_margins_;
+    delete dense_plan_;
+    delete dense_iv_;
+    delete dense_pearson_;
+    dense_ = nullptr;
+    dense_model_ = nullptr;
+    dense_margins_ = nullptr;
+    dense_plan_ = nullptr;
+    dense_iv_ = nullptr;
+    dense_pearson_ = nullptr;
+  }
+
+  // Runs the full differential battery for one resident budget: every
+  // pipeline output must match the dense reference bit for bit, at
+  // thread counts 1, 2 and 8.
+  static void CheckBudget(size_t budget_bytes) {
+    for (size_t n_threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      SCOPED_TRACE("budget_bytes=" + std::to_string(budget_bytes) +
+                   " n_threads=" + std::to_string(n_threads));
+      auto pool = MakePool(budget_bytes);
+      Dataset chunked = ToChunkedDataset(*dense_, pool, kGroupRows);
+      ASSERT_TRUE(chunked.x.HasChunkedColumns());
+
+      // GBDT: identical model bytes and identical margins.
+      auto booster =
+          gbdt::Booster::Fit(chunked, nullptr, BoosterParams(n_threads));
+      ASSERT_TRUE(booster.ok()) << booster.status().message();
+      EXPECT_EQ(booster->Serialize(), *dense_model_);
+      auto margins = booster->PredictMargin(chunked.x);
+      ASSERT_TRUE(margins.ok());
+      EXPECT_TRUE(BitsEqual(*margins, *dense_margins_));
+
+      // Selection statistics: IV and Pearson, streamed vs resident.
+      EXPECT_TRUE(BitsEqual(
+          InformationValueBatch(chunked.x, *chunked.y, 10), *dense_iv_));
+      const auto pearson = PearsonMatrix(chunked.x);
+      ASSERT_EQ(pearson.size(), dense_pearson_->size());
+      for (size_t i = 0; i < pearson.size(); ++i) {
+        EXPECT_TRUE(BitsEqual(pearson[i], (*dense_pearson_)[i])) << i;
+      }
+
+      // The whole SAFE pipeline: identical FeaturePlan bytes.
+      SafeEngine engine(EngineParams(n_threads));
+      auto fit = engine.Fit(chunked);
+      ASSERT_TRUE(fit.ok()) << fit.status().message();
+      EXPECT_EQ(fit->plan.Serialize(), *dense_plan_);
+
+      if (budget_bytes != 0) {
+        EXPECT_GT(pool->stats().evictions, 0u)
+            << "budgeted run never spilled — the test is not exercising "
+               "the out-of-core path";
+      }
+    }
+  }
+
+  static Dataset* dense_;
+  static std::string* dense_model_;
+  static std::vector<double>* dense_margins_;
+  static std::string* dense_plan_;
+  static std::vector<double>* dense_iv_;
+  static std::vector<std::vector<double>>* dense_pearson_;
+};
+
+Dataset* ExternalMemoryDifferentialTest::dense_ = nullptr;
+std::string* ExternalMemoryDifferentialTest::dense_model_ = nullptr;
+std::vector<double>* ExternalMemoryDifferentialTest::dense_margins_ = nullptr;
+std::string* ExternalMemoryDifferentialTest::dense_plan_ = nullptr;
+std::vector<double>* ExternalMemoryDifferentialTest::dense_iv_ = nullptr;
+std::vector<std::vector<double>>*
+    ExternalMemoryDifferentialTest::dense_pearson_ = nullptr;
+
+TEST_F(ExternalMemoryDifferentialTest, UnboundedBudget) {
+  CheckBudget(0);
+}
+
+TEST_F(ExternalMemoryDifferentialTest, TwoRowGroupBudget) {
+  CheckBudget(2 * kGroupBytes);
+}
+
+TEST_F(ExternalMemoryDifferentialTest, MinimumBudget) {
+  // Smaller than a single row group: every pin faults.
+  CheckBudget(1);
+}
+
+TEST_F(ExternalMemoryDifferentialTest, ExactMethodIsRejectedOnChunkedData) {
+  auto pool = MakePool(0);
+  Dataset chunked = ToChunkedDataset(*dense_, pool, kGroupRows);
+  gbdt::GbdtParams params = BoosterParams(1);
+  params.tree_method = gbdt::TreeMethod::kExact;
+  auto booster = gbdt::Booster::Fit(chunked, nullptr, params);
+  EXPECT_FALSE(booster.ok());
+}
+
+// The streaming generator itself must be deterministic: two runs with the
+// same (spec, group_rows) produce byte-identical columns and labels, even
+// under different resident budgets.
+TEST(ChunkedGeneratorTest, DeterministicAcrossBudgets) {
+  data::SyntheticSpec spec = Spec();
+  spec.num_rows = 3 * kGroupRows;
+  auto a = data::MakeSyntheticDatasetChunked(spec, MakePool(0), kGroupRows);
+  auto b = data::MakeSyntheticDatasetChunked(spec, MakePool(kGroupBytes),
+                                             kGroupRows);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  ASSERT_TRUE(b.ok()) << b.status().message();
+  ASSERT_EQ(a->x.num_columns(), b->x.num_columns());
+  ASSERT_TRUE(a->x.HasChunkedColumns());
+  for (size_t c = 0; c < a->x.num_columns(); ++c) {
+    EXPECT_TRUE(BitsEqual(a->x.column(c).Gather(), b->x.column(c).Gather()))
+        << "column " << c;
+  }
+  EXPECT_TRUE(BitsEqual(*a->y, *b->y));
+  EXPECT_TRUE(std::any_of(a->y->begin(), a->y->end(),
+                          [](double y) { return y == 1.0; }));
+  EXPECT_TRUE(std::any_of(a->y->begin(), a->y->end(),
+                          [](double y) { return y == 0.0; }));
+}
+
+// End-to-end on generator output: the full SAFE pipeline must run (and
+// stay budget/thread invariant) on data that was *born* chunked.
+TEST(ChunkedGeneratorTest, PipelineIsBudgetInvariantOnGeneratedData) {
+  data::SyntheticSpec spec = Spec();
+  spec.num_rows = 3 * kGroupRows;
+
+  std::string reference_model;
+  std::string reference_plan;
+  bool first = true;
+  for (size_t budget : {size_t{0}, size_t{2 * kGroupBytes}}) {
+    auto pool = MakePool(budget);
+    auto dataset = data::MakeSyntheticDatasetChunked(spec, pool, kGroupRows);
+    ASSERT_TRUE(dataset.ok()) << dataset.status().message();
+
+    auto booster =
+        gbdt::Booster::Fit(*dataset, nullptr, BoosterParams(2));
+    ASSERT_TRUE(booster.ok()) << booster.status().message();
+    SafeEngine engine(EngineParams(2));
+    auto fit = engine.Fit(*dataset);
+    ASSERT_TRUE(fit.ok()) << fit.status().message();
+
+    if (first) {
+      reference_model = booster->Serialize();
+      reference_plan = fit->plan.Serialize();
+      first = false;
+    } else {
+      EXPECT_EQ(booster->Serialize(), reference_model);
+      EXPECT_EQ(fit->plan.Serialize(), reference_plan);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace safe

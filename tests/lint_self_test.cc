@@ -120,6 +120,29 @@ TEST(UnorderedRule, ServeIsADeterministicDirectory) {
                   .empty());
 }
 
+TEST(UnorderedRule, DataframeIsADeterministicDirectory) {
+  // src/dataframe/ owns chunked storage and the spill pool; eviction
+  // order and span iteration feed bit-identity guarantees, so it sits
+  // inside the SL002 scan like core/stats/gbdt/baselines/serve.
+  const DeclIndex index;
+  const auto findings = AnalyzeSource(
+      "src/dataframe/spill.cc",
+      "std::unordered_map<uint64_t, size_t> slot_of;\n",
+      index);
+  ASSERT_EQ(Rules(findings), std::vector<std::string>({"SL002"}));
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_TRUE(AnalyzeSource("src/dataframe/dataframe.h",
+                            "std::unordered_map<std::string, size_t> index_;"
+                            "  // lint: unordered-ok(lookup only)\n",
+                            index)
+                  .empty());
+  // SL001 covers it too: the spill pool's LRU must be insertion-ordered,
+  // never clocked.
+  const auto entropy = AnalyzeSource("src/dataframe/spill.cc",
+                                     "long t = time(nullptr);\n", index);
+  ASSERT_EQ(Rules(entropy), std::vector<std::string>({"SL001"}));
+}
+
 TEST(UnorderedRule, ServerSubtreeInheritsTheServeScan) {
   // The deterministic-directory scope keys on the first path component
   // under src/, so nested trees like src/serve/server/ (the scoring
